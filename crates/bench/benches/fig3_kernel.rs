@@ -1,0 +1,72 @@
+//! F3 (Figure 3): kernel module interactions — directory lookups, single
+//! invocation through the listener, and group invocation/aggregation as
+//! the group grows.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use syd_bench::{devices, env_ideal};
+use syd_types::{ServiceName, UserId, Value};
+
+fn bench_kernel(c: &mut Criterion) {
+    let env = env_ideal();
+    let devs = devices(&env, 33);
+    let svc = ServiceName::new("echo");
+    for dev in &devs {
+        dev.register_service(
+            &svc,
+            "echo",
+            Arc::new(|_ctx, args: &[Value]| Ok(Value::list(args.to_vec()))),
+        )
+        .unwrap();
+    }
+    let caller = &devs[0];
+
+    // Directory lookup (uncached: fresh client each time would measure
+    // node spawn; instead measure the directory round trip itself).
+    let mut group = c.benchmark_group("fig3_kernel");
+    let dirc = env.directory_client();
+    let target_user = devs[1].user();
+    group.bench_function("directory_lookup", |b| {
+        b.iter(|| dirc.lookup(target_user).unwrap())
+    });
+    group.bench_function("directory_describe", |b| {
+        b.iter(|| dirc.describe(target_user).unwrap())
+    });
+
+    // Single invocation (engine + listener, cached resolution).
+    group.bench_function("single_invoke", |b| {
+        b.iter(|| {
+            caller
+                .engine()
+                .invoke(target_user, &svc, "echo", vec![Value::I64(1)])
+                .unwrap()
+        })
+    });
+
+    // Group invocation and aggregation vs group size.
+    for n in [2usize, 4, 8, 16, 32] {
+        let users: Vec<UserId> = devs[1..=n].iter().map(|d| d.user()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("group_invoke", n),
+            &users,
+            |b, users| {
+                b.iter(|| {
+                    let result = caller.engine().invoke_group(
+                        users,
+                        &svc,
+                        "echo",
+                        vec![Value::I64(7)],
+                    );
+                    assert!(result.all_ok());
+                    result.aggregate()
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,770 @@
+//! Scheduling operations: the §5 meeting lifecycle as initiator-side logic.
+//!
+//! Everything here runs on the initiator's device and drives peers through
+//! the kernel: the negotiation protocol for reservations, coordination
+//! links for change propagation, and direct service calls for bookkeeping.
+//!
+//! The workhorse is [`CalendarApp::reconcile`]: one repair round that
+//! reserves whoever is now available, re-evaluates the meeting's
+//! constraints (musts + OR-group quorums), escalates tentative → confirmed
+//! (or degrades back), installs back links at new holders, and queues
+//! availability links at the still-missing. Meeting setup, peer-available
+//! wakeups, participant changes and post-bump rescheduling all funnel into
+//! it, which is what makes the whole lifecycle idempotent and
+//! re-entrant — the property the paper's event-driven triggers need.
+
+use syd_core::links::{Constraint, LinkKind, LinkRef, LinkSpec};
+use syd_core::negotiate::Participant;
+use syd_store::Predicate;
+use syd_types::{
+    MeetingId, SlotRange, SydError, SydResult, TimeSlot, UserId, Value,
+};
+
+use crate::app::{calendar_service, CalendarApp, T_BACKLINKS};
+use crate::model::{
+    slot_entity, Meeting, MeetingSpec, MeetingStatus, ScheduleOutcome,
+};
+
+/// How far ahead (in slots) auto-rescheduling searches for a new time.
+const RESCHEDULE_HORIZON: u64 = 7 * 24;
+
+impl CalendarApp {
+    // ---- queries -------------------------------------------------------------
+
+    /// §5 step (i)–(iii): query every participant for free slots in the
+    /// range and intersect the views. Fails if any participant cannot be
+    /// reached — "ensure that all participants confirm, before the
+    /// subsequent actions would be valid".
+    pub fn find_common_slots(
+        &self,
+        participants: &[UserId],
+        range: SlotRange,
+    ) -> SydResult<Vec<TimeSlot>> {
+        let start = range.start.ordinal();
+        let end = range.end.ordinal();
+        // Local view first.
+        let mut common: Option<Vec<u64>> = Some(self.free_ordinals(start, end)?);
+        let others: Vec<UserId> = participants
+            .iter()
+            .copied()
+            .filter(|&u| u != self.user())
+            .collect();
+        let result = self.device.engine().invoke_group(
+            &others,
+            &calendar_service(),
+            "free_slots",
+            vec![Value::from(start), Value::from(end)],
+        );
+        for (user, outcome) in result.outcomes {
+            let free = outcome.map_err(|e| {
+                SydError::App(format!("could not query {user}: {e}"))
+            })?;
+            let theirs: Vec<u64> = free
+                .as_list()?
+                .iter()
+                .filter_map(|v| v.as_i64().ok().map(|n| n as u64))
+                .collect();
+            let current = common.take().unwrap_or_default();
+            common = Some(current.into_iter().filter(|o| theirs.contains(o)).collect());
+        }
+        Ok(common
+            .unwrap_or_default()
+            .into_iter()
+            .map(TimeSlot::from_ordinal)
+            .collect())
+    }
+
+    // ---- meeting setup ---------------------------------------------------------
+
+    /// Sets up a meeting (§5): reserves the chosen slot at every available
+    /// participant and returns a confirmed or tentative outcome.
+    pub fn schedule(&self, spec: MeetingSpec) -> SydResult<ScheduleOutcome> {
+        let id = self.alloc_meeting();
+        let corr = format!("meeting:{}", id.raw());
+        let ordinal = spec.slot.ordinal();
+
+        let mut musts = spec.must_attend.clone();
+        if !musts.contains(&self.user()) {
+            musts.insert(0, self.user());
+        }
+        let rec = Meeting {
+            id,
+            title: spec.title.clone(),
+            initiator: self.user(),
+            ordinal,
+            status: MeetingStatus::Tentative,
+            priority: spec.priority,
+            corr: corr.clone(),
+            reserved: Vec::new(),
+            musts,
+            groups: spec.groups.clone(),
+            supervisors: spec.supervisors.clone(),
+        };
+        self.put_meeting(&rec)?;
+
+        // The forward negotiation-and link from the initiator's slot to
+        // every participant's slot (§5: "a negotiation-and link is created
+        // from user A's slot to the specific slot in each calendar table").
+        let participants = rec.all_participants();
+        let refs: Vec<LinkRef> = participants
+            .iter()
+            .map(|&u| LinkRef::new(u, slot_entity(ordinal), "reserve"))
+            .collect();
+        self.device.links().add_local(
+            LinkSpec::negotiation(slot_entity(ordinal), Constraint::And, refs)
+                .with_priority(spec.priority)
+                .with_corr(corr),
+        )?;
+
+        let status = self.reconcile(id)?;
+        let rec = self.meeting(id)?.expect("record just written");
+        Ok(ScheduleOutcome {
+            meeting: id,
+            status,
+            reserved: rec.reserved.clone(),
+            pending: rec.missing(),
+        })
+    }
+
+    // ---- the repair round --------------------------------------------------------
+
+    /// One reservation/repair round (see module docs). Initiator only.
+    pub fn reconcile(&self, id: MeetingId) -> SydResult<MeetingStatus> {
+        let guard = self.reconcile_guard(id);
+        let _g = guard.lock();
+
+        let Some(mut rec) = self.meeting(id)? else {
+            return Err(SydError::App(format!("unknown meeting {id}")));
+        };
+        if rec.initiator != self.user() {
+            return Err(SydError::App(format!(
+                "{} is not the initiator of {id}",
+                self.user()
+            )));
+        }
+        if matches!(rec.status, MeetingStatus::Cancelled | MeetingStatus::Bumped) {
+            return Ok(rec.status);
+        }
+        let svc = calendar_service();
+        let participants = rec.all_participants();
+        let ordinal = rec.ordinal;
+
+        // Who currently holds the slot for this meeting?
+        let status_calls: Vec<(UserId, Vec<Value>)> = participants
+            .iter()
+            .map(|&u| (u, vec![Value::from(ordinal)]))
+            .collect();
+        let statuses = self
+            .device
+            .engine()
+            .invoke_group_varied(&status_calls, &svc, "slot_status");
+        let mut holders: Vec<UserId> = Vec::new();
+        let mut missing: Vec<UserId> = Vec::new();
+        for (user, outcome) in statuses.outcomes {
+            let holds = outcome
+                .ok()
+                .and_then(|v| v.get("meeting").ok().and_then(|m| m.as_i64().ok()))
+                .is_some_and(|m| m as u64 == id.raw());
+            if holds {
+                holders.push(user);
+            } else {
+                missing.push(user);
+            }
+        }
+
+        // Grab whoever is now available (negotiation with a trivially
+        // satisfied at-least-0 constraint commits every yes-voter).
+        let mut newly: Vec<UserId> = Vec::new();
+        if !missing.is_empty() {
+            let change = self.reserve_change(&rec);
+            let parts: Vec<Participant> = missing
+                .iter()
+                .map(|&u| Participant::new(u, slot_entity(ordinal), change.clone()))
+                .collect();
+            let outcome = self
+                .device
+                .negotiator()
+                .negotiate(Constraint::AtLeast(0), &parts)?;
+            newly = outcome.committed;
+            holders.extend(newly.iter().copied());
+            missing.retain(|u| !holders.contains(u));
+        }
+
+        // Evaluate constraints and set the status.
+        let reserved: Vec<UserId> = participants
+            .iter()
+            .copied()
+            .filter(|u| holders.contains(u))
+            .collect();
+        let satisfied = rec.constraints_satisfied_by(&reserved)
+            && reserved.contains(&rec.initiator);
+        let previous = rec.status;
+        rec.reserved = reserved;
+        rec.status = if satisfied {
+            MeetingStatus::Confirmed
+        } else {
+            MeetingStatus::Tentative
+        };
+        self.put_meeting(&rec)?;
+
+        // Broadcast the record (best effort; unreachable peers catch up on
+        // the next round).
+        let _ = self.device.engine().invoke_group(
+            &participants,
+            &svc,
+            "update_meeting",
+            vec![rec.to_value()],
+        );
+
+        // Back links at holders that lack one (§5: "the target slots at A,
+        // B, C and D create negotiation links back to A's slot"; a
+        // supervisor gets "only a subscription back link").
+        for &user in &rec.reserved {
+            if user == self.user() || self.backlink_installed(id, user)? {
+                continue;
+            }
+            let kind = if rec.supervisors.contains(&user) {
+                LinkKind::Subscription
+            } else {
+                LinkKind::Negotiation(Constraint::And)
+            };
+            let back = syd_core::links::Link {
+                id: syd_types::LinkId::new(0),
+                kind,
+                status: syd_core::links::LinkStatus::Permanent,
+                entity: slot_entity(ordinal),
+                refs: vec![LinkRef::new(
+                    rec.initiator,
+                    slot_entity(ordinal),
+                    format!("participant_changed:{}", id.raw()),
+                )],
+                priority: rec.priority,
+                created: self.device.clock().now(),
+                expires: None,
+                corr: rec.corr.clone(),
+            };
+            if self
+                .device
+                .engine()
+                .invoke(user, &syd_core::negotiate::link_service(), "install_link", vec![back.to_value()])
+                .is_ok()
+            {
+                self.mark_backlink(id, user)?;
+            }
+        }
+
+        // Availability queues at the missing; drop stale queues at the
+        // newly reserved.
+        for &user in &missing {
+            let _ = self.device.engine().invoke(
+                user,
+                &svc,
+                "queue_availability",
+                vec![Value::from(ordinal), rec.to_value()],
+            );
+        }
+        for &user in &newly {
+            if user == self.user() {
+                let _ = self.drop_availability_local(id);
+            } else {
+                let _ = self.device.engine().invoke(
+                    user,
+                    &svc,
+                    "drop_availability",
+                    vec![Value::from(id.raw())],
+                );
+            }
+        }
+
+        // E-mail on the tentative → confirmed transition (§5.1).
+        if rec.status == MeetingStatus::Confirmed && previous != MeetingStatus::Confirmed {
+            for &user in &rec.reserved {
+                if user != self.user() {
+                    let _ = self.mailbox.send(
+                        user,
+                        &format!("confirmed: {}", rec.title),
+                        &format!("meeting {} at ordinal {}", rec.id, rec.ordinal),
+                    );
+                }
+            }
+        }
+        self.device
+            .events()
+            .publish_local("calendar.reconciled", &Value::from(id.raw()));
+        Ok(rec.status)
+    }
+
+    fn reserve_change(&self, rec: &Meeting) -> Value {
+        Value::map([
+            ("action", Value::str("reserve")),
+            ("meeting", Value::from(rec.id.raw())),
+            ("priority", Value::from(rec.priority.level() as u32)),
+            ("record", rec.to_value()),
+        ])
+    }
+
+    fn backlink_installed(&self, meeting: MeetingId, user: UserId) -> SydResult<bool> {
+        Ok(self
+            .store
+            .get_by_key(
+                T_BACKLINKS,
+                &[Value::from(meeting.raw()), Value::from(user.raw())],
+            )?
+            .is_some())
+    }
+
+    fn mark_backlink(&self, meeting: MeetingId, user: UserId) -> SydResult<()> {
+        let _ = self.store.insert(
+            T_BACKLINKS,
+            vec![Value::from(meeting.raw()), Value::from(user.raw())],
+        );
+        Ok(())
+    }
+
+    fn clear_backlinks(&self, meeting: MeetingId) -> SydResult<()> {
+        self.store.delete(
+            T_BACKLINKS,
+            &Predicate::Eq("meeting".into(), Value::from(meeting.raw())),
+        )?;
+        Ok(())
+    }
+
+    // ---- cancellation (§4.4) ----------------------------------------------------
+
+    /// Cancels a meeting. Initiator only (§6; participants use
+    /// [`CalendarApp::leave`]). Releases every slot, tears the link web
+    /// down (cascade), and thereby promotes waiting availability links of
+    /// other tentative meetings — the paper's automatic tentative →
+    /// confirmed conversion.
+    pub fn cancel(&self, id: MeetingId) -> SydResult<()> {
+        let Some(mut rec) = self.meeting(id)? else {
+            return Err(SydError::App(format!("unknown meeting {id}")));
+        };
+        if rec.initiator != self.user() {
+            return Err(SydError::App(
+                "only the initiator can cancel a meeting".into(),
+            ));
+        }
+        if rec.status == MeetingStatus::Cancelled {
+            return Ok(());
+        }
+        let reserved = rec.reserved.clone();
+        rec.status = MeetingStatus::Cancelled;
+        rec.reserved.clear();
+        self.put_meeting(&rec)?;
+        let svc = calendar_service();
+        let participants = rec.all_participants();
+
+        // Step 5: update the calendar databases (free the slots). This
+        // fires permanent availability links at each device.
+        let _ = self.device.engine().invoke_group(
+            &participants,
+            &svc,
+            "release_slot",
+            vec![
+                Value::from(rec.ordinal),
+                Value::from(id.raw()),
+                Value::str("cancelled"),
+            ],
+        );
+        let _ = self.device.engine().invoke_group(
+            &participants,
+            &svc,
+            "update_meeting",
+            vec![rec.to_value()],
+        );
+
+        // Steps 1–4, 6–7: delete the link web; cascades along the corr and
+        // promotes the highest-priority waiting links at every device.
+        loop {
+            let links = self.device.links().by_corr(&rec.corr)?;
+            let Some(first) = links.first() else { break };
+            let _ = self.device.links().delete(first.id, true);
+        }
+        self.clear_backlinks(id)?;
+
+        // Drop availability queues of this meeting at non-reserved
+        // participants.
+        for &user in &participants {
+            if user == self.user() {
+                let _ = self.drop_availability_local(id);
+            } else {
+                let _ = self.device.engine().invoke(
+                    user,
+                    &svc,
+                    "drop_availability",
+                    vec![Value::from(id.raw())],
+                );
+            }
+        }
+
+        for &user in &reserved {
+            if user != self.user() {
+                let _ = self.mailbox.send(
+                    user,
+                    &format!("cancelled: {}", rec.title),
+                    &format!("meeting {} was cancelled", rec.id),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    // ---- change of time (§5: "D wants to change the schedule") -----------------
+
+    /// Asks the meeting's initiator to move it to `new_slot`. Called on a
+    /// participant's device; returns whether the move happened. "If not
+    /// all can agree, then D would be unable to change the schedule."
+    pub fn request_change(&self, id: MeetingId, new_slot: TimeSlot) -> SydResult<bool> {
+        let Some(rec) = self.meeting(id)? else {
+            return Err(SydError::App(format!("unknown meeting {id}")));
+        };
+        if rec.initiator == self.user() {
+            return self.handle_change_request(id, new_slot.ordinal());
+        }
+        let out = self.device.engine().invoke(
+            rec.initiator,
+            &calendar_service(),
+            "change_request",
+            vec![
+                Value::from(id.raw()),
+                Value::from(new_slot.ordinal()),
+                Value::from(self.user().raw()),
+            ],
+        )?;
+        out.as_bool()
+    }
+
+    /// Initiator side of a change request: negotiation-and over every
+    /// current holder at the new slot; only if all can move does the
+    /// meeting move.
+    pub(crate) fn handle_change_request(
+        &self,
+        id: MeetingId,
+        new_ordinal: u64,
+    ) -> SydResult<bool> {
+        let guard = self.reconcile_guard(id);
+        let _g = guard.lock();
+        let Some(mut rec) = self.meeting(id)? else {
+            return Ok(false);
+        };
+        if matches!(rec.status, MeetingStatus::Cancelled) || rec.ordinal == new_ordinal {
+            return Ok(false);
+        }
+        let old_ordinal = rec.ordinal;
+        let holders = rec.reserved.clone();
+        if holders.is_empty() {
+            return Ok(false);
+        }
+        // All-or-nothing reserve at the new slot.
+        let mut moved_rec = rec.clone();
+        moved_rec.ordinal = new_ordinal;
+        let change = self.reserve_change(&moved_rec);
+        let parts: Vec<Participant> = holders
+            .iter()
+            .map(|&u| Participant::new(u, slot_entity(new_ordinal), change.clone()))
+            .collect();
+        let outcome = self.device.negotiator().negotiate_and(&parts)?;
+        if !outcome.satisfied {
+            return Ok(false);
+        }
+
+        let svc = calendar_service();
+        let participants = rec.all_participants();
+        // Free the old slots and retire the old link web.
+        let _ = self.device.engine().invoke_group(
+            &participants,
+            &svc,
+            "release_slot",
+            vec![
+                Value::from(old_ordinal),
+                Value::from(id.raw()),
+                Value::str(rec.status.as_str()),
+            ],
+        );
+        loop {
+            let links = self.device.links().by_corr(&rec.corr)?;
+            let Some(first) = links.first() else { break };
+            let _ = self.device.links().delete(first.id, true);
+        }
+        self.clear_backlinks(id)?;
+
+        rec.ordinal = new_ordinal;
+        self.put_meeting(&rec)?;
+        // Fresh forward link at the new slot, then a repair round to
+        // rebuild back links, availability queues and the status.
+        let refs: Vec<LinkRef> = participants
+            .iter()
+            .map(|&u| LinkRef::new(u, slot_entity(new_ordinal), "reserve"))
+            .collect();
+        self.device.links().add_local(
+            LinkSpec::negotiation(slot_entity(new_ordinal), Constraint::And, refs)
+                .with_priority(rec.priority)
+                .with_corr(rec.corr.clone()),
+        )?;
+        drop(_g);
+        let _ = self.reconcile(id)?;
+        Ok(true)
+    }
+
+    // ---- leaving (§5.1 "can drop out of the meeting if the constraints
+    // are still met"; §5 quorum cancellation) ------------------------------------
+
+    /// Asks to drop out of a meeting. Granted if the constraints still
+    /// hold without this user, or if a replacement group member commits;
+    /// must-attendees can never leave.
+    pub fn leave(&self, id: MeetingId) -> SydResult<bool> {
+        let Some(rec) = self.meeting(id)? else {
+            return Err(SydError::App(format!("unknown meeting {id}")));
+        };
+        if rec.initiator == self.user() {
+            return Err(SydError::App(
+                "the initiator cancels rather than leaves".into(),
+            ));
+        }
+        let out = self.device.engine().invoke(
+            rec.initiator,
+            &calendar_service(),
+            "leave_request",
+            vec![Value::from(id.raw()), Value::from(self.user().raw())],
+        )?;
+        out.as_bool()
+    }
+
+    pub(crate) fn handle_leave_request(&self, id: MeetingId, user: UserId) -> SydResult<bool> {
+        let guard = self.reconcile_guard(id);
+        let _g = guard.lock();
+        let Some(mut rec) = self.meeting(id)? else {
+            return Ok(false);
+        };
+        if rec.musts.contains(&user) || !rec.reserved.contains(&user) {
+            return Ok(false);
+        }
+        let hypothetical: Vec<UserId> = rec
+            .reserved
+            .iter()
+            .copied()
+            .filter(|&u| u != user)
+            .collect();
+        if !rec.constraints_satisfied_by(&hypothetical) {
+            // Try to recruit replacements from the affected groups
+            // ("only if an additional commitment is found, is the
+            // cancellation request granted").
+            let candidates: Vec<UserId> = rec
+                .groups
+                .iter()
+                .filter(|g| g.members.contains(&user))
+                .flat_map(|g| g.members.iter().copied())
+                .filter(|&u| u != user && !rec.reserved.contains(&u))
+                .collect();
+            if candidates.is_empty() {
+                return Ok(false);
+            }
+            let change = self.reserve_change(&rec);
+            let parts: Vec<Participant> = candidates
+                .iter()
+                .map(|&u| Participant::new(u, slot_entity(rec.ordinal), change.clone()))
+                .collect();
+            let outcome = self
+                .device
+                .negotiator()
+                .negotiate(Constraint::AtLeast(0), &parts)?;
+            let mut extended = hypothetical.clone();
+            extended.extend(outcome.committed.iter().copied());
+            if !rec.constraints_satisfied_by(&extended) {
+                // Release the recruits we grabbed but cannot use.
+                for &u in &outcome.committed {
+                    let _ = self.device.engine().invoke(
+                        u,
+                        &calendar_service(),
+                        "release_slot",
+                        vec![
+                            Value::from(rec.ordinal),
+                            Value::from(id.raw()),
+                            Value::str(rec.status.as_str()),
+                        ],
+                    );
+                }
+                return Ok(false);
+            }
+            rec.reserved = rec
+                .all_participants()
+                .into_iter()
+                .filter(|u| extended.contains(u))
+                .collect();
+        } else {
+            rec.reserved = hypothetical;
+        }
+        self.put_meeting(&rec)?;
+        // Free the leaver's slot and broadcast the new roster.
+        let _ = self.device.engine().invoke(
+            user,
+            &calendar_service(),
+            "release_slot",
+            vec![
+                Value::from(rec.ordinal),
+                Value::from(id.raw()),
+                Value::str(rec.status.as_str()),
+            ],
+        );
+        let participants = rec.all_participants();
+        let _ = self.device.engine().invoke_group(
+            &participants,
+            &calendar_service(),
+            "update_meeting",
+            vec![rec.to_value()],
+        );
+        Ok(true)
+    }
+
+    // ---- supervisor unilateral change (§5) --------------------------------------
+
+    /// A supervisor changes their schedule at will: frees the meeting's
+    /// slot (optionally marking a new personal engagement) and informs the
+    /// initiator through the subscription back link. The meeting degrades
+    /// to tentative and waits for the supervisor to become available.
+    pub fn supervisor_change(
+        &self,
+        id: MeetingId,
+        new_engagement: Option<TimeSlot>,
+    ) -> SydResult<()> {
+        let Some(rec) = self.meeting(id)? else {
+            return Err(SydError::App(format!("unknown meeting {id}")));
+        };
+        if !rec.supervisors.contains(&self.user()) {
+            return Err(SydError::App(format!(
+                "{} is not a supervisor of {id}",
+                self.user()
+            )));
+        }
+        self.release_local(rec.ordinal, id, rec.status.as_str())?;
+        if let Some(slot) = new_engagement {
+            self.mark_busy(slot)?;
+        }
+        // Inform the initiator through the back subscription link when
+        // present, directly otherwise.
+        let entity = slot_entity(rec.ordinal);
+        let back = self
+            .device
+            .links()
+            .by_corr(&rec.corr)?
+            .into_iter()
+            .find(|l| l.entity == entity && matches!(l.kind, LinkKind::Subscription));
+        match back {
+            Some(link) => {
+                let _ = self.device.links().fire_link(
+                    &link,
+                    &Value::str("supervisor changed schedule"),
+                    self.device.negotiator(),
+                );
+            }
+            None => {
+                let _ = self.device.engine().invoke(
+                    rec.initiator,
+                    &calendar_service(),
+                    "peer_available",
+                    vec![Value::from(id.raw())],
+                );
+            }
+        }
+        Ok(())
+    }
+
+    // ---- bump rescheduling (§6) ---------------------------------------------------
+
+    /// Reschedules a meeting that lost its slot to a higher-priority one.
+    /// Idempotent per bump; runs synchronously in the `meeting_bumped`
+    /// service call (which the bumper fires asynchronously).
+    pub(crate) fn auto_reschedule(&self, id: MeetingId, old_ordinal: u64) {
+        {
+            let mut guard = self.rescheduling.lock();
+            if guard.contains(&id) {
+                return;
+            }
+            guard.push(id);
+        }
+        let result = self.auto_reschedule_inner(id, old_ordinal);
+        self.rescheduling.lock().retain(|&m| m != id);
+        if let Err(err) = result {
+            self.device
+                .events()
+                .publish_local("calendar.reschedule_failed", &Value::str(err.to_string()));
+        }
+    }
+
+    fn auto_reschedule_inner(&self, id: MeetingId, old_ordinal: u64) -> SydResult<()> {
+        let Some(mut rec) = self.meeting(id)? else {
+            return Ok(());
+        };
+        if rec.initiator != self.user() || rec.status == MeetingStatus::Cancelled {
+            return Ok(());
+        }
+        let svc = calendar_service();
+        let participants = rec.all_participants();
+
+        // Release whatever remains of the old reservation and retire the
+        // old link web (promoting any waiting links at those slots).
+        let _ = self.device.engine().invoke_group(
+            &participants,
+            &svc,
+            "release_slot",
+            vec![
+                Value::from(old_ordinal),
+                Value::from(id.raw()),
+                Value::str("bumped"),
+            ],
+        );
+        loop {
+            let links = self.device.links().by_corr(&rec.corr)?;
+            let Some(first) = links.first() else { break };
+            let _ = self.device.links().delete(first.id, true);
+        }
+        self.clear_backlinks(id)?;
+
+        // Find the next slot everyone shares.
+        let range = SlotRange::new(
+            TimeSlot::from_ordinal(old_ordinal + 1),
+            TimeSlot::from_ordinal(old_ordinal + 1 + RESCHEDULE_HORIZON),
+        );
+        let candidates = self.find_common_slots(&participants, range)?;
+        let Some(new_slot) = candidates.first() else {
+            rec.status = MeetingStatus::Bumped;
+            self.put_meeting(&rec)?;
+            for &user in &participants {
+                if user != self.user() {
+                    let _ = self.mailbox.send(
+                        user,
+                        &format!("bumped: {}", rec.title),
+                        "no common slot found for automatic rescheduling",
+                    );
+                }
+            }
+            return Ok(());
+        };
+
+        rec.ordinal = new_slot.ordinal();
+        rec.status = MeetingStatus::Tentative;
+        rec.reserved.clear();
+        self.put_meeting(&rec)?;
+        let refs: Vec<LinkRef> = participants
+            .iter()
+            .map(|&u| LinkRef::new(u, slot_entity(rec.ordinal), "reserve"))
+            .collect();
+        self.device.links().add_local(
+            LinkSpec::negotiation(slot_entity(rec.ordinal), Constraint::And, refs)
+                .with_priority(rec.priority)
+                .with_corr(rec.corr.clone()),
+        )?;
+        let status = self.reconcile(id)?;
+        for &user in &participants {
+            if user != self.user() {
+                let _ = self.mailbox.send(
+                    user,
+                    &format!("rescheduled: {}", rec.title),
+                    &format!("moved to ordinal {} ({status:?})", rec.ordinal),
+                );
+            }
+        }
+        Ok(())
+    }
+}

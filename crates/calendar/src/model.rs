@@ -1,0 +1,408 @@
+//! Calendar data model: slots, meetings, scheduling specs.
+
+use syd_types::{Priority, SydError, SydResult, TimeSlot, UserId, Value};
+
+pub use syd_types::MeetingId;
+
+/// Name of the SyD entity representing one calendar slot on a device.
+/// Entities are device-local, so every participant's copy of "day 3,
+/// 14:00" has the same name on their own device.
+pub fn slot_entity(ordinal: u64) -> String {
+    format!("slot:{ordinal}")
+}
+
+/// Parses a slot entity name back to its ordinal.
+pub fn parse_slot_entity(entity: &str) -> SydResult<u64> {
+    entity
+        .strip_prefix("slot:")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| SydError::App(format!("not a slot entity: `{entity}`")))
+}
+
+/// State of one slot in a user's calendar. Absent row = free.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SlotState {
+    /// Nothing scheduled.
+    Free,
+    /// Personal (non-meeting) engagement.
+    Busy,
+    /// Held tentatively for a meeting.
+    Tentative(MeetingId),
+    /// Committed to a meeting.
+    Reserved(MeetingId),
+}
+
+impl SlotState {
+    /// The meeting holding this slot, if any.
+    pub fn meeting(&self) -> Option<MeetingId> {
+        match self {
+            SlotState::Tentative(m) | SlotState::Reserved(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// True iff the slot has no occupant at all.
+    pub fn is_free(&self) -> bool {
+        matches!(self, SlotState::Free)
+    }
+}
+
+/// Meeting lifecycle status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeetingStatus {
+    /// Some participants could not be reserved; waiting on availability.
+    Tentative,
+    /// Every required participant holds the slot.
+    Confirmed,
+    /// Cancelled by the initiator.
+    Cancelled,
+    /// Lost its slot to a higher-priority meeting; being rescheduled.
+    Bumped,
+}
+
+impl MeetingStatus {
+    /// Stable storage string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MeetingStatus::Tentative => "tent",
+            MeetingStatus::Confirmed => "conf",
+            MeetingStatus::Cancelled => "cancelled",
+            MeetingStatus::Bumped => "bumped",
+        }
+    }
+
+    /// Inverse of [`MeetingStatus::as_str`].
+    pub fn parse(s: &str) -> SydResult<MeetingStatus> {
+        Ok(match s {
+            "tent" => MeetingStatus::Tentative,
+            "conf" => MeetingStatus::Confirmed,
+            "cancelled" => MeetingStatus::Cancelled,
+            "bumped" => MeetingStatus::Bumped,
+            other => return Err(SydError::App(format!("bad meeting status `{other}`"))),
+        })
+    }
+}
+
+/// An OR-group in a meeting spec: at least `k` of `members` must attend
+/// (§5's "50% among the faculty of Biology and at least two … from
+/// Physics"; §6's "multiple 'OR' groups").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupSpec {
+    /// Candidate members.
+    pub members: Vec<UserId>,
+    /// Quorum: minimum attendees from this group.
+    pub k: u32,
+}
+
+impl GroupSpec {
+    /// Builds a group spec.
+    pub fn new(members: Vec<UserId>, k: u32) -> Self {
+        GroupSpec { members, k }
+    }
+}
+
+/// What the initiator asks for when setting up a meeting.
+#[derive(Clone, Debug)]
+pub struct MeetingSpec {
+    /// Meeting title (also the mailbox subject).
+    pub title: String,
+    /// The slot to schedule into.
+    pub slot: TimeSlot,
+    /// Users that must attend (the initiator is always required and is
+    /// added automatically).
+    pub must_attend: Vec<UserId>,
+    /// OR-groups with quorums; group members attend when available.
+    pub groups: Vec<GroupSpec>,
+    /// Participants whose schedule may change at will (supervisors, §5):
+    /// they get subscription back links instead of negotiation back links.
+    pub supervisors: Vec<UserId>,
+    /// Meeting priority — a strictly higher priority may bump existing
+    /// reservations (§6).
+    pub priority: Priority,
+}
+
+impl MeetingSpec {
+    /// A plain meeting: everyone listed must attend.
+    pub fn plain(title: impl Into<String>, slot: TimeSlot, attendees: Vec<UserId>) -> Self {
+        MeetingSpec {
+            title: title.into(),
+            slot,
+            must_attend: attendees,
+            groups: Vec::new(),
+            supervisors: Vec::new(),
+            priority: Priority::NORMAL,
+        }
+    }
+
+    /// Builder: sets the priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Builder: adds an OR-group.
+    pub fn with_group(mut self, group: GroupSpec) -> Self {
+        self.groups.push(group);
+        self
+    }
+
+    /// Builder: marks users as supervisors.
+    pub fn with_supervisors(mut self, supervisors: Vec<UserId>) -> Self {
+        self.supervisors = supervisors;
+        self
+    }
+
+    /// Every user that may participate (musts + group members), deduped,
+    /// preserving first-occurrence order.
+    pub fn all_participants(&self, initiator: UserId) -> Vec<UserId> {
+        let mut out = vec![initiator];
+        for &u in self
+            .must_attend
+            .iter()
+            .chain(self.groups.iter().flat_map(|g| g.members.iter()))
+        {
+            if !out.contains(&u) {
+                out.push(u);
+            }
+        }
+        out
+    }
+}
+
+/// A meeting record, as stored in every participant's database.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Meeting {
+    /// Meeting id (globally unique: initiator-scoped).
+    pub id: MeetingId,
+    /// Title.
+    pub title: String,
+    /// The user who called the meeting (only they may cancel it).
+    pub initiator: UserId,
+    /// The slot (ordinal) the meeting occupies.
+    pub ordinal: u64,
+    /// Lifecycle status.
+    pub status: MeetingStatus,
+    /// Priority.
+    pub priority: Priority,
+    /// Link correlation id tying all this meeting's links together.
+    pub corr: String,
+    /// Users currently holding the slot for this meeting.
+    pub reserved: Vec<UserId>,
+    /// Users that must attend (including the initiator).
+    pub musts: Vec<UserId>,
+    /// OR-groups.
+    pub groups: Vec<GroupSpec>,
+    /// Supervisors.
+    pub supervisors: Vec<UserId>,
+}
+
+impl Meeting {
+    /// All users that may participate.
+    pub fn all_participants(&self) -> Vec<UserId> {
+        let mut out = self.musts.clone();
+        for g in &self.groups {
+            for &u in &g.members {
+                if !out.contains(&u) {
+                    out.push(u);
+                }
+            }
+        }
+        out
+    }
+
+    /// Users not currently reserved.
+    pub fn missing(&self) -> Vec<UserId> {
+        self.all_participants()
+            .into_iter()
+            .filter(|u| !self.reserved.contains(u))
+            .collect()
+    }
+
+    /// True iff the reserved set satisfies musts + every group quorum.
+    pub fn constraints_satisfied_by(&self, reserved: &[UserId]) -> bool {
+        self.musts.iter().all(|m| reserved.contains(m))
+            && self.groups.iter().all(|g| {
+                g.members.iter().filter(|m| reserved.contains(m)).count() >= g.k as usize
+            })
+    }
+
+    /// True iff the current reserved set satisfies the constraints.
+    pub fn constraints_satisfied(&self) -> bool {
+        self.constraints_satisfied_by(&self.reserved)
+    }
+
+    /// Wire/storage encoding.
+    pub fn to_value(&self) -> Value {
+        Value::map([
+            ("id", Value::from(self.id.raw())),
+            ("title", Value::str(self.title.clone())),
+            ("initiator", Value::from(self.initiator.raw())),
+            ("ordinal", Value::from(self.ordinal)),
+            ("status", Value::str(self.status.as_str())),
+            ("priority", Value::from(self.priority.level() as u32)),
+            ("corr", Value::str(self.corr.clone())),
+            (
+                "reserved",
+                Value::list(self.reserved.iter().map(|u| Value::from(u.raw()))),
+            ),
+            (
+                "musts",
+                Value::list(self.musts.iter().map(|u| Value::from(u.raw()))),
+            ),
+            (
+                "groups",
+                Value::list(self.groups.iter().map(|g| {
+                    Value::map([
+                        (
+                            "members",
+                            Value::list(g.members.iter().map(|u| Value::from(u.raw()))),
+                        ),
+                        ("k", Value::from(g.k)),
+                    ])
+                })),
+            ),
+            (
+                "supervisors",
+                Value::list(self.supervisors.iter().map(|u| Value::from(u.raw()))),
+            ),
+        ])
+    }
+
+    /// Inverse of [`Meeting::to_value`].
+    pub fn from_value(v: &Value) -> SydResult<Meeting> {
+        fn users(v: &Value) -> SydResult<Vec<UserId>> {
+            v.as_list()?
+                .iter()
+                .map(|u| Ok(UserId::new(u.as_i64()? as u64)))
+                .collect()
+        }
+        Ok(Meeting {
+            id: MeetingId::new(v.get("id")?.as_i64()? as u64),
+            title: v.get("title")?.as_str()?.to_owned(),
+            initiator: UserId::new(v.get("initiator")?.as_i64()? as u64),
+            ordinal: v.get("ordinal")?.as_i64()? as u64,
+            status: MeetingStatus::parse(v.get("status")?.as_str()?)?,
+            priority: Priority::new(v.get("priority")?.as_i64()? as u8),
+            corr: v.get("corr")?.as_str()?.to_owned(),
+            reserved: users(v.get("reserved")?)?,
+            musts: users(v.get("musts")?)?,
+            groups: v
+                .get("groups")?
+                .as_list()?
+                .iter()
+                .map(|g| {
+                    Ok(GroupSpec {
+                        members: users(g.get("members")?)?,
+                        k: g.get("k")?.as_i64()? as u32,
+                    })
+                })
+                .collect::<SydResult<_>>()?,
+            supervisors: users(v.get("supervisors")?)?,
+        })
+    }
+}
+
+/// What [`crate::CalendarApp::schedule`] returns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleOutcome {
+    /// The new meeting's id.
+    pub meeting: MeetingId,
+    /// Confirmed or tentative.
+    pub status: MeetingStatus,
+    /// Users holding the slot.
+    pub reserved: Vec<UserId>,
+    /// Users the meeting is still waiting on.
+    pub pending: Vec<UserId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u64) -> UserId {
+        UserId::new(n)
+    }
+
+    #[test]
+    fn slot_entity_round_trip() {
+        for ordinal in [0u64, 1, 99, 100_000] {
+            assert_eq!(parse_slot_entity(&slot_entity(ordinal)).unwrap(), ordinal);
+        }
+        assert!(parse_slot_entity("meeting:4").is_err());
+        assert!(parse_slot_entity("slot:abc").is_err());
+    }
+
+    #[test]
+    fn slot_state_accessors() {
+        assert!(SlotState::Free.is_free());
+        assert!(!SlotState::Busy.is_free());
+        assert_eq!(
+            SlotState::Tentative(MeetingId::new(3)).meeting(),
+            Some(MeetingId::new(3))
+        );
+        assert_eq!(SlotState::Busy.meeting(), None);
+    }
+
+    #[test]
+    fn status_round_trip() {
+        for s in [
+            MeetingStatus::Tentative,
+            MeetingStatus::Confirmed,
+            MeetingStatus::Cancelled,
+            MeetingStatus::Bumped,
+        ] {
+            assert_eq!(MeetingStatus::parse(s.as_str()).unwrap(), s);
+        }
+        assert!(MeetingStatus::parse("zzz").is_err());
+    }
+
+    #[test]
+    fn spec_participants_dedupe_and_include_initiator() {
+        let spec = MeetingSpec::plain("m", TimeSlot::new(1, 9), vec![u(2), u(3)])
+            .with_group(GroupSpec::new(vec![u(3), u(4)], 1));
+        let all = spec.all_participants(u(1));
+        assert_eq!(all, vec![u(1), u(2), u(3), u(4)]);
+    }
+
+    fn meeting() -> Meeting {
+        Meeting {
+            id: MeetingId::new(7),
+            title: "standup".into(),
+            initiator: u(1),
+            ordinal: 33,
+            status: MeetingStatus::Tentative,
+            priority: Priority::NORMAL,
+            corr: "corr:1:5".into(),
+            reserved: vec![u(1), u(2)],
+            musts: vec![u(1), u(2)],
+            groups: vec![GroupSpec::new(vec![u(3), u(4), u(5)], 2)],
+            supervisors: vec![u(2)],
+        }
+    }
+
+    #[test]
+    fn meeting_value_round_trip() {
+        let m = meeting();
+        assert_eq!(Meeting::from_value(&m.to_value()).unwrap(), m);
+    }
+
+    #[test]
+    fn constraint_evaluation() {
+        let m = meeting();
+        // musts ok but group quorum (2 of {3,4,5}) unmet.
+        assert!(!m.constraints_satisfied());
+        assert!(m.constraints_satisfied_by(&[u(1), u(2), u(3), u(5)]));
+        assert!(!m.constraints_satisfied_by(&[u(1), u(3), u(4)])); // must 2 missing
+        assert!(!m.constraints_satisfied_by(&[u(1), u(2), u(3)])); // quorum 1 < 2
+    }
+
+    #[test]
+    fn missing_lists_unreserved_participants() {
+        let m = meeting();
+        assert_eq!(m.missing(), vec![u(3), u(4), u(5)]);
+        assert_eq!(
+            m.all_participants(),
+            vec![u(1), u(2), u(3), u(4), u(5)]
+        );
+    }
+}

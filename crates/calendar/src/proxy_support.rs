@@ -1,0 +1,217 @@
+//! Calendar-on-proxy support (§5.2 applied to the showcase app).
+//!
+//! "If a SyD calendar object A is down or disconnected, a proxy takes over
+//! the place of A" — concretely: peers planning meetings still need A's
+//! free-slot view. This module replicates a user's calendar tables to a
+//! [`ProxyHost`] and installs read-side `calendar` service methods on the
+//! replica (`free_slots`, `slot_status`, `meeting_info`), so availability
+//! queries and meeting lookups keep answering while the device is off.
+//!
+//! Writes (reservations) deliberately stay on the primary: a negotiation
+//! against a disconnected participant should *fail* and leave the meeting
+//! tentative — the availability-link machinery then confirms it when the
+//! device returns, which is the paper's own answer to that situation.
+
+use std::sync::Arc;
+
+use syd_core::proxy::{enable_replication, ProxyHost, ProxyMethod};
+use syd_store::{Column, ColumnType, Predicate, Schema, Store};
+use syd_types::{MeetingId, SydResult, UserId, Value};
+
+use crate::app::{calendar_service, CalendarApp};
+use crate::model::Meeting;
+
+fn replica_schema(store: &Store) -> SydResult<()> {
+    store.create_table(Schema::new(
+        "slots",
+        vec![
+            Column::required("ordinal", ColumnType::I64),
+            Column::required("status", ColumnType::Str),
+            Column::nullable("meeting", ColumnType::I64),
+            Column::required("priority", ColumnType::I64),
+        ],
+        &["ordinal"],
+    )?)?;
+    store.create_table(Schema::new(
+        "meetings",
+        vec![
+            Column::required("id", ColumnType::I64),
+            Column::required("data", ColumnType::Any),
+        ],
+        &["id"],
+    )?)?;
+    Ok(())
+}
+
+fn free_slots_method() -> ProxyMethod {
+    Arc::new(|_ctx, store: &Store, args: &[Value]| {
+        let start = args[0].as_i64()? as u64;
+        let end = args[1].as_i64()? as u64;
+        let occupied: Vec<u64> = store
+            .query("slots")
+            .filter(Predicate::Between(
+                "ordinal".into(),
+                Value::from(start),
+                Value::from(end.saturating_sub(1)),
+            ))
+            .column("ordinal")?
+            .into_iter()
+            .filter_map(|v| v.as_i64().ok().map(|n| n as u64))
+            .collect();
+        Ok(Value::list(
+            (start..end)
+                .filter(|o| !occupied.contains(o))
+                .map(Value::from),
+        ))
+    })
+}
+
+fn slot_status_method() -> ProxyMethod {
+    Arc::new(|_ctx, store: &Store, args: &[Value]| {
+        let ordinal = args[0].as_i64()? as u64;
+        match store.get_by_key("slots", &[Value::from(ordinal)])? {
+            None => Ok(Value::map([
+                ("status", Value::str("free")),
+                ("meeting", Value::Null),
+                ("priority", Value::from(0u64)),
+            ])),
+            Some(row) => Ok(Value::map([
+                ("status", row.values[1].clone()),
+                ("meeting", row.values[2].clone()),
+                ("priority", row.values[3].clone()),
+            ])),
+        }
+    })
+}
+
+fn meeting_info_method() -> ProxyMethod {
+    Arc::new(|_ctx, store: &Store, args: &[Value]| {
+        let id = MeetingId::new(args[0].as_i64()? as u64);
+        match store.get_by_key("meetings", &[Value::from(id.raw())])? {
+            None => Ok(Value::Null),
+            Some(row) => {
+                // Validate the stored record before serving it on.
+                let rec = Meeting::from_value(&row.values[1])?;
+                Ok(rec.to_value())
+            }
+        }
+    })
+}
+
+/// Hosts `user`'s calendar read path on `proxy` and starts replication
+/// from `app`'s primary store. Call once per hosted calendar user.
+pub fn host_calendar_on_proxy(
+    proxy: &ProxyHost,
+    app: &CalendarApp,
+) -> SydResult<()> {
+    let user: UserId = app.user();
+    let svc = calendar_service();
+    proxy.host_user(user, |store| {
+        replica_schema(store)?;
+        Ok(vec![
+            ((svc.clone(), "free_slots".to_owned()), free_slots_method()),
+            ((svc.clone(), "slot_status".to_owned()), slot_status_method()),
+            (
+                (svc.clone(), "meeting_info".to_owned()),
+                meeting_info_method(),
+            ),
+        ])
+    })?;
+    enable_replication(app.device(), proxy.addr(), &["slots", "meetings"])?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{MeetingSpec, MeetingStatus};
+    use std::time::{Duration, Instant};
+    use syd_core::SydEnv;
+    use syd_net::NetConfig;
+    use syd_types::{SlotRange, TimeSlot};
+
+    fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+        let deadline = Instant::now() + Duration::from_secs(3);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out: {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn availability_queries_survive_a_disconnect() {
+        let env = SydEnv::new_insecure(NetConfig::ideal());
+        let phil = CalendarApp::install(&env.device("phil", "").unwrap()).unwrap();
+        let andy = CalendarApp::install(&env.device("andy", "").unwrap()).unwrap();
+        let suzy = CalendarApp::install(&env.device("suzy", "").unwrap()).unwrap();
+        let proxy = env.proxy("asp", "").unwrap();
+        host_calendar_on_proxy(&proxy, &phil).unwrap();
+
+        // Phil books two slots; replication mirrors them.
+        phil.mark_busy(TimeSlot::new(0, 9)).unwrap();
+        let outcome = phil
+            .schedule(MeetingSpec::plain(
+                "m",
+                TimeSlot::new(0, 11),
+                vec![andy.user()],
+            ))
+            .unwrap();
+        assert_eq!(outcome.status, MeetingStatus::Confirmed);
+        wait_for(
+            || {
+                proxy
+                    .replica_store(phil.user())
+                    .unwrap()
+                    .row_count("slots")
+                    .unwrap()
+                    >= 2
+            },
+            "replication",
+        );
+
+        // Phil's iPAQ goes dark…
+        phil.device().disconnect().unwrap();
+
+        // …yet suzy can still plan around phil's calendar: find-common-
+        // slots transparently reads phil's view from the proxy.
+        let common = suzy
+            .find_common_slots(
+                &[suzy.user(), phil.user(), andy.user()],
+                SlotRange::new(TimeSlot::new(0, 8), TimeSlot::new(0, 13)),
+            )
+            .unwrap();
+        assert!(!common.contains(&TimeSlot::new(0, 9)), "phil busy at 9");
+        assert!(!common.contains(&TimeSlot::new(0, 11)), "meeting at 11");
+        assert!(common.contains(&TimeSlot::new(0, 8)));
+
+        // Meeting info is served from the replica too.
+        let info = suzy
+            .device()
+            .engine()
+            .invoke(
+                phil.user(),
+                &calendar_service(),
+                "meeting_info",
+                vec![Value::from(outcome.meeting.raw())],
+            )
+            .unwrap();
+        let rec = Meeting::from_value(&info).unwrap();
+        assert_eq!(rec.id, outcome.meeting);
+
+        // Scheduling with phil while he's off leaves the meeting tentative
+        // (writes don't go to the proxy, by design).
+        let attempt = suzy
+            .schedule(MeetingSpec::plain(
+                "while-away",
+                TimeSlot::new(0, 8),
+                vec![phil.user()],
+            ))
+            .unwrap();
+        assert_eq!(attempt.status, MeetingStatus::Tentative);
+
+        // Phil returns: the tentative meeting can now confirm.
+        phil.device().reconnect().unwrap();
+        let status = suzy.reconcile(attempt.meeting).unwrap();
+        assert_eq!(status, MeetingStatus::Confirmed);
+    }
+}

@@ -1,0 +1,997 @@
+//! A complete SyD device: store + listener + engine + events + links on
+//! one network node (the paper's "SyD deviceware" plus its slice of the
+//! groupware, Figure 1's bottom two layers as seen from one device).
+//!
+//! A [`DeviceRuntime`] is what the paper calls a SyD device object host:
+//! it encapsulates the local data store, publishes services through the
+//! listener, reaches peers through the engine, and maintains the link
+//! database. Applications build on exactly four extension points:
+//!
+//! * [`DeviceRuntime::register_service`] — publish methods (§3.1b),
+//! * [`EntityHandler`] — how negotiation changes apply to local entities
+//!   (mark/commit/abort of §4.3),
+//! * [`SubscriptionHandler`] — how subscription-link notifications are
+//!   consumed,
+//! * the link acceptor — whether an offered link is accepted (§4.2 op. 2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use syd_crypto::Authenticator;
+use syd_net::{Network, Node};
+use syd_store::{LockKey, Store};
+use syd_types::{Clock, NodeAddr, ServiceName, SydError, SydResult, UserId, Value};
+
+use crate::directory::DirectoryClient;
+use crate::engine::SydEngine;
+use crate::events::EventHandler;
+use crate::links::LinksModule;
+use crate::listener::{InvokeCtx, Listener, ListenerHandler, ServiceMethod};
+use crate::negotiate::{link_service, Negotiator};
+
+/// How long a participant waits for an entity lock before voting no.
+const MARK_LOCK_WAIT: Duration = Duration::from_millis(200);
+
+/// Negotiation sessions older than this are presumed abandoned (their
+/// coordinator crashed between phases) and their locks are swept.
+const STALE_SESSION_AGE: Duration = Duration::from_secs(10);
+
+/// Applies negotiated changes to local entities (§4.3's Mark / Change /
+/// Unlock, from the participant's side).
+pub trait EntityHandler: Send + Sync + 'static {
+    /// Availability check, called with the entity lock already held. An
+    /// error makes this participant vote **no**.
+    fn prepare(&self, entity: &str, change: &Value) -> SydResult<()>;
+    /// Applies the change. Called only after the constraint was satisfied.
+    fn commit(&self, entity: &str, change: &Value) -> SydResult<()>;
+    /// Discards the marked change (constraint failed elsewhere). May be
+    /// called even when `prepare` never ran or failed on this device (the
+    /// coordinator aborts broadly to clean up lost-message locks), so it
+    /// must be a safe no-op in that case.
+    fn abort(&self, entity: &str, change: &Value);
+}
+
+/// Consumes subscription-link notifications (§4.2 op. 5's destination
+/// method, and the "automatic flow of information" of §4.1).
+pub trait SubscriptionHandler: Send + Sync + 'static {
+    /// Handles a notification on `entity` with the link's `action` tag.
+    fn on_notify(&self, entity: &str, action: &str, payload: &Value) -> SydResult<Value>;
+}
+
+/// Decides whether to accept an offered link (§4.2 op. 2 availability).
+pub type LinkAcceptor = Arc<dyn Fn(&str, &str, UserId) -> bool + Send + Sync>;
+
+struct DeviceInner {
+    user: UserId,
+    name: String,
+    node: Node,
+    net: Network,
+    store: Store,
+    listener: Arc<Listener>,
+    engine: SydEngine,
+    events: EventHandler,
+    links: Arc<LinksModule>,
+    negotiator: Negotiator,
+    clock: Arc<dyn Clock>,
+    entity_handler: RwLock<Option<Arc<dyn EntityHandler>>>,
+    subscription_handler: RwLock<Option<Arc<dyn SubscriptionHandler>>>,
+    link_acceptor: RwLock<Option<LinkAcceptor>>,
+    /// Active negotiation sessions touching this device's entities, with
+    /// their start times (for the stale-session sweep).
+    sessions: Mutex<HashMap<u64, Instant>>,
+}
+
+/// One SyD device. Cloning shares the device.
+#[derive(Clone)]
+pub struct DeviceRuntime {
+    inner: Arc<DeviceInner>,
+}
+
+impl DeviceRuntime {
+    /// Assembles a device for `user` on `net`, registering it in the
+    /// directory. `auth` enables §5.4 request authentication when present.
+    pub fn new(
+        net: &Network,
+        dir_addr: NodeAddr,
+        user: UserId,
+        name: &str,
+        auth: Option<Arc<Authenticator>>,
+        clock: Arc<dyn Clock>,
+    ) -> SydResult<DeviceRuntime> {
+        let node = Node::spawn(net);
+        let directory = DirectoryClient::new(node.clone(), dir_addr);
+        directory.register(user, name, node.addr())?;
+
+        let store = Store::new();
+        let listener = Arc::new(Listener::new(auth));
+        node.set_handler(Arc::new(ListenerHandler(Arc::clone(&listener))));
+
+        // Kernel and application methods are idempotent by design, so the
+        // engine retries transient failures — the paper's weakly-connected
+        // wireless environment loses individual messages routinely.
+        let engine = SydEngine::new(node.clone(), directory)
+            .with_options(syd_net::CallOptions::new().with_retries(2));
+        let events = EventHandler::new();
+        // Global events arriving on the node feed the local event handler
+        // (§3.1d: the event handler covers "local and global event
+        // registration, monitoring, and triggering").
+        {
+            let events = events.clone();
+            node.set_event_sink(Arc::new(move |_from, ev: syd_wire::EventMsg| {
+                events.publish_local(&ev.topic, &ev.payload);
+            }));
+        }
+        let links = Arc::new(LinksModule::new(
+            store.clone(),
+            engine.clone(),
+            user,
+            Arc::clone(&clock),
+            events.clone(),
+        )?);
+        let negotiator = Negotiator::new(engine.clone(), user);
+
+        let inner = Arc::new(DeviceInner {
+            user,
+            name: name.to_owned(),
+            node,
+            net: net.clone(),
+            store,
+            listener,
+            engine,
+            events,
+            links,
+            negotiator,
+            clock,
+            entity_handler: RwLock::new(None),
+            subscription_handler: RwLock::new(None),
+            link_acceptor: RwLock::new(None),
+            sessions: Mutex::new(HashMap::new()),
+        });
+        let device = DeviceRuntime { inner };
+        device.register_kernel_services();
+        device.register_periodic_tasks();
+        Ok(device)
+    }
+
+    // ---- accessors -----------------------------------------------------------
+
+    /// The owning user.
+    pub fn user(&self) -> UserId {
+        self.inner.user
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// This device's network address.
+    pub fn addr(&self) -> NodeAddr {
+        self.inner.node.addr()
+    }
+
+    /// The embedded store.
+    pub fn store(&self) -> &Store {
+        &self.inner.store
+    }
+
+    /// The invocation engine.
+    pub fn engine(&self) -> &SydEngine {
+        &self.inner.engine
+    }
+
+    /// The event handler.
+    pub fn events(&self) -> &EventHandler {
+        &self.inner.events
+    }
+
+    /// The link database.
+    pub fn links(&self) -> &LinksModule {
+        &self.inner.links
+    }
+
+    /// The negotiation coordinator.
+    pub fn negotiator(&self) -> &Negotiator {
+        &self.inner.negotiator
+    }
+
+    /// The underlying node (identity stamping, raw calls).
+    pub fn node(&self) -> &Node {
+        &self.inner.node
+    }
+
+    /// The deployment clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.inner.clock
+    }
+
+    // ---- application extension points ----------------------------------------
+
+    /// Installs the entity handler (negotiation participant logic).
+    pub fn set_entity_handler(&self, handler: Arc<dyn EntityHandler>) {
+        *self.inner.entity_handler.write() = Some(handler);
+    }
+
+    /// Installs the subscription-notification handler.
+    pub fn set_subscription_handler(&self, handler: Arc<dyn SubscriptionHandler>) {
+        *self.inner.subscription_handler.write() = Some(handler);
+    }
+
+    /// Installs the link-offer acceptor (`(entity, action, from) -> bool`).
+    /// Without one, every offer is accepted.
+    pub fn set_link_acceptor(&self, acceptor: LinkAcceptor) {
+        *self.inner.link_acceptor.write() = Some(acceptor);
+    }
+
+    /// Publishes an application service method locally and in the
+    /// directory.
+    pub fn register_service(
+        &self,
+        service: &ServiceName,
+        method: &str,
+        handler: ServiceMethod,
+    ) -> SydResult<()> {
+        self.inner.listener.register(service, method, handler);
+        self.inner
+            .engine
+            .directory()
+            .publish(self.inner.user, service)
+    }
+
+    /// Fires the links anchored on a local entity (app-facing trigger
+    /// entry point; see [`LinksModule::entity_changed`]).
+    pub fn entity_changed(
+        &self,
+        entity: &str,
+        payload: &Value,
+    ) -> SydResult<Vec<crate::links::FireResult>> {
+        self.inner
+            .links
+            .entity_changed(entity, payload, &self.inner.negotiator)
+    }
+
+    // ---- mobility ---------------------------------------------------------------
+
+    /// Takes the device off the network (out of radio range): the network
+    /// drops its traffic and the directory marks it disconnected so
+    /// lookups fail over to the proxy (§5.2).
+    pub fn disconnect(&self) -> SydResult<()> {
+        // Order matters: mark the directory first, then drop connectivity
+        // (the directory call itself needs the network).
+        self.inner
+            .engine
+            .directory()
+            .set_connected(self.inner.user, false)?;
+        self.inner.net.set_connected(self.addr(), false);
+        Ok(())
+    }
+
+    /// Brings the device back: reconnects, then re-registers as connected.
+    pub fn reconnect(&self) -> SydResult<()> {
+        self.inner.net.set_connected(self.addr(), true);
+        self.inner
+            .engine
+            .directory()
+            .set_connected(self.inner.user, true)
+    }
+
+    /// True iff the device is currently connected.
+    pub fn is_connected(&self) -> bool {
+        self.inner.net.is_connected(self.addr())
+    }
+
+    // ---- kernel services -----------------------------------------------------
+
+    fn register_kernel_services(&self) {
+        let svc = link_service();
+        let listener = &self.inner.listener;
+
+        // mark(session, entity, change) -> Bool vote
+        let inner = Arc::downgrade(&self.inner);
+        listener.register(
+            &svc,
+            "mark",
+            Arc::new(move |_ctx: &InvokeCtx, args: &[Value]| {
+                let inner = inner.upgrade().ok_or(SydError::Shutdown)?;
+                let session = args_get(args, 0)?.as_i64()? as u64;
+                let entity = args_get(args, 1)?.as_str()?;
+                let change = args_get(args, 2)?;
+                let key = entity_lock_key(entity);
+                if !inner.store.locks().try_acquire(session, &key) {
+                    // Bounded wait, then give up and vote no.
+                    if inner
+                        .store
+                        .locks()
+                        .acquire(session, &key, MARK_LOCK_WAIT)
+                        .is_err()
+                    {
+                        return Ok(Value::Bool(false));
+                    }
+                }
+                inner.sessions.lock().insert(session, Instant::now());
+                let handler = inner.entity_handler.read().clone();
+                match handler {
+                    Some(h) => match h.prepare(entity, change) {
+                        Ok(()) => Ok(Value::Bool(true)),
+                        Err(_) => {
+                            inner.store.locks().release(session, &key);
+                            Ok(Value::Bool(false))
+                        }
+                    },
+                    // No entity handler: vote yes on lock alone (pure
+                    // mutual exclusion semantics).
+                    None => Ok(Value::Bool(true)),
+                }
+            }),
+        );
+
+        // commit(session, entity, change) -> Null
+        let inner = Arc::downgrade(&self.inner);
+        listener.register(
+            &svc,
+            "commit",
+            Arc::new(move |_ctx: &InvokeCtx, args: &[Value]| {
+                let inner = inner.upgrade().ok_or(SydError::Shutdown)?;
+                let session = args_get(args, 0)?.as_i64()? as u64;
+                let entity = args_get(args, 1)?.as_str()?;
+                let change = args_get(args, 2)?;
+                let handler = inner.entity_handler.read().clone();
+                let result = match handler {
+                    Some(h) => h.commit(entity, change),
+                    None => Ok(()),
+                };
+                inner
+                    .store
+                    .locks()
+                    .release(session, &entity_lock_key(entity));
+                inner.sessions.lock().remove(&session);
+                result.map(|_| Value::Null)
+            }),
+        );
+
+        // abort(session, entity, change) -> Null
+        let inner = Arc::downgrade(&self.inner);
+        listener.register(
+            &svc,
+            "abort",
+            Arc::new(move |_ctx: &InvokeCtx, args: &[Value]| {
+                let inner = inner.upgrade().ok_or(SydError::Shutdown)?;
+                let session = args_get(args, 0)?.as_i64()? as u64;
+                let entity = args_get(args, 1)?.as_str()?;
+                let change = args_get(args, 2)?;
+                if let Some(h) = inner.entity_handler.read().clone() {
+                    h.abort(entity, change);
+                }
+                inner
+                    .store
+                    .locks()
+                    .release(session, &entity_lock_key(entity));
+                inner.sessions.lock().remove(&session);
+                Ok(Value::Null)
+            }),
+        );
+
+        // offer_link(entity, action, from_user) -> Bool
+        let inner = Arc::downgrade(&self.inner);
+        listener.register(
+            &svc,
+            "offer_link",
+            Arc::new(move |_ctx: &InvokeCtx, args: &[Value]| {
+                let inner = inner.upgrade().ok_or(SydError::Shutdown)?;
+                let entity = args_get(args, 0)?.as_str()?;
+                let action = args_get(args, 1)?.as_str()?;
+                let from = UserId::new(args_get(args, 2)?.as_i64()? as u64);
+                let acceptor = inner.link_acceptor.read().clone();
+                let accept = match acceptor {
+                    Some(f) => f(entity, action, from),
+                    None => true,
+                };
+                Ok(Value::Bool(accept))
+            }),
+        );
+
+        // install_link(link value) -> link id
+        let inner = Arc::downgrade(&self.inner);
+        listener.register(
+            &svc,
+            "install_link",
+            Arc::new(move |_ctx: &InvokeCtx, args: &[Value]| {
+                let inner = inner.upgrade().ok_or(SydError::Shutdown)?;
+                let id = inner.links.install_remote(args_get(args, 0)?)?;
+                Ok(Value::from(id.raw()))
+            }),
+        );
+
+        // delete_by_corr(corr, visited list) -> deleted count
+        let inner = Arc::downgrade(&self.inner);
+        listener.register(
+            &svc,
+            "delete_by_corr",
+            Arc::new(move |_ctx: &InvokeCtx, args: &[Value]| {
+                let inner = inner.upgrade().ok_or(SydError::Shutdown)?;
+                let corr = args_get(args, 0)?.as_str()?;
+                let visited = args_get(args, 1)?
+                    .as_list()?
+                    .iter()
+                    .map(|v| Ok(v.as_i64()? as u64))
+                    .collect::<SydResult<Vec<u64>>>()?;
+                let report = inner.links.delete_by_corr(corr, visited)?;
+                Ok(Value::from(report.deleted.len() as u64))
+            }),
+        );
+
+        // notify(entity, action, payload) -> handler result
+        let inner = Arc::downgrade(&self.inner);
+        listener.register(
+            &svc,
+            "notify",
+            Arc::new(move |_ctx: &InvokeCtx, args: &[Value]| {
+                let inner = inner.upgrade().ok_or(SydError::Shutdown)?;
+                let entity = args_get(args, 0)?.as_str()?;
+                let action = args_get(args, 1)?.as_str()?;
+                let payload = args_get(args, 2)?;
+                inner
+                    .events
+                    .publish_local(&format!("link.notify.{action}"), payload);
+                let handler = inner.subscription_handler.read().clone();
+                match handler {
+                    Some(h) => h.on_notify(entity, action, payload),
+                    None => Ok(Value::Null),
+                }
+            }),
+        );
+
+        // ping() -> "pong" (liveness probe; proxies use it)
+        listener.register(
+            &ServiceName::new("syd.ping"),
+            "ping",
+            Arc::new(|_ctx: &InvokeCtx, _args: &[Value]| Ok(Value::str("pong"))),
+        );
+    }
+
+    fn register_periodic_tasks(&self) {
+        // §4.2 op. 6: link expiry.
+        let links = Arc::clone(&self.inner.links);
+        self.inner
+            .events
+            .register_periodic("link-expiry", Duration::from_millis(500), move || {
+                let _ = links.expire_scan();
+            });
+
+        // Stale negotiation sessions: a coordinator that died between mark
+        // and commit leaves entities locked; sweep them.
+        let inner = Arc::downgrade(&self.inner);
+        self.inner.events.register_periodic(
+            "stale-sessions",
+            Duration::from_secs(5),
+            move || {
+                if let Some(inner) = inner.upgrade() {
+                    let mut sessions = inner.sessions.lock();
+                    let now = Instant::now();
+                    sessions.retain(|&session, &mut started| {
+                        if now.duration_since(started) > STALE_SESSION_AGE {
+                            inner.store.locks().release_all(session);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            },
+        );
+    }
+
+    /// Stops the device: unregisters from the network, stops pools and
+    /// the event scheduler.
+    pub fn shutdown(&self) {
+        self.inner.events.shutdown();
+        self.inner.node.shutdown();
+    }
+}
+
+/// The lock key guarding a named entity on a device.
+pub fn entity_lock_key(entity: &str) -> LockKey {
+    LockKey::new("syd.entity", [Value::str(entity)])
+}
+
+fn args_get(args: &[Value], i: usize) -> SydResult<&Value> {
+    args.get(i)
+        .ok_or_else(|| SydError::Protocol(format!("missing argument {i}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::DirectoryServer;
+    use crate::links::{Constraint, LinkSpec};
+    use crate::negotiate::Participant;
+    use syd_types::SystemClock;
+
+    fn rig(n: usize) -> (Network, DirectoryServer, Vec<DeviceRuntime>) {
+        let net = Network::ideal();
+        let dir = DirectoryServer::start(&net);
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+        let devices = (1..=n as u64)
+            .map(|id| {
+                DeviceRuntime::new(
+                    &net,
+                    dir.addr(),
+                    UserId::new(id),
+                    &format!("user{id}"),
+                    None,
+                    Arc::clone(&clock),
+                )
+                .unwrap()
+            })
+            .collect();
+        (net, dir, devices)
+    }
+
+    /// Entity handler over a shared status map: prepare succeeds when the
+    /// entity is "free"; commit sets it to the payload string.
+    struct MapHandler {
+        state: Arc<Mutex<HashMap<String, String>>>,
+    }
+
+    impl EntityHandler for MapHandler {
+        fn prepare(&self, entity: &str, _change: &Value) -> SydResult<()> {
+            let state = self.state.lock();
+            match state.get(entity).map(String::as_str) {
+                None | Some("free") => Ok(()),
+                Some(other) => Err(SydError::App(format!("{entity} is {other}"))),
+            }
+        }
+        fn commit(&self, entity: &str, change: &Value) -> SydResult<()> {
+            self.state
+                .lock()
+                .insert(entity.to_owned(), change.as_str()?.to_owned());
+            Ok(())
+        }
+        fn abort(&self, _entity: &str, _change: &Value) {}
+    }
+
+    fn install_map_handlers(
+        devices: &[DeviceRuntime],
+    ) -> Vec<Arc<Mutex<HashMap<String, String>>>> {
+        devices
+            .iter()
+            .map(|d| {
+                let state = Arc::new(Mutex::new(HashMap::new()));
+                d.set_entity_handler(Arc::new(MapHandler {
+                    state: Arc::clone(&state),
+                }));
+                state
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ping_service_answers() {
+        let (_net, _dir, devices) = rig(2);
+        let out = devices[0]
+            .engine()
+            .invoke(
+                devices[1].user(),
+                &ServiceName::new("syd.ping"),
+                "ping",
+                vec![],
+            )
+            .unwrap();
+        assert_eq!(out, Value::str("pong"));
+    }
+
+    #[test]
+    fn negotiation_and_commits_everywhere() {
+        let (_net, _dir, devices) = rig(3);
+        let states = install_map_handlers(&devices);
+        let participants: Vec<Participant> = devices
+            .iter()
+            .map(|d| Participant::new(d.user(), "slot:1:9", Value::str("reserved")))
+            .collect();
+        let outcome = devices[0].negotiator().negotiate_and(&participants).unwrap();
+        assert!(outcome.satisfied, "{outcome:?}");
+        assert_eq!(outcome.committed.len(), 3);
+        for state in &states {
+            assert_eq!(state.lock().get("slot:1:9").unwrap(), "reserved");
+        }
+        // All locks released.
+        for d in &devices {
+            assert_eq!(d.store().locks().held_count(), 0);
+        }
+    }
+
+    #[test]
+    fn negotiation_and_aborts_when_one_declines() {
+        let (_net, _dir, devices) = rig(3);
+        let states = install_map_handlers(&devices);
+        // Device 2's slot is already busy.
+        states[2]
+            .lock()
+            .insert("slot:1:9".to_owned(), "busy".to_owned());
+        let participants: Vec<Participant> = devices
+            .iter()
+            .map(|d| Participant::new(d.user(), "slot:1:9", Value::str("reserved")))
+            .collect();
+        let outcome = devices[0].negotiator().negotiate_and(&participants).unwrap();
+        assert!(!outcome.satisfied);
+        assert!(outcome.committed.is_empty());
+        assert_eq!(outcome.declined, vec![devices[2].user()]);
+        // Nobody changed.
+        assert!(states[0].lock().get("slot:1:9").is_none());
+        assert!(states[1].lock().get("slot:1:9").is_none());
+        for d in &devices {
+            assert_eq!(d.store().locks().held_count(), 0);
+        }
+    }
+
+    #[test]
+    fn negotiation_or_commits_available_subset() {
+        let (_net, _dir, devices) = rig(4);
+        let states = install_map_handlers(&devices);
+        states[1].lock().insert("e".to_owned(), "busy".to_owned());
+        let participants: Vec<Participant> = devices
+            .iter()
+            .map(|d| Participant::new(d.user(), "e", Value::str("x")))
+            .collect();
+        let outcome = devices[0]
+            .negotiator()
+            .negotiate_or(2, &participants)
+            .unwrap();
+        assert!(outcome.satisfied);
+        assert_eq!(outcome.committed.len(), 3); // everyone available commits
+        assert_eq!(outcome.declined, vec![devices[1].user()]);
+    }
+
+    #[test]
+    fn negotiation_or_fails_below_k() {
+        let (_net, _dir, devices) = rig(3);
+        let states = install_map_handlers(&devices);
+        states[1].lock().insert("e".to_owned(), "busy".to_owned());
+        states[2].lock().insert("e".to_owned(), "busy".to_owned());
+        let participants: Vec<Participant> = devices
+            .iter()
+            .map(|d| Participant::new(d.user(), "e", Value::str("x")))
+            .collect();
+        let outcome = devices[0]
+            .negotiator()
+            .negotiate_or(2, &participants)
+            .unwrap();
+        assert!(!outcome.satisfied);
+        assert!(outcome.committed.is_empty());
+        // The one yes-voter was aborted, not committed.
+        assert!(states[0].lock().get("e").is_none());
+    }
+
+    #[test]
+    fn negotiation_xor_commits_exactly_k() {
+        let (_net, _dir, devices) = rig(3);
+        let states = install_map_handlers(&devices);
+        let participants: Vec<Participant> = devices
+            .iter()
+            .map(|d| Participant::new(d.user(), "e", Value::str("x")))
+            .collect();
+        let outcome = devices[0]
+            .negotiator()
+            .negotiate_xor(1, &participants)
+            .unwrap();
+        assert!(outcome.satisfied);
+        assert_eq!(outcome.committed.len(), 1);
+        assert_eq!(outcome.aborted.len(), 2);
+        let changed = states
+            .iter()
+            .filter(|s| s.lock().contains_key("e"))
+            .count();
+        assert_eq!(changed, 1);
+    }
+
+    #[test]
+    fn concurrent_negotiations_on_same_entity_dont_double_commit() {
+        let (_net, _dir, devices) = rig(3);
+        let states = install_map_handlers(&devices);
+        // Two coordinators race to reserve the same slot on all three
+        // devices. Exactly one negotiation-and may win (handler refuses
+        // non-"free" entities); the loser must abort cleanly.
+        let d0 = devices[0].clone();
+        let d1 = devices[1].clone();
+        let p0: Vec<Participant> = devices
+            .iter()
+            .map(|d| Participant::new(d.user(), "s", Value::str("meeting-A")))
+            .collect();
+        let p1: Vec<Participant> = devices
+            .iter()
+            .map(|d| Participant::new(d.user(), "s", Value::str("meeting-B")))
+            .collect();
+        let t0 = std::thread::spawn(move || d0.negotiator().negotiate_and(&p0).unwrap());
+        let t1 = std::thread::spawn(move || d1.negotiator().negotiate_and(&p1).unwrap());
+        let o0 = t0.join().unwrap();
+        let o1 = t1.join().unwrap();
+        let winners = [o0.satisfied, o1.satisfied].iter().filter(|&&b| b).count();
+        assert!(winners <= 1, "both negotiations committed: {o0:?} {o1:?}");
+        if winners == 1 {
+            let value = if o0.satisfied { "meeting-A" } else { "meeting-B" };
+            for state in &states {
+                assert_eq!(state.lock().get("s").unwrap(), value);
+            }
+        }
+        for d in &devices {
+            assert_eq!(d.store().locks().held_count(), 0);
+        }
+    }
+
+    #[test]
+    fn subscription_link_notifies_peers() {
+        let (_net, _dir, devices) = rig(3);
+        let seen: Arc<Mutex<Vec<(String, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Recorder(Arc<Mutex<Vec<(String, String)>>>);
+        impl SubscriptionHandler for Recorder {
+            fn on_notify(&self, entity: &str, action: &str, _payload: &Value) -> SydResult<Value> {
+                self.0.lock().push((entity.to_owned(), action.to_owned()));
+                Ok(Value::Null)
+            }
+        }
+        for d in &devices[1..] {
+            d.set_subscription_handler(Arc::new(Recorder(Arc::clone(&seen))));
+        }
+        let link = devices[0]
+            .links()
+            .add_local(LinkSpec::subscription(
+                "my-slot",
+                vec![
+                    crate::links::LinkRef::new(devices[1].user(), "their-slot", "sync"),
+                    crate::links::LinkRef::new(devices[2].user(), "their-slot", "sync"),
+                ],
+            ))
+            .unwrap();
+        let results = devices[0]
+            .entity_changed("my-slot", &Value::str("changed"))
+            .unwrap();
+        assert_eq!(results.len(), 1);
+        match &results[0] {
+            crate::links::FireResult::Notified {
+                link: l,
+                delivered,
+                failed,
+            } => {
+                assert_eq!(*l, link.id);
+                assert_eq!(*delivered, 2);
+                assert_eq!(*failed, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(seen.lock().len(), 2);
+    }
+
+    #[test]
+    fn negotiated_link_creation_installs_back_links() {
+        let (_net, _dir, devices) = rig(3);
+        let spec = LinkSpec::negotiation(
+            "slot:2:10",
+            Constraint::And,
+            vec![
+                crate::links::LinkRef::new(devices[1].user(), "slot:2:10", "reserve"),
+                crate::links::LinkRef::new(devices[2].user(), "slot:2:10", "reserve"),
+            ],
+        );
+        let forward = devices[0].links().create_negotiated(spec, "inform").unwrap();
+        assert_eq!(devices[0].links().count().unwrap(), 1);
+        // Each peer holds a back subscription link under the same corr.
+        for d in &devices[1..] {
+            let links = d.links().by_corr(&forward.corr).unwrap();
+            assert_eq!(links.len(), 1);
+            assert_eq!(links[0].kind, crate::links::LinkKind::Subscription);
+            assert_eq!(links[0].refs[0].user, devices[0].user());
+        }
+    }
+
+    #[test]
+    fn declined_link_offer_creates_nothing() {
+        let (_net, _dir, devices) = rig(2);
+        devices[1].set_link_acceptor(Arc::new(|_entity, _action, _from| false));
+        let spec = LinkSpec::negotiation(
+            "e",
+            Constraint::And,
+            vec![crate::links::LinkRef::new(devices[1].user(), "e", "a")],
+        );
+        let err = devices[0]
+            .links()
+            .create_negotiated(spec, "back")
+            .unwrap_err();
+        assert!(matches!(err, SydError::ConstraintFailed(_)), "{err}");
+        assert_eq!(devices[0].links().count().unwrap(), 0);
+        assert_eq!(devices[1].links().count().unwrap(), 0);
+    }
+
+    #[test]
+    fn cascade_delete_removes_all_halves() {
+        let (_net, _dir, devices) = rig(3);
+        let spec = LinkSpec::negotiation(
+            "e",
+            Constraint::And,
+            vec![
+                crate::links::LinkRef::new(devices[1].user(), "e", "a"),
+                crate::links::LinkRef::new(devices[2].user(), "e", "a"),
+            ],
+        );
+        let forward = devices[0].links().create_negotiated(spec, "back").unwrap();
+        assert_eq!(devices[1].links().count().unwrap(), 1);
+        let report = devices[0].links().delete(forward.id, true).unwrap();
+        assert_eq!(report.deleted, vec![forward.id]);
+        assert_eq!(report.cascaded_to.len(), 2);
+        for d in &devices {
+            assert_eq!(d.links().count().unwrap(), 0, "{} still has links", d.name());
+        }
+    }
+
+    #[test]
+    fn waiting_link_promotion_follows_priority() {
+        let (_net, _dir, devices) = rig(1);
+        let d = &devices[0];
+        let permanent = d
+            .links()
+            .add_local(LinkSpec::subscription("e", vec![]))
+            .unwrap();
+        let low = d
+            .links()
+            .add_local(
+                LinkSpec::subscription("e", vec![])
+                    .with_priority(Priority::new(10))
+                    .waiting_on(permanent.id, 1),
+            )
+            .unwrap();
+        let high = d
+            .links()
+            .add_local(
+                LinkSpec::subscription("e", vec![])
+                    .with_priority(Priority::new(200))
+                    .waiting_on(permanent.id, 2),
+            )
+            .unwrap();
+
+        let promoted: Arc<Mutex<Vec<LinkId>>> = Arc::new(Mutex::new(Vec::new()));
+        let pc = Arc::clone(&promoted);
+        d.links()
+            .set_promotion_handler(Arc::new(move |link| pc.lock().push(link.id)));
+
+        let report = d.links().delete(permanent.id, false).unwrap();
+        assert_eq!(report.promoted, vec![high.id]);
+        assert_eq!(*promoted.lock(), vec![high.id]);
+        assert_eq!(
+            d.links().get(high.id).unwrap().unwrap().status,
+            crate::links::LinkStatus::Permanent
+        );
+        // Low-priority waiter is still tentative, re-anchored on `high`.
+        assert_eq!(
+            d.links().get(low.id).unwrap().unwrap().status,
+            crate::links::LinkStatus::Tentative
+        );
+        // Deleting the newly permanent link promotes the survivor.
+        let report = d.links().delete(high.id, false).unwrap();
+        assert_eq!(report.promoted, vec![low.id]);
+    }
+
+    #[test]
+    fn waiting_group_promotes_together() {
+        let (_net, _dir, devices) = rig(1);
+        let d = &devices[0];
+        let permanent = d
+            .links()
+            .add_local(LinkSpec::subscription("e", vec![]))
+            .unwrap();
+        // Two links in group 7, one in group 8, all same priority.
+        let a = d
+            .links()
+            .add_local(LinkSpec::subscription("e1", vec![]).waiting_on(permanent.id, 7))
+            .unwrap();
+        let b = d
+            .links()
+            .add_local(LinkSpec::subscription("e2", vec![]).waiting_on(permanent.id, 7))
+            .unwrap();
+        let c = d
+            .links()
+            .add_local(LinkSpec::subscription("e3", vec![]).waiting_on(permanent.id, 8))
+            .unwrap();
+        let report = d.links().delete(permanent.id, false).unwrap();
+        let mut promoted = report.promoted.clone();
+        promoted.sort();
+        assert_eq!(promoted, vec![a.id, b.id]);
+        assert_eq!(
+            d.links().get(c.id).unwrap().unwrap().status,
+            crate::links::LinkStatus::Tentative
+        );
+    }
+
+    #[test]
+    fn expiry_scan_deletes_expired_links() {
+        use syd_types::SimClock;
+        let net = Network::ideal();
+        let dir = DirectoryServer::start(&net);
+        let clock = SimClock::new();
+        let clock_arc: Arc<dyn Clock> = Arc::new(clock.clone());
+        let d = DeviceRuntime::new(&net, dir.addr(), UserId::new(1), "u", None, clock_arc)
+            .unwrap();
+        d.links()
+            .add_local(
+                LinkSpec::subscription("e", vec![])
+                    .with_expiry(syd_types::Timestamp::from_micros(1000)),
+            )
+            .unwrap();
+        d.links()
+            .add_local(LinkSpec::subscription("e2", vec![]))
+            .unwrap();
+        assert!(d.links().expire_scan().unwrap().is_empty());
+        clock.advance(Duration::from_millis(2));
+        let expired = d.links().expire_scan().unwrap();
+        assert_eq!(expired.len(), 1);
+        assert_eq!(d.links().count().unwrap(), 1); // unexpiring link remains
+    }
+
+    #[test]
+    fn method_coupling_invokes_destinations() {
+        let (_net, _dir, devices) = rig(2);
+        let svc = ServiceName::new("calendar");
+        let hits = Arc::new(Mutex::new(0u32));
+        let hc = Arc::clone(&hits);
+        devices[1]
+            .register_service(
+                &svc,
+                "refresh",
+                Arc::new(move |_ctx, _args| {
+                    *hc.lock() += 1;
+                    Ok(Value::Null)
+                }),
+            )
+            .unwrap();
+        devices[0]
+            .links()
+            .couple_method(&svc, "update", devices[1].user(), &svc, "refresh")
+            .unwrap();
+        let outcomes = devices[0]
+            .links()
+            .invoke_coupled(&svc, "update", vec![])
+            .unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].1.is_ok());
+        assert_eq!(*hits.lock(), 1);
+        // Uncoupled methods invoke nothing.
+        assert!(devices[0]
+            .links()
+            .invoke_coupled(&svc, "other", vec![])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn disconnect_isolates_device() {
+        let (_net, _dir, devices) = rig(2);
+        devices[1].disconnect().unwrap();
+        assert!(!devices[1].is_connected());
+        let err = devices[0]
+            .engine()
+            .invoke(
+                devices[1].user(),
+                &ServiceName::new("syd.ping"),
+                "ping",
+                vec![],
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, SydError::Disconnected(_) | SydError::Timeout(_)),
+            "{err}"
+        );
+        devices[1].reconnect().unwrap();
+        let out = devices[0]
+            .engine()
+            .invoke(
+                devices[1].user(),
+                &ServiceName::new("syd.ping"),
+                "ping",
+                vec![],
+            )
+            .unwrap();
+        assert_eq!(out, Value::str("pong"));
+    }
+
+    use syd_types::{LinkId, Priority};
+}

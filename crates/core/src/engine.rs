@@ -1,0 +1,513 @@
+//! SyDEngine: single and group remote invocation with result aggregation
+//! (§3.1c).
+//!
+//! "SyDEngine allows users to execute single or group services remotely via
+//! SyDListener and aggregate results." Targets are *users*, not addresses:
+//! the engine resolves each user through the SyDDirectory on every call
+//! (with a small positive cache invalidated on failure), which is what
+//! makes SyD applications location transparent and lets proxies substitute
+//! for disconnected devices mid-conversation.
+//!
+//! Group invocation sends all requests before collecting any response, so
+//! a group of `n` costs one round-trip of latency, not `n`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use syd_net::{CallOptions, Node};
+use syd_types::{NodeAddr, ServiceName, SydError, SydResult, UserId, Value};
+
+use crate::directory::DirectoryClient;
+use crate::qos::QosMonitor;
+
+/// Result of a group invocation: per-user outcomes in request order.
+#[derive(Debug)]
+pub struct GroupResult {
+    /// `(user, outcome)` for every target, in the order given.
+    pub outcomes: Vec<(UserId, SydResult<Value>)>,
+}
+
+impl GroupResult {
+    /// Users that answered successfully, with their values.
+    pub fn oks(&self) -> impl Iterator<Item = (UserId, &Value)> {
+        self.outcomes
+            .iter()
+            .filter_map(|(u, r)| r.as_ref().ok().map(|v| (*u, v)))
+    }
+
+    /// Users that failed, with their errors.
+    pub fn errs(&self) -> impl Iterator<Item = (UserId, &SydError)> {
+        self.outcomes
+            .iter()
+            .filter_map(|(u, r)| r.as_ref().err().map(|e| (*u, e)))
+    }
+
+    /// Number of successful outcomes.
+    pub fn ok_count(&self) -> usize {
+        self.outcomes.iter().filter(|(_, r)| r.is_ok()).count()
+    }
+
+    /// True iff every target succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.ok_count() == self.outcomes.len()
+    }
+
+    /// Aggregates successful values into a list (the engine's "result
+    /// aggregation" service), preserving target order.
+    pub fn aggregate(&self) -> Value {
+        Value::list(self.oks().map(|(_, v)| v.clone()))
+    }
+}
+
+/// The invocation engine bound to one device's node.
+#[derive(Clone)]
+pub struct SydEngine {
+    node: Node,
+    directory: DirectoryClient,
+    /// Positive lookup cache: user -> address. Invalidated per-user when a
+    /// call through it fails, so proxy switchovers are picked up.
+    cache: Arc<Mutex<HashMap<UserId, NodeAddr>>>,
+    opts: CallOptions,
+    qos: Option<Arc<QosMonitor>>,
+}
+
+impl SydEngine {
+    /// Builds an engine over `node`, resolving names with `directory`.
+    pub fn new(node: Node, directory: DirectoryClient) -> SydEngine {
+        SydEngine {
+            node,
+            directory,
+            cache: Arc::new(Mutex::new(HashMap::new())),
+            opts: CallOptions::default(),
+            qos: None,
+        }
+    }
+
+    /// Attaches a QoS monitor: every `invoke` is observed, and
+    /// [`SydEngine::invoke_with_deadline`] gains admission control.
+    pub fn with_qos(mut self, qos: Arc<QosMonitor>) -> SydEngine {
+        self.qos = Some(qos);
+        self
+    }
+
+    /// The attached QoS monitor, if any.
+    pub fn qos(&self) -> Option<&Arc<QosMonitor>> {
+        self.qos.as_ref()
+    }
+
+    /// Replaces the default call options (builder style).
+    pub fn with_options(mut self, opts: CallOptions) -> SydEngine {
+        self.opts = opts;
+        self
+    }
+
+    /// The directory client this engine resolves through.
+    pub fn directory(&self) -> &DirectoryClient {
+        &self.directory
+    }
+
+    /// The underlying network node.
+    pub fn node(&self) -> &Node {
+        &self.node
+    }
+
+    fn resolve(&self, user: UserId) -> SydResult<NodeAddr> {
+        if let Some(&addr) = self.cache.lock().get(&user) {
+            return Ok(addr);
+        }
+        let (addr, is_proxy) = self.directory.lookup(user)?;
+        // Proxy addresses are never cached: while a user is proxied, every
+        // call re-resolves, so the moment the primary reconnects peers
+        // switch back to it ("once A comes back up, A takes over the
+        // proxy", §5.2).
+        if !is_proxy {
+            self.cache.lock().insert(user, addr);
+        }
+        Ok(addr)
+    }
+
+    fn invalidate(&self, user: UserId) {
+        self.cache.lock().remove(&user);
+    }
+
+    /// Resolves many users at once, overlapping the directory lookups for
+    /// cache misses so a cold group call costs one lookup round trip, not
+    /// `n`.
+    fn resolve_many(&self, users: &[UserId]) -> Vec<(UserId, SydResult<NodeAddr>)> {
+        let mut out: Vec<(UserId, Option<SydResult<NodeAddr>>)> = Vec::with_capacity(users.len());
+        let mut pending: Vec<(usize, syd_net::PendingCall)> = Vec::new();
+        {
+            let cache = self.cache.lock();
+            for &user in users.iter() {
+                if let Some(&addr) = cache.get(&user) {
+                    out.push((user, Some(Ok(addr))));
+                } else {
+                    out.push((user, None));
+                }
+            }
+            drop(cache);
+            for (i, &user) in users.iter().enumerate() {
+                if out[i].1.is_some() {
+                    continue;
+                }
+                let sent = self.node.call_async(
+                    self.directory.dir_addr(),
+                    &crate::directory::dir_service(),
+                    "lookup",
+                    vec![Value::from(user.raw())],
+                );
+                match sent {
+                    Ok(call) => pending.push((i, call)),
+                    Err(e) => out[i].1 = Some(Err(e)),
+                }
+            }
+        }
+        for (i, call) in pending {
+            let result = call.wait(self.opts.timeout).and_then(|v| {
+                let addr = NodeAddr::new(v.get("addr")?.as_i64()? as u64);
+                let is_proxy = v.get("is_proxy")?.as_bool()?;
+                Ok((addr, is_proxy))
+            });
+            let result = match result {
+                Ok((addr, is_proxy)) => {
+                    if !is_proxy {
+                        self.cache.lock().insert(users[i], addr);
+                    }
+                    Ok(addr)
+                }
+                // The overlapped fast path lost its message (lossy
+                // network): fall back to the retrying directory client
+                // so a single drop cannot fail the whole group member.
+                Err(err) if err.is_transient() => {
+                    self.directory.lookup(users[i]).map(|(addr, is_proxy)| {
+                        if !is_proxy {
+                            self.cache.lock().insert(users[i], addr);
+                        }
+                        addr
+                    })
+                }
+                Err(e) => Err(e),
+            };
+            out[i].1 = Some(result);
+        }
+        out.into_iter()
+            .map(|(user, r)| (user, r.expect("every slot filled")))
+            .collect()
+    }
+
+    /// One blocking call to a resolved address, with the logical target
+    /// user stamped on the request (proxy routing) and this engine's
+    /// deadline/retry options applied.
+    fn call_at(
+        &self,
+        addr: NodeAddr,
+        target: UserId,
+        service: &ServiceName,
+        method: &str,
+        args: Vec<Value>,
+    ) -> SydResult<Value> {
+        let mut attempts = 0;
+        loop {
+            let pending = self
+                .node
+                .call_async_to(addr, target, service, method, args.clone())?;
+            match pending.wait(self.opts.timeout) {
+                Ok(v) => return Ok(v),
+                Err(err) if err.is_transient() && attempts < self.opts.retries => attempts += 1,
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// Invokes `service.method(args)` on `user`'s device (or its proxy).
+    ///
+    /// On a transient failure the engine re-resolves the user once — this
+    /// is the moment a proxy silently replaces a disconnected device.
+    pub fn invoke(
+        &self,
+        user: UserId,
+        service: &ServiceName,
+        method: &str,
+        args: Vec<Value>,
+    ) -> SydResult<Value> {
+        let started = std::time::Instant::now();
+        let result = self.invoke_inner(user, service, method, args);
+        if let Some(qos) = &self.qos {
+            qos.observe(user, service, started.elapsed(), result.is_ok());
+        }
+        result
+    }
+
+    /// QoS-aware invocation (§3.2, companion paper \[4\]): refuse targets
+    /// whose observed latency cannot plausibly meet `deadline`, and bound
+    /// the call by it. Requires [`SydEngine::with_qos`].
+    pub fn invoke_with_deadline(
+        &self,
+        user: UserId,
+        service: &ServiceName,
+        method: &str,
+        args: Vec<Value>,
+        deadline: Duration,
+    ) -> SydResult<Value> {
+        if let Some(qos) = &self.qos {
+            qos.admit(user, service, deadline)?;
+        }
+        let bounded = self.clone().with_options(
+            CallOptions::new().with_timeout(deadline).with_retries(self.opts.retries),
+        );
+        let started = std::time::Instant::now();
+        let result = bounded.invoke_inner(user, service, method, args);
+        if let Some(qos) = &self.qos {
+            qos.observe(user, service, started.elapsed(), result.is_ok());
+        }
+        result
+    }
+
+    fn invoke_inner(
+        &self,
+        user: UserId,
+        service: &ServiceName,
+        method: &str,
+        args: Vec<Value>,
+    ) -> SydResult<Value> {
+        let addr = self.resolve(user)?;
+        match self.call_at(addr, user, service, method, args.clone()) {
+            Ok(v) => Ok(v),
+            Err(err) if err.is_transient() || matches!(err, SydError::Unreachable(_)) => {
+                // Re-resolve: the directory may now point at a proxy (or at
+                // the primary again after recovery).
+                self.invalidate(user);
+                let fresh = self.resolve(user)?;
+                if fresh == addr {
+                    return Err(err);
+                }
+                self.call_at(fresh, user, service, method, args)
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Invokes the same method on every user concurrently and collects
+    /// per-user outcomes.
+    pub fn invoke_group(
+        &self,
+        users: &[UserId],
+        service: &ServiceName,
+        method: &str,
+        args: Vec<Value>,
+    ) -> GroupResult {
+        // Fan out: resolve (overlapped) + send every request first.
+        let resolved = self.resolve_many(users);
+        let mut pending = Vec::with_capacity(users.len());
+        for (user, addr) in resolved {
+            let sent = addr.and_then(|addr| {
+                self.node
+                    .call_async_to(addr, user, service, method, args.clone())
+            });
+            pending.push((user, sent));
+        }
+        // Collect.
+        let outcomes = pending
+            .into_iter()
+            .map(|(user, sent)| {
+                let outcome = match sent {
+                    Ok(call) => match call.wait(self.opts.timeout) {
+                        Ok(v) => Ok(v),
+                        Err(err) if err.is_transient() => {
+                            // One re-resolve retry, as in `invoke`.
+                            self.invalidate(user);
+                            match self.resolve(user) {
+                                Ok(addr) => self.call_at(
+                                    addr,
+                                    user,
+                                    service,
+                                    method,
+                                    args.clone(),
+                                ),
+                                Err(e) => Err(e),
+                            }
+                        }
+                        Err(err) => Err(err),
+                    },
+                    Err(err) => Err(err),
+                };
+                (user, outcome)
+            })
+            .collect();
+        GroupResult { outcomes }
+    }
+
+    /// Invokes a method on every member of a *named directory group* —
+    /// "user/object groups can also be formed on SyDDirectory" (§3.1a) and
+    /// the engine "execute\[s\] a service on a group of objects".
+    pub fn invoke_group_by_name(
+        &self,
+        group: &str,
+        service: &ServiceName,
+        method: &str,
+        args: Vec<Value>,
+    ) -> SydResult<GroupResult> {
+        let group_id = self.directory.group_by_name(group)?;
+        let members = self.directory.group_members(group_id)?;
+        Ok(self.invoke_group(&members, service, method, args))
+    }
+
+    /// Like [`SydEngine::invoke_group`] but with per-user arguments — the
+    /// negotiation protocol marks each participant's *own* entity, so every
+    /// request differs.
+    pub fn invoke_group_varied(
+        &self,
+        calls: &[(UserId, Vec<Value>)],
+        service: &ServiceName,
+        method: &str,
+    ) -> GroupResult {
+        let users: Vec<UserId> = calls.iter().map(|(u, _)| *u).collect();
+        let resolved = self.resolve_many(&users);
+        let mut pending = Vec::with_capacity(calls.len());
+        for ((user, args), (_, addr)) in calls.iter().zip(resolved) {
+            let sent = addr.and_then(|addr| {
+                self.node
+                    .call_async_to(addr, *user, service, method, args.clone())
+            });
+            pending.push((*user, sent));
+        }
+        let outcomes = pending
+            .into_iter()
+            .map(|(user, sent)| {
+                let outcome = match sent {
+                    Ok(call) => call.wait(self.opts.timeout),
+                    Err(err) => Err(err),
+                };
+                if outcome.is_err() {
+                    self.invalidate(user);
+                }
+                (user, outcome)
+            })
+            .collect();
+        GroupResult { outcomes }
+    }
+
+    /// Timeout used for collection (diagnostic accessor).
+    pub fn timeout(&self) -> Duration {
+        self.opts.timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::DirectoryServer;
+    use syd_net::{Network, RequestHandler};
+    use syd_wire::Request;
+
+    /// Spin up a directory plus `n` plain echo servers registered as users
+    /// 1..=n, each answering `svc.echo(args) -> [user, args...]`.
+    fn setup(n: u64) -> (Network, DirectoryServer, SydEngine, Vec<Node>) {
+        let net = Network::ideal();
+        let dir = DirectoryServer::start(&net);
+        let mut servers = Vec::new();
+        let client_node = Node::spawn(&net);
+        let dirc = DirectoryClient::new(client_node.clone(), dir.addr());
+        for id in 1..=n {
+            let server = Node::spawn(&net);
+            let user = UserId::new(id);
+            server.set_handler(Arc::new(move |_from, req: Request| {
+                if req.method == "boom" {
+                    return Err(SydError::App("boom".into()));
+                }
+                let mut out = vec![Value::from(id)];
+                out.extend(req.args.clone());
+                Ok(Value::list(out))
+            }) as Arc<dyn RequestHandler>);
+            dirc.register(user, &format!("user{id}"), server.addr()).unwrap();
+            servers.push(server);
+        }
+        let engine = SydEngine::new(client_node, dirc);
+        (net, dir, engine, servers)
+    }
+
+    #[test]
+    fn single_invoke_resolves_by_user() {
+        let (_net, _dir, engine, _servers) = setup(2);
+        let out = engine
+            .invoke(
+                UserId::new(2),
+                &ServiceName::new("svc"),
+                "echo",
+                vec![Value::str("hi")],
+            )
+            .unwrap();
+        assert_eq!(out, Value::list([Value::I64(2), Value::str("hi")]));
+    }
+
+    #[test]
+    fn group_invoke_collects_everyone_in_order() {
+        let (_net, _dir, engine, _servers) = setup(5);
+        let users: Vec<UserId> = (1..=5).map(UserId::new).collect();
+        let result = engine.invoke_group(&users, &ServiceName::new("svc"), "echo", vec![]);
+        assert!(result.all_ok());
+        assert_eq!(result.ok_count(), 5);
+        let ids: Vec<u64> = result.outcomes.iter().map(|(u, _)| u.raw()).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+        assert_eq!(
+            result.aggregate(),
+            Value::list((1..=5).map(|i| Value::list([Value::I64(i)])))
+        );
+    }
+
+    #[test]
+    fn group_invoke_mixes_successes_and_failures() {
+        let (_net, _dir, engine, _servers) = setup(3);
+        let users: Vec<UserId> = (1..=3).map(UserId::new).collect();
+        // Everyone fails method "boom".
+        let result = engine.invoke_group(&users, &ServiceName::new("svc"), "boom", vec![]);
+        assert_eq!(result.ok_count(), 0);
+        assert_eq!(result.errs().count(), 3);
+        assert!(!result.all_ok());
+        assert_eq!(result.aggregate(), Value::list([]));
+    }
+
+    #[test]
+    fn unknown_user_fails_cleanly_in_group() {
+        let (_net, _dir, engine, _servers) = setup(1);
+        let users = vec![UserId::new(1), UserId::new(404)];
+        let result = engine.invoke_group(&users, &ServiceName::new("svc"), "echo", vec![]);
+        assert_eq!(result.ok_count(), 1);
+        let (bad_user, err) = result.errs().next().unwrap();
+        assert_eq!(bad_user, UserId::new(404));
+        assert!(matches!(err, SydError::NotRegistered(_)));
+    }
+
+    #[test]
+    fn cache_invalidation_follows_address_changes() {
+        let (net, _dir, engine, servers) = setup(1);
+        let user = UserId::new(1);
+        let svc = ServiceName::new("svc");
+        // Prime the cache.
+        engine.invoke(user, &svc, "echo", vec![]).unwrap();
+        // Move the user to a new node (re-register), kill the old node.
+        let new_server = Node::spawn(&net);
+        new_server.set_handler(Arc::new(move |_from, _req: Request| {
+            Ok(Value::str("new home"))
+        }) as Arc<dyn RequestHandler>);
+        engine
+            .directory()
+            .register(user, "user1", new_server.addr())
+            .unwrap();
+        servers[0].shutdown();
+        // Old address unreachable -> engine re-resolves and succeeds.
+        let out = engine.invoke(user, &svc, "echo", vec![]).unwrap();
+        assert_eq!(out, Value::str("new home"));
+    }
+
+    #[test]
+    fn app_errors_do_not_trigger_reresolution() {
+        let (_net, _dir, engine, _servers) = setup(1);
+        let err = engine
+            .invoke(UserId::new(1), &ServiceName::new("svc"), "boom", vec![])
+            .unwrap_err();
+        assert_eq!(err, SydError::App("boom".into()));
+    }
+}

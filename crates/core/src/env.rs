@@ -1,0 +1,193 @@
+//! Deployment environment: network + directory + authenticator + clock.
+//!
+//! `SydEnv` plays the role of the paper's deployment scripts: it stands up
+//! the simulated wireless LAN, starts the name server (SyDDirectory), holds
+//! the deployment's shared TEA key, and mints devices and proxies. It is
+//! the entry point every example and benchmark uses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::RngCore;
+use syd_crypto::{Authenticator, Credentials};
+use syd_net::{NetConfig, Network, Node};
+use syd_types::{Clock, NodeAddr, SydResult, SystemClock, UserId};
+
+use crate::device::DeviceRuntime;
+use crate::directory::{DirectoryClient, DirectoryServer};
+use crate::proxy::ProxyHost;
+
+/// A running SyD deployment.
+pub struct SydEnv {
+    network: Network,
+    directory: DirectoryServer,
+    auth: Option<Arc<Authenticator>>,
+    clock: Arc<dyn Clock>,
+    next_user: AtomicU64,
+}
+
+impl SydEnv {
+    /// Starts a deployment with §5.4 authentication enabled, deriving the
+    /// shared TEA key from `passphrase`.
+    pub fn new(cfg: NetConfig, passphrase: &str) -> SydEnv {
+        Self::build(cfg, Some(Arc::new(Authenticator::from_passphrase(passphrase))))
+    }
+
+    /// Starts a deployment without authentication (every request trusted).
+    pub fn new_insecure(cfg: NetConfig) -> SydEnv {
+        Self::build(cfg, None)
+    }
+
+    fn build(cfg: NetConfig, auth: Option<Arc<Authenticator>>) -> SydEnv {
+        let network = Network::new(cfg);
+        let directory = DirectoryServer::start(&network);
+        SydEnv {
+            network,
+            directory,
+            auth,
+            clock: Arc::new(SystemClock::new()),
+            next_user: AtomicU64::new(1),
+        }
+    }
+
+    /// Replaces the deployment clock (tests use a
+    /// [`syd_types::SimClock`]). Devices created afterwards use it.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> SydEnv {
+        self.clock = clock;
+        self
+    }
+
+    /// The simulated network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The directory's address.
+    pub fn dir_addr(&self) -> NodeAddr {
+        self.directory.addr()
+    }
+
+    /// The deployment clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The deployment authenticator, when security is on.
+    pub fn authenticator(&self) -> Option<&Arc<Authenticator>> {
+        self.auth.as_ref()
+    }
+
+    /// Creates a device for a new user named `name` with `password`,
+    /// registering the user in the directory and (when security is on)
+    /// the authorized-user table, and stamping the device's outgoing
+    /// requests with sealed credentials.
+    pub fn device(&self, name: &str, password: &str) -> SydResult<DeviceRuntime> {
+        let user = UserId::new(self.next_user.fetch_add(1, Ordering::Relaxed));
+        let device = DeviceRuntime::new(
+            &self.network,
+            self.directory.addr(),
+            user,
+            name,
+            self.auth.clone(),
+            Arc::clone(&self.clock),
+        )?;
+        if let Some(auth) = &self.auth {
+            auth.table().authorize(user, password);
+            let mut iv = [0u8; 8];
+            rand::thread_rng().fill_bytes(&mut iv);
+            let blob = auth.seal(&Credentials::new(user, password), iv);
+            device.node().set_identity(user, blob);
+        } else {
+            device.node().set_identity(user, Vec::new());
+        }
+        Ok(device)
+    }
+
+    /// Creates a proxy host able to stand in for disconnected devices
+    /// (§5.2). Proxies authenticate their outgoing traffic as the
+    /// dedicated proxy user.
+    pub fn proxy(&self, name: &str, password: &str) -> SydResult<ProxyHost> {
+        let user = UserId::new(self.next_user.fetch_add(1, Ordering::Relaxed));
+        let proxy = ProxyHost::new(
+            &self.network,
+            self.directory.addr(),
+            user,
+            name,
+            self.auth.clone(),
+            Arc::clone(&self.clock),
+        )?;
+        if let Some(auth) = &self.auth {
+            auth.table().authorize(user, password);
+            let mut iv = [0u8; 8];
+            rand::thread_rng().fill_bytes(&mut iv);
+            let blob = auth.seal(&Credentials::new(user, password), iv);
+            proxy.node().set_identity(user, blob);
+        } else {
+            proxy.node().set_identity(user, Vec::new());
+        }
+        Ok(proxy)
+    }
+
+    /// A fresh directory client on its own node (for tools/tests that are
+    /// not devices).
+    pub fn directory_client(&self) -> DirectoryClient {
+        DirectoryClient::new(Node::spawn(&self.network), self.directory.addr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syd_types::{ServiceName, Value};
+
+    #[test]
+    fn secure_env_round_trip() {
+        let env = SydEnv::new(NetConfig::ideal(), "deployment");
+        let a = env.device("alice", "pw-a").unwrap();
+        let b = env.device("bob", "pw-b").unwrap();
+        // Authenticated kernel call works.
+        let out = a
+            .engine()
+            .invoke(b.user(), &ServiceName::new("syd.ping"), "ping", vec![])
+            .unwrap();
+        assert_eq!(out, Value::str("pong"));
+    }
+
+    #[test]
+    fn forged_identity_is_rejected() {
+        let env = SydEnv::new(NetConfig::ideal(), "deployment");
+        let a = env.device("alice", "pw-a").unwrap();
+        let b = env.device("bob", "pw-b").unwrap();
+        // Tamper with a's credentials.
+        a.node().set_identity(a.user(), vec![0xBA, 0xD1]);
+        let err = a
+            .engine()
+            .invoke(b.user(), &ServiceName::new("syd.ping"), "ping", vec![])
+            .unwrap_err();
+        assert!(matches!(err, syd_types::SydError::AuthFailed(_)), "{err}");
+    }
+
+    #[test]
+    fn insecure_env_trusts_callers() {
+        let env = SydEnv::new_insecure(NetConfig::ideal());
+        let a = env.device("alice", "").unwrap();
+        let b = env.device("bob", "").unwrap();
+        let out = a
+            .engine()
+            .invoke(b.user(), &ServiceName::new("syd.ping"), "ping", vec![])
+            .unwrap();
+        assert_eq!(out, Value::str("pong"));
+    }
+
+    #[test]
+    fn users_get_distinct_ids_and_names() {
+        let env = SydEnv::new_insecure(NetConfig::ideal());
+        let a = env.device("alice", "").unwrap();
+        let b = env.device("bob", "").unwrap();
+        assert_ne!(a.user(), b.user());
+        let dirc = env.directory_client();
+        assert_eq!(dirc.lookup_name("alice").unwrap(), a.user());
+        assert_eq!(dirc.lookup_name("bob").unwrap(), b.user());
+        assert!(env.device("alice", "").is_err(), "duplicate name");
+    }
+}

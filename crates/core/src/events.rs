@@ -1,0 +1,383 @@
+//! SyDEventHandler: local/global events and periodic tasks (§3.1d).
+//!
+//! "This module handles local and global event registration, monitoring,
+//! and triggering." Locally it is a topic-prefix-matched callback bus;
+//! globally, events arrive from the network as fire-and-forget
+//! [`syd_wire::EventMsg`]s and are re-published locally. The handler also
+//! runs the kernel's periodic work — most importantly the link-expiry scan
+//! of §4.2 op. 6 ("Periodically, the local event handler triggers a method
+//! which checks for links whose expiration times have been surpassed").
+//!
+//! This module is also where *middleware triggers* (§5.3's stated future
+//! direction) live: [`EventHandler::bridge_store`] installs a store-level
+//! after-trigger that republishes every row change as a local event
+//! (`store.<table>.insert|update|delete`), so application logic can react
+//! to database changes without any Oracle-specific machinery.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use syd_store::{Store, Trigger, TriggerEvent};
+use syd_types::{SydResult, Value};
+
+/// Callback invoked with `(topic, payload)`.
+pub type EventCallback = Arc<dyn Fn(&str, &Value) + Send + Sync>;
+
+/// A named periodic task.
+pub struct PeriodicTask {
+    /// Task name (unique; used for cancellation).
+    pub name: String,
+    /// Interval between runs.
+    pub interval: Duration,
+    next_due: Instant,
+    action: Arc<dyn Fn() + Send + Sync>,
+}
+
+struct SchedulerState {
+    tasks: Vec<PeriodicTask>,
+}
+
+struct Inner {
+    subs: RwLock<Vec<(String, EventCallback)>>,
+    scheduler: Mutex<SchedulerState>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    published: AtomicU64,
+    delivered: AtomicU64,
+}
+
+/// The event handler. Cloning shares it.
+#[derive(Clone)]
+pub struct EventHandler {
+    inner: Arc<Inner>,
+}
+
+impl Default for EventHandler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventHandler {
+    /// Creates an event handler and starts its scheduler thread.
+    pub fn new() -> EventHandler {
+        let inner = Arc::new(Inner {
+            subs: RwLock::new(Vec::new()),
+            scheduler: Mutex::new(SchedulerState { tasks: Vec::new() }),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            published: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+        });
+        let sched_inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("syd-events-scheduler".into())
+            .spawn(move || scheduler_loop(sched_inner))
+            .expect("spawn scheduler");
+        EventHandler { inner }
+    }
+
+    /// Subscribes `callback` to every topic starting with `prefix`
+    /// (empty prefix = everything).
+    pub fn subscribe(&self, prefix: &str, callback: EventCallback) {
+        self.inner
+            .subs
+            .write()
+            .push((prefix.to_owned(), callback));
+    }
+
+    /// Publishes an event to local subscribers, synchronously.
+    pub fn publish_local(&self, topic: &str, payload: &Value) {
+        self.inner.published.fetch_add(1, Ordering::Relaxed);
+        let subs = self.inner.subs.read();
+        for (prefix, callback) in subs.iter() {
+            if topic.starts_with(prefix.as_str()) {
+                self.inner.delivered.fetch_add(1, Ordering::Relaxed);
+                callback(topic, payload);
+            }
+        }
+    }
+
+    /// Registers (or replaces) a periodic task.
+    pub fn register_periodic(
+        &self,
+        name: &str,
+        interval: Duration,
+        action: impl Fn() + Send + Sync + 'static,
+    ) {
+        let mut state = self.inner.scheduler.lock();
+        state.tasks.retain(|t| t.name != name);
+        state.tasks.push(PeriodicTask {
+            name: name.to_owned(),
+            interval,
+            next_due: Instant::now() + interval,
+            action: Arc::new(action),
+        });
+        drop(state);
+        self.inner.wake.notify_all();
+    }
+
+    /// Cancels a periodic task by name.
+    pub fn cancel_periodic(&self, name: &str) {
+        let mut state = self.inner.scheduler.lock();
+        state.tasks.retain(|t| t.name != name);
+    }
+
+    /// Runs every periodic task once, immediately — used by tests and by
+    /// deterministic benches instead of waiting for wall-clock intervals.
+    pub fn run_periodic_now(&self) {
+        let actions: Vec<Arc<dyn Fn() + Send + Sync>> = {
+            let mut state = self.inner.scheduler.lock();
+            let now = Instant::now();
+            state
+                .tasks
+                .iter_mut()
+                .map(|t| {
+                    t.next_due = now + t.interval;
+                    Arc::clone(&t.action)
+                })
+                .collect()
+        };
+        for action in actions {
+            action();
+        }
+    }
+
+    /// `(published, delivered)` local event counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.inner.published.load(Ordering::Relaxed),
+            self.inner.delivered.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Installs middleware triggers: every row change on `table` in
+    /// `store` is republished as a local event with topic
+    /// `store.<table>.<insert|update|delete>` and a payload carrying the
+    /// old/new row values.
+    pub fn bridge_store(&self, store: &Store, table: &str) -> SydResult<()> {
+        let handler = self.clone();
+        let table_name = table.to_owned();
+        store.add_trigger(Trigger::after(
+            format!("syd-events-bridge-{table}"),
+            table,
+            vec![TriggerEvent::Insert, TriggerEvent::Update, TriggerEvent::Delete],
+            move |ctx| {
+                let kind = match ctx.event {
+                    TriggerEvent::Insert => "insert",
+                    TriggerEvent::Update => "update",
+                    TriggerEvent::Delete => "delete",
+                };
+                let payload = Value::map([
+                    (
+                        "old",
+                        ctx.old
+                            .map_or(Value::Null, |row| Value::list(row.to_vec())),
+                    ),
+                    (
+                        "new",
+                        ctx.new
+                            .map_or(Value::Null, |row| Value::list(row.to_vec())),
+                    ),
+                ]);
+                handler.publish_local(&format!("store.{table_name}.{kind}"), &payload);
+                Ok(())
+            },
+        ))
+    }
+
+    /// Stops the scheduler thread.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.wake.notify_all();
+    }
+}
+
+fn scheduler_loop(inner: Arc<Inner>) {
+    let mut state = inner.scheduler.lock();
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let now = Instant::now();
+        let mut due: Vec<Arc<dyn Fn() + Send + Sync>> = Vec::new();
+        let mut next_wake: Option<Instant> = None;
+        for task in state.tasks.iter_mut() {
+            if task.next_due <= now {
+                due.push(Arc::clone(&task.action));
+                task.next_due = now + task.interval;
+            }
+            next_wake = Some(match next_wake {
+                None => task.next_due,
+                Some(w) => w.min(task.next_due),
+            });
+        }
+        if !due.is_empty() {
+            // Run actions without holding the scheduler lock.
+            drop(state);
+            for action in due {
+                action();
+            }
+            state = inner.scheduler.lock();
+            continue;
+        }
+        match next_wake {
+            Some(when) => {
+                let wait = when.saturating_duration_since(Instant::now());
+                inner
+                    .wake
+                    .wait_for(&mut state, wait.max(Duration::from_millis(1)));
+            }
+            None => {
+                inner.wake.wait(&mut state);
+            }
+        }
+    }
+}
+
+impl Drop for EventHandler {
+    fn drop(&mut self) {
+        if Arc::strong_count(&self.inner) <= 2 {
+            // Just us and the scheduler: stop the thread.
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use syd_store::{Column, ColumnType, Predicate, Schema};
+
+    #[test]
+    fn prefix_subscription_filters_topics() {
+        let events = EventHandler::new();
+        let link_events = Arc::new(AtomicU32::new(0));
+        let all_events = Arc::new(AtomicU32::new(0));
+        let lc = Arc::clone(&link_events);
+        events.subscribe(
+            "link.",
+            Arc::new(move |_t, _p| {
+                lc.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        let ac = Arc::clone(&all_events);
+        events.subscribe(
+            "",
+            Arc::new(move |_t, _p| {
+                ac.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        events.publish_local("link.deleted", &Value::Null);
+        events.publish_local("calendar.changed", &Value::Null);
+        assert_eq!(link_events.load(Ordering::SeqCst), 1);
+        assert_eq!(all_events.load(Ordering::SeqCst), 2);
+        assert_eq!(events.counters(), (2, 3));
+    }
+
+    #[test]
+    fn periodic_task_runs_on_schedule() {
+        let events = EventHandler::new();
+        let runs = Arc::new(AtomicU32::new(0));
+        let rc = Arc::clone(&runs);
+        events.register_periodic("tick", Duration::from_millis(20), move || {
+            rc.fetch_add(1, Ordering::SeqCst);
+        });
+        let deadline = Instant::now() + Duration::from_secs(3);
+        while runs.load(Ordering::SeqCst) < 3 {
+            assert!(Instant::now() < deadline, "periodic task did not run");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        events.cancel_periodic("tick");
+        let after_cancel = runs.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(80));
+        // Allow one in-flight run that raced the cancel.
+        assert!(runs.load(Ordering::SeqCst) <= after_cancel + 1);
+        events.shutdown();
+    }
+
+    #[test]
+    fn run_periodic_now_is_deterministic() {
+        let events = EventHandler::new();
+        let runs = Arc::new(AtomicU32::new(0));
+        let rc = Arc::clone(&runs);
+        events.register_periodic("scan", Duration::from_secs(3600), move || {
+            rc.fetch_add(1, Ordering::SeqCst);
+        });
+        events.run_periodic_now();
+        events.run_periodic_now();
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+        events.shutdown();
+    }
+
+    #[test]
+    fn replacing_a_periodic_task_keeps_one_instance() {
+        let events = EventHandler::new();
+        let a = Arc::new(AtomicU32::new(0));
+        let b = Arc::new(AtomicU32::new(0));
+        let ac = Arc::clone(&a);
+        events.register_periodic("job", Duration::from_secs(3600), move || {
+            ac.fetch_add(1, Ordering::SeqCst);
+        });
+        let bc = Arc::clone(&b);
+        events.register_periodic("job", Duration::from_secs(3600), move || {
+            bc.fetch_add(1, Ordering::SeqCst);
+        });
+        events.run_periodic_now();
+        assert_eq!(a.load(Ordering::SeqCst), 0, "old task should be replaced");
+        assert_eq!(b.load(Ordering::SeqCst), 1);
+        events.shutdown();
+    }
+
+    #[test]
+    fn store_bridge_republishes_row_changes() {
+        let events = EventHandler::new();
+        let store = Store::new();
+        store
+            .create_table(
+                Schema::new(
+                    "slots",
+                    vec![Column::required("day", ColumnType::I64)],
+                    &["day"],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        events.bridge_store(&store, "slots").unwrap();
+
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sc = Arc::clone(&seen);
+        events.subscribe(
+            "store.slots.",
+            Arc::new(move |topic, payload| {
+                // Payload carries rows.
+                assert!(payload.as_map().is_ok());
+                sc.lock().push(topic.to_owned());
+            }),
+        );
+
+        store.insert("slots", vec![Value::I64(1)]).unwrap();
+        store
+            .update(
+                "slots",
+                &Predicate::Eq("day".into(), Value::I64(1)),
+                &[("day".into(), Value::I64(2))],
+            )
+            .unwrap();
+        store
+            .delete("slots", &Predicate::Eq("day".into(), Value::I64(2)))
+            .unwrap();
+        assert_eq!(
+            *seen.lock(),
+            vec![
+                "store.slots.insert".to_owned(),
+                "store.slots.update".to_owned(),
+                "store.slots.delete".to_owned(),
+            ]
+        );
+        events.shutdown();
+    }
+}

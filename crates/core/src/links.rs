@@ -1,0 +1,1138 @@
+//! SyDLinks: coordination links (§4) — the paper's central contribution.
+//!
+//! A coordination link is "an abstract relationship among a group of
+//! objects/databases with an underlying constraint and a set of
+//! event-triggered actions" (§4). Concretely (§4.1), a link is an entry in
+//! a data store associated with an entity, specified by:
+//!
+//! * its **type** — subscription or negotiation ([`LinkKind`]),
+//! * its **subtype** — permanent or tentative ([`LinkStatus`]),
+//! * **references** to one or more entities with a trigger action each
+//!   ([`LinkRef`]),
+//! * a **priority**, a **constraint** (and / or / xor, generalized to
+//!   k-of-n, [`Constraint`]), a **creation time** and an **expiry time**.
+//!
+//! Link state lives in the device's own store, in the tables the paper
+//! names: `SyD_Link` (+ `SyD_LinkRef` for the multi-reference fan-out),
+//! `SyD_WaitingLink` for tentative links queued behind a permanent one
+//! (§4.2 op. 3), and `SyD_LinkMethod` for method coupling (§4.2 op. 5).
+//!
+//! The six operations of §4.2 map to:
+//!
+//! 1. link database creation → [`LinksModule::new`] (creates the tables)
+//! 2. link creation → [`LinksModule::create_negotiated`] /
+//!    [`LinksModule::add_local`]
+//! 3. tentative → permanent: waiting-link promotion inside
+//!    [`LinksModule::delete`]
+//! 4. link deletion → [`LinksModule::delete`] (cascades via
+//!    `syd.link/delete_by_corr` on peers)
+//! 5. method invocation → [`LinksModule::couple_method`] +
+//!    [`LinksModule::invoke_coupled`]
+//! 6. link expiry → [`LinksModule::expire_scan`], run by the event
+//!    handler's periodic task
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use syd_store::{Column, ColumnType, Predicate, Schema, Store};
+use syd_types::{
+    Clock, LinkId, Priority, ServiceName, SydError, SydResult, Timestamp, UserId, Value,
+};
+
+use crate::engine::SydEngine;
+use crate::events::EventHandler;
+use crate::negotiate::{link_service, NegotiationOutcome, Negotiator, Participant};
+
+/// Logical constraint of a negotiation link (§4.3), generalized to k-of-n
+/// exactly as the paper notes ("can be extended to at least/exactly k out
+/// of n").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Constraint {
+    /// All references must change (negotiation-and).
+    And,
+    /// At least `k` references must change (negotiation-or).
+    AtLeast(u32),
+    /// Exactly `k` references change (negotiation-xor).
+    Exactly(u32),
+}
+
+/// Link type (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Automatic information flow from the entity to the references.
+    Subscription,
+    /// Constraint-checked atomic group change across the references.
+    Negotiation(Constraint),
+}
+
+/// Link subtype (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkStatus {
+    /// In force.
+    Permanent,
+    /// Queued, waiting on a permanent link (see `SyD_WaitingLink`).
+    Tentative,
+}
+
+/// One reference of a link: a peer entity and the trigger action to run
+/// there (an ECA rule: the event is "the local entity changed", the
+/// condition is evaluated by the peer, the action is `action`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkRef {
+    /// Peer user.
+    pub user: UserId,
+    /// Peer entity (e.g. the matching slot in the peer's calendar).
+    pub entity: String,
+    /// Action name delivered to the peer's subscription handler (for
+    /// subscription links) or change payload discriminator (negotiation).
+    pub action: String,
+}
+
+impl LinkRef {
+    /// Builds a reference.
+    pub fn new(user: UserId, entity: impl Into<String>, action: impl Into<String>) -> Self {
+        LinkRef {
+            user,
+            entity: entity.into(),
+            action: action.into(),
+        }
+    }
+}
+
+/// A coordination link record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Link {
+    /// Local link id.
+    pub id: LinkId,
+    /// Subscription or negotiation(+constraint).
+    pub kind: LinkKind,
+    /// Permanent or tentative.
+    pub status: LinkStatus,
+    /// The local entity the link is anchored on.
+    pub entity: String,
+    /// References with their trigger actions.
+    pub refs: Vec<LinkRef>,
+    /// Priority (drives waiting-link promotion and bumping).
+    pub priority: Priority,
+    /// Creation time.
+    pub created: Timestamp,
+    /// Expiry time; `None` = never.
+    pub expires: Option<Timestamp>,
+    /// Correlation id shared by all links of one logical connection —
+    /// cascade deletion follows it across devices.
+    pub corr: String,
+}
+
+impl Link {
+    /// Serializes for the wire (`syd.link/install_link`).
+    pub fn to_value(&self) -> Value {
+        let (kind, k) = match self.kind {
+            LinkKind::Subscription => ("sub", 0u32),
+            LinkKind::Negotiation(Constraint::And) => ("and", 0),
+            LinkKind::Negotiation(Constraint::AtLeast(k)) => ("atleast", k),
+            LinkKind::Negotiation(Constraint::Exactly(k)) => ("exactly", k),
+        };
+        Value::map([
+            ("kind", Value::str(kind)),
+            ("k", Value::from(k)),
+            (
+                "status",
+                Value::str(match self.status {
+                    LinkStatus::Permanent => "perm",
+                    LinkStatus::Tentative => "tent",
+                }),
+            ),
+            ("entity", Value::str(self.entity.clone())),
+            (
+                "refs",
+                Value::list(self.refs.iter().map(|r| {
+                    Value::map([
+                        ("user", Value::from(r.user.raw())),
+                        ("entity", Value::str(r.entity.clone())),
+                        ("action", Value::str(r.action.clone())),
+                    ])
+                })),
+            ),
+            ("priority", Value::from(self.priority.level() as u32)),
+            ("created", Value::from(self.created.as_micros())),
+            (
+                "expires",
+                self.expires
+                    .map_or(Value::Null, |t| Value::from(t.as_micros())),
+            ),
+            ("corr", Value::str(self.corr.clone())),
+        ])
+    }
+
+    /// Deserializes from the wire. The local id is assigned by the
+    /// receiving device, so `value` carries none.
+    pub fn from_value(value: &Value) -> SydResult<Link> {
+        let kind_str = value.get("kind")?.as_str()?;
+        let k = value.get("k")?.as_i64()? as u32;
+        let kind = match kind_str {
+            "sub" => LinkKind::Subscription,
+            "and" => LinkKind::Negotiation(Constraint::And),
+            "atleast" => LinkKind::Negotiation(Constraint::AtLeast(k)),
+            "exactly" => LinkKind::Negotiation(Constraint::Exactly(k)),
+            other => return Err(SydError::Protocol(format!("bad link kind `{other}`"))),
+        };
+        let status = match value.get("status")?.as_str()? {
+            "perm" => LinkStatus::Permanent,
+            "tent" => LinkStatus::Tentative,
+            other => return Err(SydError::Protocol(format!("bad link status `{other}`"))),
+        };
+        let refs = value
+            .get("refs")?
+            .as_list()?
+            .iter()
+            .map(|r| {
+                Ok(LinkRef {
+                    user: UserId::new(r.get("user")?.as_i64()? as u64),
+                    entity: r.get("entity")?.as_str()?.to_owned(),
+                    action: r.get("action")?.as_str()?.to_owned(),
+                })
+            })
+            .collect::<SydResult<Vec<_>>>()?;
+        Ok(Link {
+            id: LinkId::new(0),
+            kind,
+            status,
+            entity: value.get("entity")?.as_str()?.to_owned(),
+            refs,
+            priority: Priority::new(value.get("priority")?.as_i64()? as u8),
+            created: Timestamp::from_micros(value.get("created")?.as_i64()? as u64),
+            expires: match value.get("expires")? {
+                Value::Null => None,
+                t => Some(Timestamp::from_micros(t.as_i64()? as u64)),
+            },
+            corr: value.get("corr")?.as_str()?.to_owned(),
+        })
+    }
+}
+
+/// Specification for creating a link (the id and timestamps are assigned
+/// by the module).
+#[derive(Clone, Debug)]
+pub struct LinkSpec {
+    /// Link type.
+    pub kind: LinkKind,
+    /// Initial status.
+    pub status: LinkStatus,
+    /// Local anchor entity.
+    pub entity: String,
+    /// References.
+    pub refs: Vec<LinkRef>,
+    /// Priority.
+    pub priority: Priority,
+    /// Optional expiry.
+    pub expires: Option<Timestamp>,
+    /// Correlation id; empty = assign a fresh one.
+    pub corr: String,
+    /// If tentative: the permanent link this one waits on, plus a waiting
+    /// group id (links promoted together share a group).
+    pub waits_on: Option<(LinkId, u64)>,
+}
+
+impl LinkSpec {
+    /// A permanent subscription link from `entity` to `refs`.
+    pub fn subscription(entity: impl Into<String>, refs: Vec<LinkRef>) -> LinkSpec {
+        LinkSpec {
+            kind: LinkKind::Subscription,
+            status: LinkStatus::Permanent,
+            entity: entity.into(),
+            refs,
+            priority: Priority::NORMAL,
+            expires: None,
+            corr: String::new(),
+            waits_on: None,
+        }
+    }
+
+    /// A permanent negotiation link from `entity` to `refs`.
+    pub fn negotiation(
+        entity: impl Into<String>,
+        constraint: Constraint,
+        refs: Vec<LinkRef>,
+    ) -> LinkSpec {
+        LinkSpec {
+            kind: LinkKind::Negotiation(constraint),
+            status: LinkStatus::Permanent,
+            entity: entity.into(),
+            refs,
+            priority: Priority::NORMAL,
+            expires: None,
+            corr: String::new(),
+            waits_on: None,
+        }
+    }
+
+    /// Builder: sets priority.
+    pub fn with_priority(mut self, priority: Priority) -> LinkSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Builder: sets expiry.
+    pub fn with_expiry(mut self, expires: Timestamp) -> LinkSpec {
+        self.expires = Some(expires);
+        self
+    }
+
+    /// Builder: sets the correlation id (to join an existing connection).
+    pub fn with_corr(mut self, corr: impl Into<String>) -> LinkSpec {
+        self.corr = corr.into();
+        self
+    }
+
+    /// Builder: makes the link tentative, waiting on `link` in group
+    /// `group`.
+    pub fn waiting_on(mut self, link: LinkId, group: u64) -> LinkSpec {
+        self.status = LinkStatus::Tentative;
+        self.waits_on = Some((link, group));
+        self
+    }
+}
+
+/// Report from a link deletion.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DeleteReport {
+    /// Links deleted locally.
+    pub deleted: Vec<LinkId>,
+    /// Waiting links promoted to permanent (§4.2 op. 3).
+    pub promoted: Vec<LinkId>,
+    /// Peers the cascade reached.
+    pub cascaded_to: Vec<UserId>,
+}
+
+/// Result of firing the links anchored on an entity.
+#[derive(Debug)]
+pub enum FireResult {
+    /// A subscription link delivered notifications: `(delivered, failed)`.
+    /// Failures are expected ("a try may not succeed", §4.3).
+    Notified {
+        /// The link that fired.
+        link: LinkId,
+        /// Successful deliveries.
+        delivered: usize,
+        /// Failed deliveries.
+        failed: usize,
+    },
+    /// A negotiation link ran the §4.3 protocol.
+    Negotiated {
+        /// The link that fired.
+        link: LinkId,
+        /// Protocol outcome.
+        outcome: NegotiationOutcome,
+    },
+}
+
+/// Callback invoked when a waiting link is promoted to permanent.
+pub type PromotionHandler = Arc<dyn Fn(&Link) + Send + Sync>;
+
+/// The SyDLinks module of one device.
+pub struct LinksModule {
+    store: Store,
+    engine: SydEngine,
+    user: UserId,
+    clock: Arc<dyn Clock>,
+    events: EventHandler,
+    next_link: AtomicU64,
+    next_corr: AtomicU64,
+    promotion: RwLock<Option<PromotionHandler>>,
+}
+
+const T_LINK: &str = "SyD_Link";
+const T_REF: &str = "SyD_LinkRef";
+const T_WAIT: &str = "SyD_WaitingLink";
+const T_METHOD: &str = "SyD_LinkMethod";
+
+impl LinksModule {
+    /// §4.2 op. 1: creates the link database for this user ("this link
+    /// database is created for a user when he/she installs a SyD
+    /// application with link-enabled features").
+    pub fn new(
+        store: Store,
+        engine: SydEngine,
+        user: UserId,
+        clock: Arc<dyn Clock>,
+        events: EventHandler,
+    ) -> SydResult<LinksModule> {
+        store.create_table(Schema::new(
+            T_LINK,
+            vec![
+                Column::required("id", ColumnType::I64),
+                Column::required("kind", ColumnType::Str),
+                Column::required("k", ColumnType::I64),
+                Column::required("status", ColumnType::Str),
+                Column::required("entity", ColumnType::Str),
+                Column::required("priority", ColumnType::I64),
+                Column::required("created", ColumnType::I64),
+                Column::nullable("expires", ColumnType::I64),
+                Column::required("corr", ColumnType::Str),
+            ],
+            &["id"],
+        )?)?;
+        store.create_index(T_LINK, "entity")?;
+        store.create_index(T_LINK, "corr")?;
+        store.create_table(Schema::new(
+            T_REF,
+            vec![
+                Column::required("link_id", ColumnType::I64),
+                Column::required("idx", ColumnType::I64),
+                Column::required("user", ColumnType::I64),
+                Column::required("entity", ColumnType::Str),
+                Column::required("action", ColumnType::Str),
+            ],
+            &["link_id", "idx"],
+        )?)?;
+        store.create_index(T_REF, "link_id")?;
+        store.create_table(Schema::new(
+            T_WAIT,
+            vec![
+                Column::required("link_id", ColumnType::I64),
+                Column::required("waits_on", ColumnType::I64),
+                Column::required("priority", ColumnType::I64),
+                Column::required("group_id", ColumnType::I64),
+            ],
+            &["link_id"],
+        )?)?;
+        store.create_index(T_WAIT, "waits_on")?;
+        store.create_table(Schema::new(
+            T_METHOD,
+            vec![
+                Column::required("id", ColumnType::I64),
+                Column::required("service", ColumnType::Str),
+                Column::required("src_method", ColumnType::Str),
+                Column::required("dst_user", ColumnType::I64),
+                Column::required("dst_service", ColumnType::Str),
+                Column::required("dst_method", ColumnType::Str),
+            ],
+            &["id"],
+        )?)?;
+        store.create_index(T_METHOD, "src_method")?;
+        Ok(LinksModule {
+            store,
+            engine,
+            user,
+            clock,
+            events,
+            next_link: AtomicU64::new(1),
+            next_corr: AtomicU64::new(1),
+            promotion: RwLock::new(None),
+        })
+    }
+
+    /// The user owning this link database.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Installs the handler invoked when a waiting link is promoted.
+    pub fn set_promotion_handler(&self, handler: PromotionHandler) {
+        *self.promotion.write() = Some(handler);
+    }
+
+    fn fresh_corr(&self) -> String {
+        format!(
+            "corr:{}:{}",
+            self.user.raw(),
+            self.next_corr.fetch_add(1, Ordering::Relaxed)
+        )
+    }
+
+    // ---- local CRUD --------------------------------------------------------
+
+    /// Installs a link locally (no peer interaction). Returns the stored
+    /// link with its assigned id and correlation id.
+    pub fn add_local(&self, spec: LinkSpec) -> SydResult<Link> {
+        let id = LinkId::new(self.next_link.fetch_add(1, Ordering::Relaxed));
+        let corr = if spec.corr.is_empty() {
+            self.fresh_corr()
+        } else {
+            spec.corr.clone()
+        };
+        let created = self.clock.now();
+        let (kind, k) = match spec.kind {
+            LinkKind::Subscription => ("sub", 0u32),
+            LinkKind::Negotiation(Constraint::And) => ("and", 0),
+            LinkKind::Negotiation(Constraint::AtLeast(k)) => ("atleast", k),
+            LinkKind::Negotiation(Constraint::Exactly(k)) => ("exactly", k),
+        };
+        self.store.insert(
+            T_LINK,
+            vec![
+                Value::from(id.raw()),
+                Value::str(kind),
+                Value::from(k),
+                Value::str(match spec.status {
+                    LinkStatus::Permanent => "perm",
+                    LinkStatus::Tentative => "tent",
+                }),
+                Value::str(spec.entity.clone()),
+                Value::from(spec.priority.level() as u32),
+                Value::from(created.as_micros()),
+                spec.expires
+                    .map_or(Value::Null, |t| Value::from(t.as_micros())),
+                Value::str(corr.clone()),
+            ],
+        )?;
+        for (idx, r) in spec.refs.iter().enumerate() {
+            self.store.insert(
+                T_REF,
+                vec![
+                    Value::from(id.raw()),
+                    Value::from(idx as u64),
+                    Value::from(r.user.raw()),
+                    Value::str(r.entity.clone()),
+                    Value::str(r.action.clone()),
+                ],
+            )?;
+        }
+        if let Some((waits_on, group)) = spec.waits_on {
+            self.store.insert(
+                T_WAIT,
+                vec![
+                    Value::from(id.raw()),
+                    Value::from(waits_on.raw()),
+                    Value::from(spec.priority.level() as u32),
+                    Value::from(group),
+                ],
+            )?;
+        }
+        self.events
+            .publish_local("link.created", &Value::from(id.raw()));
+        Ok(Link {
+            id,
+            kind: spec.kind,
+            status: spec.status,
+            entity: spec.entity,
+            refs: spec.refs,
+            priority: spec.priority,
+            created,
+            expires: spec.expires,
+            corr,
+        })
+    }
+
+    fn link_from_row(&self, row: &syd_store::Row) -> SydResult<Link> {
+        let id = LinkId::new(row.values[0].as_i64()? as u64);
+        let kind_str = row.values[1].as_str()?;
+        let k = row.values[2].as_i64()? as u32;
+        let kind = match kind_str {
+            "sub" => LinkKind::Subscription,
+            "and" => LinkKind::Negotiation(Constraint::And),
+            "atleast" => LinkKind::Negotiation(Constraint::AtLeast(k)),
+            "exactly" => LinkKind::Negotiation(Constraint::Exactly(k)),
+            other => return Err(SydError::Protocol(format!("bad stored kind `{other}`"))),
+        };
+        let status = match row.values[3].as_str()? {
+            "perm" => LinkStatus::Permanent,
+            _ => LinkStatus::Tentative,
+        };
+        let refs = self
+            .store
+            .query(T_REF)
+            .filter(Predicate::Eq("link_id".into(), Value::from(id.raw())))
+            .order_by("idx", true)
+            .run()?
+            .into_iter()
+            .map(|r| {
+                Ok(LinkRef {
+                    user: UserId::new(r.values[2].as_i64()? as u64),
+                    entity: r.values[3].as_str()?.to_owned(),
+                    action: r.values[4].as_str()?.to_owned(),
+                })
+            })
+            .collect::<SydResult<Vec<_>>>()?;
+        Ok(Link {
+            id,
+            kind,
+            status,
+            entity: row.values[4].as_str()?.to_owned(),
+            refs,
+            priority: Priority::new(row.values[5].as_i64()? as u8),
+            created: Timestamp::from_micros(row.values[6].as_i64()? as u64),
+            expires: match &row.values[7] {
+                Value::Null => None,
+                v => Some(Timestamp::from_micros(v.as_i64()? as u64)),
+            },
+            corr: row.values[8].as_str()?.to_owned(),
+        })
+    }
+
+    /// Fetches one link.
+    pub fn get(&self, id: LinkId) -> SydResult<Option<Link>> {
+        match self.store.get_by_key(T_LINK, &[Value::from(id.raw())])? {
+            Some(row) => Ok(Some(self.link_from_row(&row)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// All links in the database.
+    pub fn all(&self) -> SydResult<Vec<Link>> {
+        self.store
+            .select(T_LINK, &Predicate::True)?
+            .iter()
+            .map(|row| self.link_from_row(row))
+            .collect()
+    }
+
+    /// Links anchored on `entity`.
+    pub fn on_entity(&self, entity: &str) -> SydResult<Vec<Link>> {
+        self.store
+            .select(T_LINK, &Predicate::Eq("entity".into(), Value::str(entity)))?
+            .iter()
+            .map(|row| self.link_from_row(row))
+            .collect()
+    }
+
+    /// Links sharing a correlation id.
+    pub fn by_corr(&self, corr: &str) -> SydResult<Vec<Link>> {
+        self.store
+            .select(T_LINK, &Predicate::Eq("corr".into(), Value::str(corr)))?
+            .iter()
+            .map(|row| self.link_from_row(row))
+            .collect()
+    }
+
+    /// Number of stored links.
+    pub fn count(&self) -> SydResult<usize> {
+        self.store.count(T_LINK, &Predicate::True)
+    }
+
+    // ---- §4.2 op. 2: negotiated creation -----------------------------------
+
+    /// Creates a link after negotiating availability with every referenced
+    /// peer: "if and only if all the users are available … links will be
+    /// created between the users; if any user is not available … no links
+    /// will be created."
+    ///
+    /// Each peer's `syd.link/offer_link` consults its application-installed
+    /// acceptor; on unanimous acceptance the forward link is installed
+    /// locally and a back subscription link (entity → this user, action
+    /// `back_action`) is installed at each peer under the same correlation
+    /// id.
+    pub fn create_negotiated(
+        &self,
+        spec: LinkSpec,
+        back_action: &str,
+    ) -> SydResult<Link> {
+        let svc = link_service();
+        // Phase 1: ask everyone.
+        let calls: Vec<(UserId, Vec<Value>)> = spec
+            .refs
+            .iter()
+            .map(|r| {
+                (
+                    r.user,
+                    vec![
+                        Value::str(r.entity.clone()),
+                        Value::str(r.action.clone()),
+                        Value::from(self.user.raw()),
+                    ],
+                )
+            })
+            .collect();
+        let answers = self.engine.invoke_group_varied(&calls, &svc, "offer_link");
+        let all_accept = answers
+            .outcomes
+            .iter()
+            .all(|(_, r)| matches!(r, Ok(Value::Bool(true))));
+        if !all_accept {
+            let decliners: Vec<String> = answers
+                .outcomes
+                .iter()
+                .filter(|(_, r)| !matches!(r, Ok(Value::Bool(true))))
+                .map(|(u, _)| u.to_string())
+                .collect();
+            return Err(SydError::ConstraintFailed(format!(
+                "link offer declined by {}",
+                decliners.join(", ")
+            )));
+        }
+
+        // Phase 2: install forward link locally…
+        let mut spec = spec;
+        if spec.corr.is_empty() {
+            spec.corr = self.fresh_corr();
+        }
+        let refs = spec.refs.clone();
+        let corr = spec.corr.clone();
+        let forward = self.add_local(spec)?;
+
+        // …and back subscription links at every peer.
+        for r in &refs {
+            let back = Link {
+                id: LinkId::new(0),
+                kind: LinkKind::Subscription,
+                status: LinkStatus::Permanent,
+                entity: r.entity.clone(),
+                refs: vec![LinkRef::new(self.user, forward.entity.clone(), back_action)],
+                priority: forward.priority,
+                created: forward.created,
+                expires: forward.expires,
+                corr: corr.clone(),
+            };
+            self.engine
+                .invoke(r.user, &svc, "install_link", vec![back.to_value()])?;
+        }
+        Ok(forward)
+    }
+
+    /// Installs a link received from a peer (`syd.link/install_link`).
+    pub fn install_remote(&self, value: &Value) -> SydResult<LinkId> {
+        let link = Link::from_value(value)?;
+        let stored = self.add_local(LinkSpec {
+            kind: link.kind,
+            status: link.status,
+            entity: link.entity,
+            refs: link.refs,
+            priority: link.priority,
+            expires: link.expires,
+            corr: link.corr,
+            waits_on: None,
+        })?;
+        Ok(stored.id)
+    }
+
+    // ---- §4.2 ops 3 & 4: deletion with promotion and cascade ---------------
+
+    /// Deletes a link: promotes the highest-priority waiting group, removes
+    /// the local record, and cascades the deletion to every peer sharing
+    /// the correlation id (§4.4 steps 1–7).
+    pub fn delete(&self, id: LinkId, cascade: bool) -> SydResult<DeleteReport> {
+        let Some(link) = self.get(id)? else {
+            return Err(SydError::NoSuchLink(id));
+        };
+        // Step 1–2: promote waiting links.
+        let mut report = DeleteReport {
+            promoted: self.promote_waiters(id)?,
+            ..DeleteReport::default()
+        };
+
+        // Step 3: delete the local link.
+        self.delete_local_only(id)?;
+        report.deleted.push(id);
+
+        // Steps 4–7: cascade along the correlation id. The deleted link's
+        // own refs seed the peer set (its local record is already gone).
+        if cascade {
+            report.cascaded_to =
+                self.cascade_corr(&link.corr, vec![self.user.raw()], &link.refs)?;
+        }
+
+        self.events
+            .publish_local("link.deleted", &Value::from(id.raw()));
+        Ok(report)
+    }
+
+    fn delete_local_only(&self, id: LinkId) -> SydResult<()> {
+        self.store
+            .delete(T_LINK, &Predicate::Eq("id".into(), Value::from(id.raw())))?;
+        self.store.delete(
+            T_REF,
+            &Predicate::Eq("link_id".into(), Value::from(id.raw())),
+        )?;
+        self.store.delete(
+            T_WAIT,
+            &Predicate::Eq("link_id".into(), Value::from(id.raw())),
+        )?;
+        Ok(())
+    }
+
+    /// Deletes every local link with `corr` (without re-cascading to the
+    /// users in `visited`) and forwards the cascade to remaining peers.
+    pub fn delete_by_corr(&self, corr: &str, mut visited: Vec<u64>) -> SydResult<DeleteReport> {
+        let mut report = DeleteReport::default();
+        if !visited.contains(&self.user.raw()) {
+            visited.push(self.user.raw());
+        }
+        let links = self.by_corr(corr)?;
+        for link in &links {
+            report.promoted.extend(self.promote_waiters(link.id)?);
+            self.delete_local_only(link.id)?;
+            report.deleted.push(link.id);
+            self.events
+                .publish_local("link.deleted", &Value::from(link.id.raw()));
+        }
+        // Forward the cascade to peers we haven't visited.
+        let mut peers: Vec<UserId> = links
+            .iter()
+            .flat_map(|l| l.refs.iter().map(|r| r.user))
+            .filter(|u| !visited.contains(&u.raw()))
+            .collect();
+        peers.sort();
+        peers.dedup();
+        for peer in peers {
+            visited.push(peer.raw());
+            let result = self.engine.invoke(
+                peer,
+                &link_service(),
+                "delete_by_corr",
+                vec![
+                    Value::str(corr),
+                    Value::list(visited.iter().map(|&v| Value::from(v))),
+                ],
+            );
+            if result.is_ok() {
+                report.cascaded_to.push(peer);
+            }
+            // An unreachable peer keeps its links; its own expiry scan will
+            // eventually collect them (the paper's mobile devices tolerate
+            // exactly this kind of stale state).
+        }
+        Ok(report)
+    }
+
+    /// Cascade half of [`LinksModule::delete`]: contacts every peer of the
+    /// correlation group — `seed_refs` (the refs of the already-deleted
+    /// local link) plus the refs of any remaining local links with the
+    /// same correlation id.
+    fn cascade_corr(
+        &self,
+        corr: &str,
+        mut visited: Vec<u64>,
+        seed_refs: &[LinkRef],
+    ) -> SydResult<Vec<UserId>> {
+        let mut peers: Vec<UserId> = seed_refs.iter().map(|r| r.user).collect();
+        for link in self.by_corr(corr)? {
+            peers.extend(link.refs.iter().map(|r| r.user));
+        }
+        peers.retain(|u| !visited.contains(&u.raw()));
+        peers.sort();
+        peers.dedup();
+        let mut reached = Vec::new();
+        for peer in peers {
+            visited.push(peer.raw());
+            let result = self.engine.invoke(
+                peer,
+                &link_service(),
+                "delete_by_corr",
+                vec![
+                    Value::str(corr),
+                    Value::list(visited.iter().map(|&v| Value::from(v))),
+                ],
+            );
+            if result.is_ok() {
+                reached.push(peer);
+            }
+            // An unreachable peer keeps its links; its own expiry scan will
+            // eventually collect them (the paper's mobile devices tolerate
+            // exactly this kind of stale state).
+        }
+        Ok(reached)
+    }
+
+    /// §4.2 op. 3: "once L0 is deleted, the waiting link (or group of
+    /// waiting links) with the highest priority is converted from tentative
+    /// to permanent." Remaining waiters are re-anchored to the first
+    /// promoted link so the queue survives.
+    fn promote_waiters(&self, deleted: LinkId) -> SydResult<Vec<LinkId>> {
+        let waiting = self.store.select(
+            T_WAIT,
+            &Predicate::Eq("waits_on".into(), Value::from(deleted.raw())),
+        )?;
+        if waiting.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Highest-priority group wins.
+        let best_group = waiting
+            .iter()
+            .max_by_key(|row| {
+                (
+                    row.values[2].as_i64().unwrap_or(0),
+                    // Tie-break: lowest group id (FIFO-ish).
+                    -(row.values[3].as_i64().unwrap_or(0)),
+                )
+            })
+            .map(|row| row.values[3].clone())
+            .expect("non-empty waiting set");
+
+        let mut promoted = Vec::new();
+        let mut remaining = Vec::new();
+        for row in &waiting {
+            let link_id = LinkId::new(row.values[0].as_i64()? as u64);
+            if row.values[3] == best_group {
+                promoted.push(link_id);
+            } else {
+                remaining.push(link_id);
+            }
+        }
+
+        for &link_id in &promoted {
+            self.store.update(
+                T_LINK,
+                &Predicate::Eq("id".into(), Value::from(link_id.raw())),
+                &[("status".into(), Value::str("perm"))],
+            )?;
+            self.store.delete(
+                T_WAIT,
+                &Predicate::Eq("link_id".into(), Value::from(link_id.raw())),
+            )?;
+            self.events
+                .publish_local("link.promoted", &Value::from(link_id.raw()));
+            if let Some(link) = self.get(link_id)? {
+                if let Some(handler) = self.promotion.read().clone() {
+                    handler(&link);
+                }
+            }
+        }
+        // Re-anchor the rest of the queue onto the first promoted link.
+        if let Some(&new_anchor) = promoted.first() {
+            for link_id in remaining {
+                self.store.update(
+                    T_WAIT,
+                    &Predicate::Eq("link_id".into(), Value::from(link_id.raw())),
+                    &[("waits_on".into(), Value::from(new_anchor.raw()))],
+                )?;
+            }
+        }
+        Ok(promoted)
+    }
+
+    // ---- §4.2 op. 5: method coupling ---------------------------------------
+
+    /// Records that executing `service.src_method` locally must also invoke
+    /// `dst_service.dst_method` on `dst_user`.
+    pub fn couple_method(
+        &self,
+        service: &ServiceName,
+        src_method: &str,
+        dst_user: UserId,
+        dst_service: &ServiceName,
+        dst_method: &str,
+    ) -> SydResult<()> {
+        let id = self.next_link.fetch_add(1, Ordering::Relaxed);
+        self.store.insert(
+            T_METHOD,
+            vec![
+                Value::from(id),
+                Value::str(service.as_str()),
+                Value::str(src_method),
+                Value::from(dst_user.raw()),
+                Value::str(dst_service.as_str()),
+                Value::str(dst_method),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Destinations coupled to `service.method`.
+    pub fn coupled(
+        &self,
+        service: &ServiceName,
+        method: &str,
+    ) -> SydResult<Vec<(UserId, ServiceName, String)>> {
+        self.store
+            .select(
+                T_METHOD,
+                &Predicate::Eq("src_method".into(), Value::str(method)).and(Predicate::Eq(
+                    "service".into(),
+                    Value::str(service.as_str()),
+                )),
+            )?
+            .iter()
+            .map(|row| {
+                Ok((
+                    UserId::new(row.values[3].as_i64()? as u64),
+                    ServiceName::new(row.values[4].as_str()?),
+                    row.values[5].as_str()?.to_owned(),
+                ))
+            })
+            .collect()
+    }
+
+    /// §4.2 op. 5: "the application programmer has to include a call to
+    /// check whether the current method being executed is listed in the
+    /// SyD_LinkMethod table" — this is that call. Invokes every coupled
+    /// destination with `args`; returns per-destination outcomes.
+    pub fn invoke_coupled(
+        &self,
+        service: &ServiceName,
+        method: &str,
+        args: Vec<Value>,
+    ) -> SydResult<Vec<(UserId, SydResult<Value>)>> {
+        let targets = self.coupled(service, method)?;
+        Ok(targets
+            .into_iter()
+            .map(|(user, dst_service, dst_method)| {
+                let out = self
+                    .engine
+                    .invoke(user, &dst_service, &dst_method, args.clone());
+                (user, out)
+            })
+            .collect())
+    }
+
+    // ---- §4.2 op. 6: expiry -------------------------------------------------
+
+    /// Deletes every link whose expiry time has passed. Returns the ids
+    /// deleted. Run periodically by the device's event handler.
+    pub fn expire_scan(&self) -> SydResult<Vec<LinkId>> {
+        let now = self.clock.now().as_micros() as i64;
+        let expired = self.store.select(
+            T_LINK,
+            &Predicate::Le("expires".into(), Value::I64(now)),
+        )?;
+        let mut deleted = Vec::new();
+        for row in expired {
+            let id = LinkId::new(row.values[0].as_i64()? as u64);
+            // Expired links are torn down with full cascade, so the peers'
+            // halves of the connection go too.
+            if self.delete(id, true).is_ok() {
+                self.events
+                    .publish_local("link.expired", &Value::from(id.raw()));
+                deleted.push(id);
+            }
+        }
+        Ok(deleted)
+    }
+
+    // ---- trigger firing ------------------------------------------------------
+
+    /// Fires every link anchored on `entity` in response to a local change
+    /// — subscription links notify their references; negotiation links run
+    /// the §4.3 protocol via `negotiator`. Tentative links do not fire.
+    pub fn entity_changed(
+        &self,
+        entity: &str,
+        payload: &Value,
+        negotiator: &Negotiator,
+    ) -> SydResult<Vec<FireResult>> {
+        let mut results = Vec::new();
+        for link in self.on_entity(entity)? {
+            if link.status == LinkStatus::Tentative {
+                continue;
+            }
+            results.push(self.fire_link(&link, payload, negotiator)?);
+        }
+        Ok(results)
+    }
+
+    /// Fires one link explicitly.
+    pub fn fire_link(
+        &self,
+        link: &Link,
+        payload: &Value,
+        negotiator: &Negotiator,
+    ) -> SydResult<FireResult> {
+        match link.kind {
+            LinkKind::Subscription => {
+                let svc = link_service();
+                let mut delivered = 0;
+                let mut failed = 0;
+                for r in &link.refs {
+                    let out = self.engine.invoke(
+                        r.user,
+                        &svc,
+                        "notify",
+                        vec![
+                            Value::str(r.entity.clone()),
+                            Value::str(r.action.clone()),
+                            payload.clone(),
+                        ],
+                    );
+                    if out.is_ok() {
+                        delivered += 1;
+                    } else {
+                        failed += 1;
+                    }
+                }
+                Ok(FireResult::Notified {
+                    link: link.id,
+                    delivered,
+                    failed,
+                })
+            }
+            LinkKind::Negotiation(constraint) => {
+                let participants: Vec<Participant> = link
+                    .refs
+                    .iter()
+                    .map(|r| Participant::new(r.user, r.entity.clone(), payload.clone()))
+                    .collect();
+                let outcome = negotiator.negotiate(constraint, &participants)?;
+                Ok(FireResult::Negotiated {
+                    link: link.id,
+                    outcome,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_value_round_trip() {
+        let link = Link {
+            id: LinkId::new(0),
+            kind: LinkKind::Negotiation(Constraint::AtLeast(2)),
+            status: LinkStatus::Tentative,
+            entity: "slot:1:9".into(),
+            refs: vec![
+                LinkRef::new(UserId::new(2), "slot:1:9", "reserve"),
+                LinkRef::new(UserId::new(3), "slot:1:9", "reserve"),
+            ],
+            priority: Priority::HIGH,
+            created: Timestamp::from_micros(10),
+            expires: Some(Timestamp::from_micros(99)),
+            corr: "corr:1:1".into(),
+        };
+        let back = Link::from_value(&link.to_value()).unwrap();
+        assert_eq!(back, link);
+    }
+
+    #[test]
+    fn link_value_round_trip_no_expiry() {
+        let link = Link {
+            id: LinkId::new(0),
+            kind: LinkKind::Subscription,
+            status: LinkStatus::Permanent,
+            entity: "e".into(),
+            refs: vec![],
+            priority: Priority::NORMAL,
+            created: Timestamp::from_micros(0),
+            expires: None,
+            corr: "c".into(),
+        };
+        let back = Link::from_value(&link.to_value()).unwrap();
+        assert_eq!(back, link);
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut v = Link {
+            id: LinkId::new(0),
+            kind: LinkKind::Subscription,
+            status: LinkStatus::Permanent,
+            entity: "e".into(),
+            refs: vec![],
+            priority: Priority::NORMAL,
+            created: Timestamp::from_micros(0),
+            expires: None,
+            corr: "c".into(),
+        }
+        .to_value();
+        if let Value::Map(m) = &mut v {
+            m.insert("kind".into(), Value::str("bogus"));
+        }
+        assert!(Link::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn spec_builders() {
+        let spec = LinkSpec::negotiation("e", Constraint::And, vec![])
+            .with_priority(Priority::HIGH)
+            .with_expiry(Timestamp::from_micros(5))
+            .with_corr("shared")
+            .waiting_on(LinkId::new(9), 3);
+        assert_eq!(spec.priority, Priority::HIGH);
+        assert_eq!(spec.expires, Some(Timestamp::from_micros(5)));
+        assert_eq!(spec.corr, "shared");
+        assert_eq!(spec.status, LinkStatus::Tentative);
+        assert_eq!(spec.waits_on, Some((LinkId::new(9), 3)));
+    }
+}

@@ -1,0 +1,258 @@
+//! SyDListener: service registration and authenticated dispatch (§3.1b).
+//!
+//! "SyDListener enables SyD device objects to publish services … as
+//! listeners locally on the device and globally via directory services."
+//! Locally, this is a registry from `(service, method)` to a handler
+//! closure; globally, [`crate::device::DeviceRuntime`] publishes the
+//! service names in the SyDDirectory.
+//!
+//! Every inbound request is authenticated first when the deployment runs
+//! with security enabled (§5.4): the TEA credential blob is decrypted and
+//! checked against the device's authorized-user table *before* the method
+//! runs, and the authenticated user (not the claimed `caller` field) is
+//! what the handler sees.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use syd_crypto::Authenticator;
+use syd_net::RequestHandler;
+use syd_types::{NodeAddr, ServiceName, SydError, SydResult, UserId, Value};
+use syd_wire::Request;
+
+/// Context passed to every service method.
+#[derive(Clone, Debug)]
+pub struct InvokeCtx {
+    /// The authenticated caller (or the unverified claimed caller when the
+    /// deployment runs without authentication — see `authenticated`).
+    pub caller: UserId,
+    /// Network address the request arrived from.
+    pub from: NodeAddr,
+    /// True iff `caller` was cryptographically verified.
+    pub authenticated: bool,
+}
+
+/// A registered service method.
+pub type ServiceMethod = Arc<dyn Fn(&InvokeCtx, &[Value]) -> SydResult<Value> + Send + Sync>;
+
+struct ListenerState {
+    methods: HashMap<(String, String), ServiceMethod>,
+}
+
+/// The per-device service registry and request dispatcher.
+pub struct Listener {
+    state: RwLock<ListenerState>,
+    auth: Option<Arc<Authenticator>>,
+}
+
+impl Listener {
+    /// Creates a listener. With `Some(authenticator)` every request must
+    /// carry valid credentials; with `None` requests are trusted (the
+    /// paper's prototype also ran in both modes during development).
+    pub fn new(auth: Option<Arc<Authenticator>>) -> Listener {
+        Listener {
+            state: RwLock::new(ListenerState {
+                methods: HashMap::new(),
+            }),
+            auth,
+        }
+    }
+
+    /// Registers (or replaces) a method under `service`.
+    pub fn register(
+        &self,
+        service: &ServiceName,
+        method: &str,
+        handler: ServiceMethod,
+    ) {
+        self.state
+            .write()
+            .methods
+            .insert((service.as_str().to_owned(), method.to_owned()), handler);
+    }
+
+    /// Unregisters a method.
+    pub fn unregister(&self, service: &ServiceName, method: &str) {
+        self.state
+            .write()
+            .methods
+            .remove(&(service.as_str().to_owned(), method.to_owned()));
+    }
+
+    /// All registered `(service, method)` pairs, sorted.
+    pub fn registered(&self) -> Vec<(String, String)> {
+        let mut v: Vec<_> = self.state.read().methods.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Dispatches one request: authenticate, look up, invoke.
+    pub fn dispatch(&self, from: NodeAddr, req: &Request) -> SydResult<Value> {
+        let ctx = match &self.auth {
+            Some(auth) => {
+                let caller = auth.verify(&req.credentials)?;
+                InvokeCtx {
+                    caller,
+                    from,
+                    authenticated: true,
+                }
+            }
+            None => InvokeCtx {
+                caller: req.caller,
+                from,
+                authenticated: false,
+            },
+        };
+        let handler = {
+            let state = self.state.read();
+            state
+                .methods
+                .get(&(req.service.as_str().to_owned(), req.method.clone()))
+                .cloned()
+        };
+        match handler {
+            Some(h) => h(&ctx, &req.args),
+            None => Err(SydError::NoSuchService(
+                req.service.clone(),
+                req.method.clone(),
+            )),
+        }
+    }
+}
+
+/// Adapter wiring a [`Listener`] into a network node.
+pub struct ListenerHandler(pub Arc<Listener>);
+
+impl RequestHandler for ListenerHandler {
+    fn handle(&self, from: NodeAddr, request: Request) -> SydResult<Value> {
+        self.0.dispatch(from, &request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syd_crypto::Credentials;
+    use syd_types::RequestId;
+
+    fn request(service: &str, method: &str, credentials: Vec<u8>) -> Request {
+        Request {
+            id: RequestId::new(1),
+            caller: UserId::new(42),
+            target: UserId::default(),
+            credentials,
+            service: ServiceName::new(service),
+            method: method.to_owned(),
+            args: vec![Value::I64(5)],
+        }
+    }
+
+    fn echo_method() -> ServiceMethod {
+        Arc::new(|ctx: &InvokeCtx, args: &[Value]| {
+            Ok(Value::list([
+                Value::from(ctx.caller.raw()),
+                Value::Bool(ctx.authenticated),
+                args[0].clone(),
+            ]))
+        })
+    }
+
+    #[test]
+    fn unauthenticated_mode_trusts_claimed_caller() {
+        let listener = Listener::new(None);
+        listener.register(&ServiceName::new("svc"), "echo", echo_method());
+        let out = listener
+            .dispatch(NodeAddr::new(9), &request("svc", "echo", vec![]))
+            .unwrap();
+        assert_eq!(
+            out,
+            Value::list([Value::I64(42), Value::Bool(false), Value::I64(5)])
+        );
+    }
+
+    #[test]
+    fn authenticated_mode_uses_verified_identity() {
+        let auth = Arc::new(Authenticator::from_passphrase("k"));
+        auth.table().authorize(UserId::new(7), "pw");
+        let listener = Listener::new(Some(Arc::clone(&auth)));
+        listener.register(&ServiceName::new("svc"), "echo", echo_method());
+
+        let blob = auth.seal(&Credentials::new(UserId::new(7), "pw"), [1; 8]);
+        let out = listener
+            .dispatch(NodeAddr::new(9), &request("svc", "echo", blob))
+            .unwrap();
+        // The verified user (7) wins over the claimed caller (42).
+        assert_eq!(
+            out,
+            Value::list([Value::I64(7), Value::Bool(true), Value::I64(5)])
+        );
+    }
+
+    #[test]
+    fn bad_credentials_rejected_before_dispatch() {
+        let auth = Arc::new(Authenticator::from_passphrase("k"));
+        auth.table().authorize(UserId::new(7), "pw");
+        let listener = Listener::new(Some(Arc::clone(&auth)));
+        let called = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let called_clone = Arc::clone(&called);
+        listener.register(
+            &ServiceName::new("svc"),
+            "echo",
+            Arc::new(move |_, _| {
+                called_clone.store(true, std::sync::atomic::Ordering::SeqCst);
+                Ok(Value::Null)
+            }),
+        );
+        let err = listener
+            .dispatch(NodeAddr::new(9), &request("svc", "echo", vec![1, 2, 3]))
+            .unwrap_err();
+        assert!(matches!(err, SydError::AuthFailed(_)), "{err}");
+        assert!(!called.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn wrong_password_names_claimed_user() {
+        let auth = Arc::new(Authenticator::from_passphrase("k"));
+        auth.table().authorize(UserId::new(7), "pw");
+        let listener = Listener::new(Some(Arc::clone(&auth)));
+        let blob = auth.seal(&Credentials::new(UserId::new(7), "wrong"), [1; 8]);
+        let err = listener
+            .dispatch(NodeAddr::new(9), &request("svc", "echo", blob))
+            .unwrap_err();
+        assert_eq!(err, SydError::AuthFailed(UserId::new(7)));
+    }
+
+    #[test]
+    fn missing_method_reported() {
+        let listener = Listener::new(None);
+        let err = listener
+            .dispatch(NodeAddr::new(1), &request("svc", "nope", vec![]))
+            .unwrap_err();
+        assert!(matches!(err, SydError::NoSuchService(_, _)));
+    }
+
+    #[test]
+    fn register_replace_unregister() {
+        let listener = Listener::new(None);
+        let svc = ServiceName::new("svc");
+        listener.register(&svc, "m", Arc::new(|_, _| Ok(Value::I64(1))));
+        listener.register(&svc, "m", Arc::new(|_, _| Ok(Value::I64(2))));
+        listener.register(&svc, "n", Arc::new(|_, _| Ok(Value::I64(3))));
+        assert_eq!(
+            listener.registered(),
+            vec![
+                ("svc".to_owned(), "m".to_owned()),
+                ("svc".to_owned(), "n".to_owned())
+            ]
+        );
+        let out = listener
+            .dispatch(NodeAddr::new(1), &request("svc", "m", vec![]))
+            .unwrap();
+        assert_eq!(out, Value::I64(2));
+        listener.unregister(&svc, "m");
+        assert!(listener
+            .dispatch(NodeAddr::new(1), &request("svc", "m", vec![]))
+            .is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! TEA cipher and request authentication — the paper's §5.4 security layer.
+//!
+//! The prototype authenticated every remote request: "A 32-bit key is used
+//! to encrypt the user id and password. Encryption is done using the Tiny
+//! Encryption Algorithm. The encrypted user id and password are sent as
+//! parameters along with every request" (§5.4, citing Wheeler & Needham
+//! \[22\]).
+//!
+//! We implement TEA exactly as published — 64-bit blocks, **128-bit** key,
+//! 32 cycles (64 Feistel rounds). The paper's "32-bit key" contradicts
+//! TEA's definition and is recorded in DESIGN.md as a paper erratum; a
+//! 32-bit key would also be trivially brute-forceable, so the prototype
+//! almost certainly used the standard 128-bit key schedule too.
+//!
+//! Layers:
+//!
+//! * [`tea`] — the raw block cipher.
+//! * [`mode`] — CBC chaining with PKCS#7 padding and a random IV, so
+//!   variable-length credential envelopes can be encrypted.
+//! * [`auth`] — the credential envelope (`user id : password`) and the
+//!   server-side authenticator backed by each device's authorized-user
+//!   table, exactly the §5.4 flow: encrypt on the client, decrypt and
+//!   compare on the server before processing the request.
+//!
+//! TEA is *not* a modern cipher (related-key weaknesses are well known);
+//! it is implemented here because reproducing the paper requires it, and
+//! the trait-shaped API would let a deployment swap in something current.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod mode;
+pub mod tea;
+
+pub use auth::{AuthTable, Authenticator, Credentials};
+pub use mode::{cbc_decrypt, cbc_encrypt};
+pub use tea::{key_from_passphrase, TeaKey, BLOCK_SIZE};

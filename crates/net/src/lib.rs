@@ -1,0 +1,38 @@
+//! Simulated network substrate for SyD.
+//!
+//! The paper's prototype ran on a wireless LAN of iPAQ handhelds, speaking
+//! raw TCP sockets (§3.1, §5.2). That hardware is replaced here by an
+//! in-process packet network with the properties that matter to the
+//! middleware above it:
+//!
+//! * **Addressed endpoints** ([`Endpoint`]) registered on a shared
+//!   [`Network`], with messages encoded through the real wire codec on every
+//!   hop (so byte counts and codec behaviour are exercised end to end).
+//! * **Weak connectivity**: configurable latency and jitter, random loss,
+//!   explicit partitions, and per-endpoint disconnection — the mobility
+//!   conditions §5.1/§5.2 design for.
+//! * **A router thread** delivering messages in timestamp order from a
+//!   binary heap (the shared medium — one radio channel, like the LAN).
+//! * **An RPC layer** ([`Node`]) with correlation ids, deadlines, retries
+//!   and a grow-on-demand worker pool so nested invocations (cancel
+//!   cascades, negotiations) can never deadlock a dispatch thread.
+//!
+//! Everything above this crate (`syd-core`, the applications) sees only
+//! logical operations: `call`, `call_async`, `publish_event`, `serve`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod network;
+pub mod node;
+pub mod pool;
+pub mod rpc;
+pub mod stats;
+
+pub use config::{LatencyModel, NetConfig};
+pub use network::{Endpoint, Network};
+pub use node::{EventSink, Node, RequestHandler};
+pub use pool::WorkerPool;
+pub use rpc::{CallOptions, PendingCall};
+pub use stats::NetStats;

@@ -1,0 +1,677 @@
+//! The shared-medium network and its router thread.
+//!
+//! All endpoints of one [`Network`] share a single router — deliberately so:
+//! the paper's devices shared one 802.11b channel. The router keeps a
+//! min-heap of in-flight messages ordered by due time and delivers each to
+//! its destination endpoint's channel, applying the loss, partition and
+//! connection rules along the way.
+//!
+//! Messages are fully encoded with the `syd-wire` codec at send time and
+//! decoded by the receiving endpoint, so every hop exercises the real wire
+//! format and the stats counters see real byte counts.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use syd_types::{NodeAddr, SydError, SydResult};
+use syd_wire::{decode_from_slice, encode_to_vec, Envelope, Payload, Response};
+
+use crate::config::NetConfig;
+use crate::stats::{NetStats, StatsSnapshot};
+
+/// An in-flight message.
+struct Scheduled {
+    due: Instant,
+    seq: u64,
+    src: NodeAddr,
+    dst: NodeAddr,
+    bytes: Vec<u8>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Due-time order, sequence number as FIFO tie-break.
+        self.due.cmp(&other.due).then(self.seq.cmp(&other.seq))
+    }
+}
+
+struct EndpointSlot {
+    tx: Sender<Vec<u8>>,
+    connected: bool,
+}
+
+struct RouterState {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    endpoints: HashMap<NodeAddr, EndpointSlot>,
+    /// Normalized (low, high) pairs that cannot exchange messages.
+    partitions: HashSet<(NodeAddr, NodeAddr)>,
+    rng: StdRng,
+    cfg: NetConfig,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<RouterState>,
+    cv: Condvar,
+    stats: NetStats,
+    next_addr: AtomicU64,
+    next_seq: AtomicU64,
+}
+
+/// Handle to a simulated network. Cloning shares the network; the router
+/// thread stops when the last handle is dropped (or on [`Network::shutdown`]).
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<Inner>,
+    _owner: Arc<OwnerToken>,
+}
+
+/// Shuts the router down when the last `Network` clone is dropped.
+struct OwnerToken {
+    inner: Arc<Inner>,
+}
+
+impl Drop for OwnerToken {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock();
+        state.shutdown = true;
+        drop(state);
+        self.inner.cv.notify_all();
+    }
+}
+
+fn norm_pair(a: NodeAddr, b: NodeAddr) -> (NodeAddr, NodeAddr) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Network {
+    /// Creates a network and starts its router thread.
+    pub fn new(cfg: NetConfig) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(RouterState {
+                heap: BinaryHeap::new(),
+                endpoints: HashMap::new(),
+                partitions: HashSet::new(),
+                rng: StdRng::seed_from_u64(cfg.seed),
+                cfg,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            stats: NetStats::default(),
+            next_addr: AtomicU64::new(1),
+            next_seq: AtomicU64::new(0),
+        });
+        let router_inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("syd-net-router".into())
+            .spawn(move || router_loop(router_inner))
+            .expect("spawn router thread");
+        let owner = Arc::new(OwnerToken {
+            inner: Arc::clone(&inner),
+        });
+        Network {
+            inner,
+            _owner: owner,
+        }
+    }
+
+    /// Creates a network with the ideal (lossless, instant) configuration.
+    pub fn ideal() -> Self {
+        Self::new(NetConfig::ideal())
+    }
+
+    /// Registers a new endpoint and returns its handle.
+    pub fn register(&self) -> Endpoint {
+        let addr = NodeAddr::new(self.inner.next_addr.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let mut state = self.inner.state.lock();
+        state.endpoints.insert(
+            addr,
+            EndpointSlot {
+                tx,
+                connected: true,
+            },
+        );
+        drop(state);
+        Endpoint {
+            addr,
+            rx,
+            net: self.clone(),
+        }
+    }
+
+    /// Removes an endpoint; all further traffic to it counts as unreachable.
+    pub fn unregister(&self, addr: NodeAddr) {
+        let mut state = self.inner.state.lock();
+        state.endpoints.remove(&addr);
+    }
+
+    /// Marks an endpoint (dis)connected — the paper's mobile device going
+    /// out of range. Messages to a disconnected endpoint are dropped (or
+    /// fail fast, per [`NetConfig::fail_fast_disconnected`]).
+    pub fn set_connected(&self, addr: NodeAddr, connected: bool) {
+        let mut state = self.inner.state.lock();
+        if let Some(slot) = state.endpoints.get_mut(&addr) {
+            slot.connected = connected;
+        }
+    }
+
+    /// True if the endpoint exists and is connected.
+    pub fn is_connected(&self, addr: NodeAddr) -> bool {
+        let state = self.inner.state.lock();
+        state.endpoints.get(&addr).is_some_and(|s| s.connected)
+    }
+
+    /// Inserts or removes a bidirectional partition between two endpoints.
+    pub fn set_partitioned(&self, a: NodeAddr, b: NodeAddr, partitioned: bool) {
+        let mut state = self.inner.state.lock();
+        let pair = norm_pair(a, b);
+        if partitioned {
+            state.partitions.insert(pair);
+        } else {
+            state.partitions.remove(&pair);
+        }
+    }
+
+    /// Removes every partition.
+    pub fn heal_partitions(&self) {
+        let mut state = self.inner.state.lock();
+        state.partitions.clear();
+    }
+
+    /// Replaces the latency/loss configuration at runtime (the RNG keeps
+    /// its state so traffic remains reproducible for a fixed seed).
+    pub fn reconfigure(&self, cfg: NetConfig) {
+        let mut state = self.inner.state.lock();
+        state.cfg = cfg;
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Stops the router thread. Idempotent; messages still in flight are
+    /// discarded.
+    pub fn shutdown(&self) {
+        let mut state = self.inner.state.lock();
+        state.shutdown = true;
+        drop(state);
+        self.inner.cv.notify_all();
+    }
+
+    /// Injects an envelope into the network from `env.src`.
+    ///
+    /// Applies loss and fail-fast rules, samples latency, and schedules
+    /// delivery. Returns the encoded size on success. `Unreachable` means
+    /// the destination has never been registered (or was unregistered).
+    pub fn send(&self, env: Envelope) -> SydResult<usize> {
+        let bytes = encode_to_vec(&env);
+        let size = bytes.len();
+        let mut state = self.inner.state.lock();
+        if state.shutdown {
+            return Err(SydError::Shutdown);
+        }
+        self.inner.stats.on_sent(size);
+
+        let Some(slot) = state.endpoints.get(&env.dst) else {
+            self.inner.stats.on_dropped_unreachable();
+            return Err(SydError::Unreachable(env.dst));
+        };
+
+        // Fail fast for requests to a disconnected device: synthesize an
+        // error response with the same latency as a real round trip half.
+        if !slot.connected && state.cfg.fail_fast_disconnected {
+            if let Payload::Request(req) = &env.payload {
+                let reply = Envelope::new(
+                    env.dst,
+                    env.src,
+                    Payload::Response(Response {
+                        id: req.id,
+                        result: Err(SydError::Disconnected(env.dst)),
+                    }),
+                );
+                let reply_bytes = encode_to_vec(&reply);
+                self.inner.stats.on_dropped_disconnected();
+                let due = Instant::now() + sample_latency(&mut state);
+                let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+                state.heap.push(Reverse(Scheduled {
+                    due,
+                    seq,
+                    src: env.dst,
+                    dst: env.src,
+                    bytes: reply_bytes,
+                }));
+                drop(state);
+                self.inner.cv.notify_all();
+                return Ok(size);
+            }
+        }
+
+        // Random loss.
+        let loss = state.cfg.loss;
+        if loss > 0.0 && state.rng.gen::<f64>() < loss {
+            self.inner.stats.on_dropped_loss();
+            return Ok(size);
+        }
+
+        let due = Instant::now() + sample_latency(&mut state);
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        state.heap.push(Reverse(Scheduled {
+            due,
+            seq,
+            src: env.src,
+            dst: env.dst,
+            bytes,
+        }));
+        drop(state);
+        self.inner.cv.notify_all();
+        Ok(size)
+    }
+}
+
+fn sample_latency(state: &mut RouterState) -> Duration {
+    let model = state.cfg.latency;
+    if model.jitter.is_zero() {
+        return model.base;
+    }
+    let jitter_micros = state.rng.gen_range(0..=model.jitter.as_micros() as u64);
+    model.base + Duration::from_micros(jitter_micros)
+}
+
+fn router_loop(inner: Arc<Inner>) {
+    let mut state = inner.state.lock();
+    loop {
+        if state.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        // Deliver everything due.
+        while let Some(Reverse(head)) = state.heap.peek() {
+            if head.due > now {
+                break;
+            }
+            let msg = state.heap.pop().expect("peeked").0;
+            deliver(&inner, &mut state, msg);
+        }
+        match state.heap.peek() {
+            Some(Reverse(head)) => {
+                let wait = head.due.saturating_duration_since(Instant::now());
+                if !wait.is_zero() {
+                    inner.cv.wait_for(&mut state, wait);
+                }
+            }
+            None => {
+                inner.cv.wait(&mut state);
+            }
+        }
+    }
+}
+
+fn deliver(inner: &Inner, state: &mut RouterState, msg: Scheduled) {
+    // Partition and connection state are re-checked at delivery time so a
+    // partition raised while a message is in flight still swallows it.
+    if state.partitions.contains(&norm_pair(msg.src, msg.dst)) {
+        inner.stats.on_dropped_partition();
+        return;
+    }
+    match state.endpoints.get(&msg.dst) {
+        None => inner.stats.on_dropped_unreachable(),
+        Some(slot) if !slot.connected => inner.stats.on_dropped_disconnected(),
+        Some(slot) => {
+            if slot.tx.send(msg.bytes).is_ok() {
+                inner.stats.on_delivered();
+            } else {
+                inner.stats.on_dropped_unreachable();
+            }
+        }
+    }
+}
+
+/// A registered endpoint: the network-facing half of a device.
+pub struct Endpoint {
+    addr: NodeAddr,
+    rx: Receiver<Vec<u8>>,
+    net: Network,
+}
+
+impl Endpoint {
+    /// This endpoint's address.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// The network this endpoint belongs to.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Sends a payload to `dst`.
+    pub fn send(&self, dst: NodeAddr, payload: Payload) -> SydResult<usize> {
+        self.net.send(Envelope::new(self.addr, dst, payload))
+    }
+
+    /// Blocks until a message arrives (or the endpoint is unregistered).
+    pub fn recv(&self) -> SydResult<Envelope> {
+        let bytes = self.rx.recv().map_err(|_| SydError::Shutdown)?;
+        decode_from_slice(&bytes)
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> SydResult<Envelope> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(bytes) => decode_from_slice(&bytes),
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                Err(SydError::Timeout(syd_types::RequestId::new(0)))
+            }
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => Err(SydError::Shutdown),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<SydResult<Envelope>> {
+        match self.rx.try_recv() {
+            Ok(bytes) => Some(decode_from_slice(&bytes)),
+            Err(crossbeam_channel::TryRecvError::Empty) => None,
+            Err(crossbeam_channel::TryRecvError::Disconnected) => Some(Err(SydError::Shutdown)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatencyModel;
+    use syd_types::{RequestId, ServiceName, UserId, Value};
+    use syd_wire::{EventMsg, Request};
+
+    fn event(topic: &str) -> Payload {
+        Payload::Event(EventMsg {
+            topic: topic.into(),
+            source: UserId::new(1),
+            payload: Value::Null,
+        })
+    }
+
+    fn request(id: u64) -> Payload {
+        Payload::Request(Request {
+            id: RequestId::new(id),
+            caller: UserId::new(1),
+            target: UserId::default(),
+            credentials: vec![],
+            service: ServiceName::new("svc"),
+            method: "m".into(),
+            args: vec![],
+        })
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let net = Network::ideal();
+        let a = net.register();
+        let b = net.register();
+        a.send(b.addr(), event("hello")).unwrap();
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.src, a.addr());
+        assert_eq!(env.dst, b.addr());
+        match env.payload {
+            Payload::Event(ev) => assert_eq!(ev.topic, "hello"),
+            other => panic!("unexpected payload {other:?}"),
+        }
+        let stats = net.stats();
+        assert_eq!(stats.sent, 1);
+        assert_eq!(stats.delivered, 1);
+        assert!(stats.bytes_sent > 0);
+    }
+
+    #[test]
+    fn fifo_order_preserved_with_fixed_latency() {
+        let net = Network::new(
+            NetConfig::ideal().with_latency(LatencyModel::fixed(Duration::from_millis(1))),
+        );
+        let a = net.register();
+        let b = net.register();
+        for i in 0..50 {
+            a.send(b.addr(), event(&format!("e{i}"))).unwrap();
+        }
+        for i in 0..50 {
+            let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+            match env.payload {
+                Payload::Event(ev) => assert_eq!(ev.topic, format!("e{i}")),
+                other => panic!("unexpected payload {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_destination_is_an_error() {
+        let net = Network::ideal();
+        let a = net.register();
+        let err = a.send(NodeAddr::new(9999), event("x")).unwrap_err();
+        assert_eq!(err, SydError::Unreachable(NodeAddr::new(9999)));
+        assert_eq!(net.stats().dropped_unreachable, 1);
+    }
+
+    #[test]
+    fn unregister_makes_endpoint_unreachable() {
+        let net = Network::ideal();
+        let a = net.register();
+        let b = net.register();
+        net.unregister(b.addr());
+        assert!(a.send(b.addr(), event("x")).is_err());
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let net = Network::new(NetConfig::ideal().with_loss(1.0));
+        let a = net.register();
+        let b = net.register();
+        a.send(b.addr(), event("x")).unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(net.stats().dropped_loss, 1);
+        assert_eq!(net.stats().delivered, 0);
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let net = Network::ideal();
+        let a = net.register();
+        let b = net.register();
+        net.set_partitioned(a.addr(), b.addr(), true);
+        a.send(b.addr(), event("ab")).unwrap();
+        b.send(a.addr(), event("ba")).unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        assert!(a.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(net.stats().dropped_partition, 2);
+
+        net.heal_partitions();
+        a.send(b.addr(), event("after")).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn disconnected_request_fails_fast_with_error_response() {
+        let net = Network::ideal();
+        let a = net.register();
+        let b = net.register();
+        net.set_connected(b.addr(), false);
+        a.send(b.addr(), request(42)).unwrap();
+        let env = a.recv_timeout(Duration::from_secs(1)).unwrap();
+        match env.payload {
+            Payload::Response(resp) => {
+                assert_eq!(resp.id, RequestId::new(42));
+                assert_eq!(resp.result, Err(SydError::Disconnected(b.addr())));
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_event_is_silently_dropped() {
+        let net = Network::ideal();
+        let a = net.register();
+        let b = net.register();
+        net.set_connected(b.addr(), false);
+        a.send(b.addr(), event("x")).unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(net.stats().dropped_disconnected, 1);
+    }
+
+    #[test]
+    fn reconnect_restores_delivery() {
+        let net = Network::ideal();
+        let a = net.register();
+        let b = net.register();
+        net.set_connected(b.addr(), false);
+        assert!(!net.is_connected(b.addr()));
+        net.set_connected(b.addr(), true);
+        assert!(net.is_connected(b.addr()));
+        a.send(b.addr(), event("back")).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let net = Network::new(
+            NetConfig::ideal().with_latency(LatencyModel::fixed(Duration::from_millis(30))),
+        );
+        let a = net.register();
+        let b = net.register();
+        let start = Instant::now();
+        a.send(b.addr(), event("slow")).unwrap();
+        b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(25),
+            "delivered too early: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn same_seed_same_loss_pattern() {
+        let run = |seed: u64| -> Vec<bool> {
+            let net = Network::new(NetConfig::ideal().with_loss(0.5).with_seed(seed));
+            let a = net.register();
+            let b = net.register();
+            (0..40)
+                .map(|_| {
+                    a.send(b.addr(), event("x")).unwrap();
+                    b.recv_timeout(Duration::from_millis(20)).is_ok()
+                })
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn send_after_shutdown_errors() {
+        let net = Network::ideal();
+        let a = net.register();
+        let b = net.register();
+        net.shutdown();
+        assert_eq!(a.send(b.addr(), event("x")).unwrap_err(), SydError::Shutdown);
+    }
+
+    #[test]
+    fn stats_delta_counts_one_exchange() {
+        let net = Network::ideal();
+        let a = net.register();
+        let b = net.register();
+        let before = net.stats();
+        a.send(b.addr(), event("one")).unwrap();
+        b.recv_timeout(Duration::from_secs(1)).unwrap();
+        let delta = before.delta(&net.stats());
+        assert_eq!(delta.sent, 1);
+        assert_eq!(delta.delivered, 1);
+    }
+}
+
+#[cfg(test)]
+mod reconfigure_tests {
+    use super::*;
+    use syd_types::{UserId, Value};
+    use syd_wire::EventMsg;
+
+    fn event() -> Payload {
+        Payload::Event(EventMsg {
+            topic: "t".into(),
+            source: UserId::new(1),
+            payload: Value::Null,
+        })
+    }
+
+    #[test]
+    fn reconfigure_changes_behaviour_at_runtime() {
+        let net = Network::ideal();
+        let a = net.register();
+        let b = net.register();
+        a.send(b.addr(), event()).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+
+        // Switch to total loss: traffic stops.
+        net.reconfigure(NetConfig::ideal().with_loss(1.0));
+        a.send(b.addr(), event()).unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+
+        // And back.
+        net.reconfigure(NetConfig::ideal());
+        a.send(b.addr(), event()).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let net = Network::ideal();
+        let a = net.register();
+        let b = net.register();
+        assert!(b.try_recv().is_none());
+        a.send(b.addr(), event()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(1);
+        loop {
+            match b.try_recv() {
+                Some(Ok(env)) => {
+                    assert_eq!(env.src, a.addr());
+                    break;
+                }
+                Some(Err(e)) => panic!("decode error: {e}"),
+                None => assert!(std::time::Instant::now() < deadline, "never arrived"),
+            }
+        }
+    }
+
+    #[test]
+    fn many_endpoints_share_one_router() {
+        let net = Network::ideal();
+        let endpoints: Vec<Endpoint> = (0..32).map(|_| net.register()).collect();
+        // All-to-one burst.
+        for ep in &endpoints[1..] {
+            ep.send(endpoints[0].addr(), event()).unwrap();
+        }
+        for _ in 1..32 {
+            endpoints[0].recv_timeout(Duration::from_secs(1)).unwrap();
+        }
+        assert_eq!(net.stats().delivered, 31);
+    }
+}

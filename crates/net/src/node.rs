@@ -1,0 +1,500 @@
+//! A network node: endpoint + driver + RPC client + request dispatcher.
+//!
+//! [`Node`] is what the SyD kernel builds a device on. It owns one
+//! [`Endpoint`], runs a driver thread that demultiplexes incoming traffic
+//! (responses → pending-call table, requests/events → worker pool), and
+//! exposes blocking [`Node::call`] / non-blocking [`Node::call_async`]
+//! semantics with deadlines and transient-failure retries.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+
+use crossbeam_channel::Sender;
+use parking_lot::{Mutex, RwLock};
+use syd_types::{NodeAddr, RequestId, ServiceName, SydError, SydResult, UserId, Value};
+use syd_wire::{EventMsg, Payload, Request, Response};
+
+use crate::network::{Endpoint, Network};
+use crate::pool::WorkerPool;
+use crate::rpc::{CallOptions, PendingCall};
+
+/// Serves incoming requests on a node.
+///
+/// The handler runs on a pool worker and may freely perform nested remote
+/// calls (see [`WorkerPool`]). The returned value or error travels back to
+/// the caller as the response.
+pub trait RequestHandler: Send + Sync + 'static {
+    /// Handles one request from `from`.
+    fn handle(&self, from: NodeAddr, request: Request) -> SydResult<Value>;
+}
+
+impl<F> RequestHandler for F
+where
+    F: Fn(NodeAddr, Request) -> SydResult<Value> + Send + Sync + 'static,
+{
+    fn handle(&self, from: NodeAddr, request: Request) -> SydResult<Value> {
+        self(from, request)
+    }
+}
+
+/// Receives fire-and-forget events on a node.
+pub trait EventSink: Send + Sync + 'static {
+    /// Handles one event from `from`.
+    fn on_event(&self, from: NodeAddr, event: EventMsg);
+}
+
+impl<F> EventSink for F
+where
+    F: Fn(NodeAddr, EventMsg) + Send + Sync + 'static,
+{
+    fn on_event(&self, from: NodeAddr, event: EventMsg) {
+        self(from, event)
+    }
+}
+
+struct NodeShared {
+    addr: NodeAddr,
+    net: Network,
+    pending: Mutex<HashMap<RequestId, Sender<SydResult<Value>>>>,
+    next_request: AtomicU64,
+    handler: RwLock<Option<Arc<dyn RequestHandler>>>,
+    events: RwLock<Option<Arc<dyn EventSink>>>,
+    identity: RwLock<(UserId, Vec<u8>)>,
+    pool: WorkerPool,
+}
+
+/// A live node on the simulated network. Cloning shares the node.
+#[derive(Clone)]
+pub struct Node {
+    shared: Arc<NodeShared>,
+}
+
+impl Node {
+    /// Registers a fresh endpoint on `net` and starts the driver thread.
+    pub fn spawn(net: &Network) -> Node {
+        let endpoint = net.register();
+        let addr = endpoint.addr();
+        let shared = Arc::new(NodeShared {
+            addr,
+            net: net.clone(),
+            pending: Mutex::new(HashMap::new()),
+            next_request: AtomicU64::new(1),
+            handler: RwLock::new(None),
+            events: RwLock::new(None),
+            identity: RwLock::new((UserId::default(), Vec::new())),
+            pool: WorkerPool::for_device(format!("node{}", addr.raw())),
+        });
+        let driver_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("node{}-driver", addr.raw()))
+            .spawn(move || driver_loop(endpoint, driver_shared))
+            .expect("spawn node driver");
+        Node { shared }
+    }
+
+    /// This node's network address.
+    pub fn addr(&self) -> NodeAddr {
+        self.shared.addr
+    }
+
+    /// The network this node lives on.
+    pub fn network(&self) -> &Network {
+        &self.shared.net
+    }
+
+    /// The worker pool dispatching this node's inbound requests.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.shared.pool
+    }
+
+    /// Installs the request handler (replacing any previous one).
+    pub fn set_handler(&self, handler: Arc<dyn RequestHandler>) {
+        *self.shared.handler.write() = Some(handler);
+    }
+
+    /// Installs the event sink (replacing any previous one).
+    pub fn set_event_sink(&self, sink: Arc<dyn EventSink>) {
+        *self.shared.events.write() = Some(sink);
+    }
+
+    /// Sets the identity stamped on outgoing requests: the calling user and
+    /// the TEA-encrypted credential blob (§5.4).
+    pub fn set_identity(&self, user: UserId, credentials: Vec<u8>) {
+        *self.shared.identity.write() = (user, credentials);
+    }
+
+    /// Blocking remote call with default options.
+    pub fn call(
+        &self,
+        dst: NodeAddr,
+        service: &ServiceName,
+        method: &str,
+        args: Vec<Value>,
+    ) -> SydResult<Value> {
+        self.call_with(dst, service, method, args, CallOptions::default())
+    }
+
+    /// Blocking remote call with explicit deadline/retry options.
+    pub fn call_with(
+        &self,
+        dst: NodeAddr,
+        service: &ServiceName,
+        method: &str,
+        args: Vec<Value>,
+        opts: CallOptions,
+    ) -> SydResult<Value> {
+        let mut attempts = 0;
+        loop {
+            let pending = self.call_async(dst, service, method, args.clone())?;
+            match pending.wait(opts.timeout) {
+                Ok(value) => return Ok(value),
+                Err(err) if err.is_transient() && attempts < opts.retries => {
+                    attempts += 1;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// Sends a request and returns immediately with a [`PendingCall`].
+    pub fn call_async(
+        &self,
+        dst: NodeAddr,
+        service: &ServiceName,
+        method: &str,
+        args: Vec<Value>,
+    ) -> SydResult<PendingCall> {
+        self.call_async_to(dst, UserId::default(), service, method, args)
+    }
+
+    /// Like [`Node::call_async`] with an explicit logical target user —
+    /// proxies hosting several users' replicas route requests by it.
+    pub fn call_async_to(
+        &self,
+        dst: NodeAddr,
+        target: UserId,
+        service: &ServiceName,
+        method: &str,
+        args: Vec<Value>,
+    ) -> SydResult<PendingCall> {
+        let id = RequestId::new(self.shared.next_request.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        self.shared.pending.lock().insert(id, tx);
+        let (caller, credentials) = self.shared.identity.read().clone();
+        let request = Request {
+            id,
+            caller,
+            target,
+            credentials,
+            service: service.clone(),
+            method: method.to_owned(),
+            args,
+        };
+        let send_result = self.shared.net.send(syd_wire::Envelope::new(
+            self.shared.addr,
+            dst,
+            Payload::Request(request),
+        ));
+        if let Err(err) = send_result {
+            self.shared.pending.lock().remove(&id);
+            return Err(err);
+        }
+        Ok(PendingCall { id, rx })
+    }
+
+    /// Publishes a fire-and-forget event to `dst`.
+    pub fn publish_event(&self, dst: NodeAddr, topic: &str, payload: Value) -> SydResult<()> {
+        let (source, _) = *self.shared.identity.read();
+        self.shared
+            .net
+            .send(syd_wire::Envelope::new(
+                self.shared.addr,
+                dst,
+                Payload::Event(EventMsg {
+                    topic: topic.to_owned(),
+                    source,
+                    payload,
+                }),
+            ))
+            .map(|_| ())
+    }
+
+    /// Unregisters the endpoint and stops the driver and pool.
+    pub fn shutdown(&self) {
+        self.shared.net.unregister(self.shared.addr);
+        self.shared.pool.shutdown();
+        // Fail everything still pending.
+        let mut pending = self.shared.pending.lock();
+        for (_, tx) in pending.drain() {
+            let _ = tx.send(Err(SydError::Shutdown));
+        }
+    }
+}
+
+fn driver_loop(endpoint: Endpoint, shared: Arc<NodeShared>) {
+    loop {
+        let envelope = match endpoint.recv() {
+            Ok(env) => env,
+            Err(SydError::Codec(_)) => continue, // corrupt frame: drop it
+            Err(_) => return,                    // endpoint unregistered
+        };
+        match envelope.payload {
+            Payload::Response(resp) => {
+                if let Some(tx) = shared.pending.lock().remove(&resp.id) {
+                    let _ = tx.send(resp.result);
+                }
+                // Late responses for timed-out calls are dropped silently.
+            }
+            Payload::Request(req) => {
+                let handler = shared.handler.read().clone();
+                let from = envelope.src;
+                let reply_shared = Arc::clone(&shared);
+                let job = move || {
+                    let result = match handler {
+                        Some(h) => h.handle(from, req.clone()),
+                        None => Err(SydError::NoSuchService(
+                            req.service.clone(),
+                            req.method.clone(),
+                        )),
+                    };
+                    let _ = reply_shared.net.send(syd_wire::Envelope::new(
+                        reply_shared.addr,
+                        from,
+                        Payload::Response(Response {
+                            id: req.id,
+                            result,
+                        }),
+                    ));
+                };
+                if !shared.pool.execute(job) {
+                    // Pool shut down: best effort error response inline.
+                    let _ = shared.net.send(syd_wire::Envelope::new(
+                        shared.addr,
+                        envelope.src,
+                        Payload::Response(Response {
+                            id: RequestId::new(0),
+                            result: Err(SydError::Shutdown),
+                        }),
+                    ));
+                }
+            }
+            Payload::Event(event) => {
+                if let Some(sink) = shared.events.read().clone() {
+                    let from = envelope.src;
+                    shared.pool.execute(move || sink.on_event(from, event));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetConfig;
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    fn echo_handler() -> Arc<dyn RequestHandler> {
+        Arc::new(|_from: NodeAddr, req: Request| -> SydResult<Value> {
+            Ok(Value::list(req.args))
+        })
+    }
+
+    #[test]
+    fn call_round_trip() {
+        let net = Network::ideal();
+        let server = Node::spawn(&net);
+        server.set_handler(echo_handler());
+        let client = Node::spawn(&net);
+        let result = client
+            .call(
+                server.addr(),
+                &ServiceName::new("echo"),
+                "echo",
+                vec![Value::I64(7), Value::str("x")],
+            )
+            .unwrap();
+        assert_eq!(result, Value::list([Value::I64(7), Value::str("x")]));
+    }
+
+    #[test]
+    fn missing_handler_reports_no_such_service() {
+        let net = Network::ideal();
+        let server = Node::spawn(&net);
+        let client = Node::spawn(&net);
+        let err = client
+            .call(server.addr(), &ServiceName::new("ghost"), "m", vec![])
+            .unwrap_err();
+        assert!(matches!(err, SydError::NoSuchService(_, _)), "{err}");
+    }
+
+    #[test]
+    fn handler_errors_propagate() {
+        let net = Network::ideal();
+        let server = Node::spawn(&net);
+        server.set_handler(Arc::new(|_: NodeAddr, _: Request| -> SydResult<Value> {
+            Err(SydError::App("boom".into()))
+        }));
+        let client = Node::spawn(&net);
+        let err = client
+            .call(server.addr(), &ServiceName::new("svc"), "m", vec![])
+            .unwrap_err();
+        assert_eq!(err, SydError::App("boom".into()));
+    }
+
+    #[test]
+    fn call_times_out_when_peer_never_answers() {
+        let net = Network::ideal();
+        // A raw endpoint that receives but never replies.
+        let silent = net.register();
+        let client = Node::spawn(&net);
+        let opts = CallOptions::new().with_timeout(Duration::from_millis(50));
+        let err = client
+            .call_with(silent.addr(), &ServiceName::new("svc"), "m", vec![], opts)
+            .unwrap_err();
+        assert!(matches!(err, SydError::Timeout(_)), "{err}");
+    }
+
+    #[test]
+    fn retries_recover_from_loss() {
+        // 60% loss: with 20 retries the call should eventually succeed.
+        let net = Network::new(NetConfig::ideal().with_loss(0.6).with_seed(3));
+        let server = Node::spawn(&net);
+        server.set_handler(echo_handler());
+        let client = Node::spawn(&net);
+        let opts = CallOptions::new()
+            .with_timeout(Duration::from_millis(40))
+            .with_retries(20);
+        let result = client.call_with(
+            server.addr(),
+            &ServiceName::new("echo"),
+            "m",
+            vec![Value::I64(1)],
+            opts,
+        );
+        assert!(result.is_ok(), "{result:?}");
+    }
+
+    #[test]
+    fn call_async_overlaps_requests() {
+        let net = Network::ideal();
+        let server = Node::spawn(&net);
+        server.set_handler(echo_handler());
+        let client = Node::spawn(&net);
+        let svc = ServiceName::new("echo");
+        let calls: Vec<_> = (0..10)
+            .map(|i| {
+                client
+                    .call_async(server.addr(), &svc, "m", vec![Value::I64(i)])
+                    .unwrap()
+            })
+            .collect();
+        for (i, call) in calls.into_iter().enumerate() {
+            let v = call.wait(Duration::from_secs(1)).unwrap();
+            assert_eq!(v, Value::list([Value::I64(i as i64)]));
+        }
+    }
+
+    #[test]
+    fn nested_call_back_into_caller_does_not_deadlock() {
+        let net = Network::ideal();
+        let a = Node::spawn(&net);
+        let b = Node::spawn(&net);
+        let svc = ServiceName::new("svc");
+
+        // b's handler calls back into a ("pong"); a's handler answers
+        // directly. A single-threaded dispatcher would deadlock on a→b→a.
+        let a_clone = a.clone();
+        let a_addr = a.addr();
+        b.set_handler(Arc::new(move |_: NodeAddr, req: Request| {
+            if req.method == "ping" {
+                a_clone.call(a_addr, &ServiceName::new("svc"), "pong", vec![])
+            } else {
+                Ok(Value::Null)
+            }
+        }));
+        a.set_handler(Arc::new(|_: NodeAddr, req: Request| {
+            if req.method == "pong" {
+                Ok(Value::str("pong"))
+            } else {
+                Ok(Value::Null)
+            }
+        }));
+
+        let result = a.call(b.addr(), &svc, "ping", vec![]).unwrap();
+        assert_eq!(result, Value::str("pong"));
+    }
+
+    #[test]
+    fn events_reach_the_sink() {
+        let net = Network::ideal();
+        let receiver = Node::spawn(&net);
+        let count = Arc::new(AtomicU32::new(0));
+        let count_clone = Arc::clone(&count);
+        receiver.set_event_sink(Arc::new(move |_: NodeAddr, ev: EventMsg| {
+            assert_eq!(ev.topic, "tick");
+            count_clone.fetch_add(1, Ordering::SeqCst);
+        }));
+        let sender = Node::spawn(&net);
+        for _ in 0..5 {
+            sender
+                .publish_event(receiver.addr(), "tick", Value::Null)
+                .unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while count.load(Ordering::SeqCst) < 5 {
+            assert!(std::time::Instant::now() < deadline, "events missing");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn identity_is_stamped_on_requests() {
+        let net = Network::ideal();
+        let server = Node::spawn(&net);
+        server.set_handler(Arc::new(|_: NodeAddr, req: Request| {
+            Ok(Value::list([
+                Value::I64(req.caller.raw() as i64),
+                Value::Bytes(req.credentials),
+            ]))
+        }));
+        let client = Node::spawn(&net);
+        client.set_identity(UserId::new(42), vec![9, 9]);
+        let v = client
+            .call(server.addr(), &ServiceName::new("svc"), "id", vec![])
+            .unwrap();
+        assert_eq!(
+            v,
+            Value::list([Value::I64(42), Value::Bytes(vec![9, 9])])
+        );
+    }
+
+    #[test]
+    fn shutdown_fails_pending_calls() {
+        let net = Network::ideal();
+        let silent = net.register();
+        let client = Node::spawn(&net);
+        let call = client
+            .call_async(silent.addr(), &ServiceName::new("svc"), "m", vec![])
+            .unwrap();
+        client.shutdown();
+        let err = call.wait(Duration::from_secs(1)).unwrap_err();
+        assert_eq!(err, SydError::Shutdown);
+    }
+
+    #[test]
+    fn disconnected_server_fails_fast() {
+        let net = Network::ideal();
+        let server = Node::spawn(&net);
+        server.set_handler(echo_handler());
+        let client = Node::spawn(&net);
+        net.set_connected(server.addr(), false);
+        let err = client
+            .call(server.addr(), &ServiceName::new("svc"), "m", vec![])
+            .unwrap_err();
+        assert_eq!(err, SydError::Disconnected(server.addr()));
+    }
+}

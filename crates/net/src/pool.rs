@@ -1,0 +1,265 @@
+//! Grow-on-demand worker pool for request dispatch.
+//!
+//! SyD request handlers routinely perform *nested* remote calls: deleting a
+//! link cascades `deleteLink` invocations to peer devices (§4.2 op. 4), and
+//! a negotiation triggered inside a handler fans out to every linked entity.
+//! If a device served requests on one thread, a call cycle (A serves a
+//! request, calls B, B calls back into A) would deadlock. The pool therefore
+//! grows a new worker whenever a job arrives and no worker is idle, up to a
+//! generous cap, and idle workers retire after a keep-alive — the classic
+//! "cached thread pool" shape.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolInner {
+    tx: Mutex<Option<Sender<Job>>>,
+    rx: Receiver<Job>,
+    idle: AtomicUsize,
+    live: AtomicUsize,
+    peak_live: AtomicUsize,
+    executed: AtomicUsize,
+    max_workers: usize,
+    keepalive: Duration,
+    name: String,
+    shutdown: AtomicBool,
+}
+
+/// A dynamically sized thread pool. Cloning shares the pool.
+#[derive(Clone)]
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+}
+
+impl WorkerPool {
+    /// Creates a pool that may grow to `max_workers` threads. Workers idle
+    /// for longer than `keepalive` retire (one worker is always retained
+    /// while the pool is live).
+    pub fn new(name: impl Into<String>, max_workers: usize, keepalive: Duration) -> Self {
+        assert!(max_workers >= 1, "pool needs at least one worker");
+        let (tx, rx) = crossbeam_channel::unbounded();
+        WorkerPool {
+            inner: Arc::new(PoolInner {
+                tx: Mutex::new(Some(tx)),
+                rx,
+                idle: AtomicUsize::new(0),
+                live: AtomicUsize::new(0),
+                peak_live: AtomicUsize::new(0),
+                executed: AtomicUsize::new(0),
+                max_workers,
+                keepalive,
+                name: name.into(),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Pool sized for a SyD device: enough headroom for deep cascades.
+    pub fn for_device(name: impl Into<String>) -> Self {
+        Self::new(name, 256, Duration::from_millis(500))
+    }
+
+    /// Submits a job. Returns `false` if the pool is shut down.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        {
+            let guard = inner.tx.lock();
+            let Some(tx) = guard.as_ref() else {
+                return false;
+            };
+            if tx.send(Box::new(job)).is_err() {
+                return false;
+            }
+        }
+        // Grow if nobody is idle to pick the job up. The check is racy in
+        // the benign direction: at worst we spawn one extra worker (capped),
+        // never strand a job — a busy worker will still drain the queue.
+        if inner.idle.load(Ordering::Acquire) == 0 {
+            self.try_spawn_worker();
+        }
+        true
+    }
+
+    fn try_spawn_worker(&self) {
+        let inner = &self.inner;
+        let mut live = inner.live.load(Ordering::Acquire);
+        loop {
+            if live >= inner.max_workers {
+                return;
+            }
+            match inner.live.compare_exchange(
+                live,
+                live + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => live = actual,
+            }
+        }
+        inner
+            .peak_live
+            .fetch_max(live + 1, Ordering::AcqRel);
+        let worker_inner = Arc::clone(inner);
+        let name = format!("{}-w{}", inner.name, live);
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(move || worker_loop(worker_inner))
+            .expect("spawn pool worker");
+    }
+
+    /// Number of threads currently alive.
+    pub fn live_workers(&self) -> usize {
+        self.inner.live.load(Ordering::Acquire)
+    }
+
+    /// Highest number of threads ever alive at once.
+    pub fn peak_workers(&self) -> usize {
+        self.inner.peak_live.load(Ordering::Acquire)
+    }
+
+    /// Total jobs completed.
+    pub fn jobs_executed(&self) -> usize {
+        self.inner.executed.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting jobs and lets workers drain the queue and exit.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        // Dropping the sender disconnects the channel once drained.
+        self.inner.tx.lock().take();
+    }
+}
+
+fn worker_loop(inner: Arc<PoolInner>) {
+    loop {
+        inner.idle.fetch_add(1, Ordering::AcqRel);
+        let job = inner.rx.recv_timeout(inner.keepalive);
+        inner.idle.fetch_sub(1, Ordering::AcqRel);
+        match job {
+            Ok(job) => {
+                job();
+                inner.executed.fetch_add(1, Ordering::AcqRel);
+            }
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                // Retire surplus workers; keep one resident while live.
+                if inner.live.load(Ordering::Acquire) > 1
+                    || inner.shutdown.load(Ordering::Acquire)
+                {
+                    break;
+                }
+            }
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    inner.live.fetch_sub(1, Ordering::AcqRel);
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Last application handle (workers hold `PoolInner`, not the pool):
+        // shut down so worker threads exit instead of idling forever.
+        if Arc::strong_count(&self.inner) <= 1 {
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_jobs() {
+        let pool = WorkerPool::new("t", 4, Duration::from_millis(100));
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..20 {
+            let c = Arc::clone(&counter);
+            assert!(pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while counter.load(Ordering::SeqCst) < 20 {
+            assert!(std::time::Instant::now() < deadline, "jobs did not finish");
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.jobs_executed(), 20);
+    }
+
+    #[test]
+    fn grows_under_blocking_load() {
+        let pool = WorkerPool::new("t", 16, Duration::from_millis(100));
+        let (release_tx, release_rx) = crossbeam_channel::bounded::<()>(0);
+        let started = Arc::new(AtomicU32::new(0));
+        // 8 jobs that all block until released: pool must grow past 1 worker.
+        for _ in 0..8 {
+            let rx = release_rx.clone();
+            let started = Arc::clone(&started);
+            pool.execute(move || {
+                started.fetch_add(1, Ordering::SeqCst);
+                let _ = rx.recv();
+            });
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while started.load(Ordering::SeqCst) < 8 {
+            assert!(std::time::Instant::now() < deadline, "pool failed to grow");
+            std::thread::yield_now();
+        }
+        assert!(pool.peak_workers() >= 8);
+        drop(release_tx);
+    }
+
+    #[test]
+    fn respects_max_workers() {
+        let pool = WorkerPool::new("t", 2, Duration::from_millis(50));
+        let (release_tx, release_rx) = crossbeam_channel::bounded::<()>(0);
+        for _ in 0..6 {
+            let rx = release_rx.clone();
+            pool.execute(move || {
+                let _ = rx.recv();
+            });
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(pool.live_workers() <= 2);
+        drop(release_tx);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_jobs() {
+        let pool = WorkerPool::new("t", 2, Duration::from_millis(50));
+        pool.shutdown();
+        assert!(!pool.execute(|| {}));
+    }
+
+    #[test]
+    fn workers_retire_after_keepalive() {
+        let pool = WorkerPool::new("t", 8, Duration::from_millis(20));
+        let (release_tx, release_rx) = crossbeam_channel::bounded::<()>(0);
+        for _ in 0..4 {
+            let rx = release_rx.clone();
+            pool.execute(move || {
+                let _ = rx.recv();
+            });
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        drop(release_tx); // release all workers
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(
+            pool.live_workers() <= 1,
+            "expected retirement, {} live",
+            pool.live_workers()
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Client-side RPC plumbing: call options and pending-call futures.
+
+use std::time::Duration;
+
+use crossbeam_channel::Receiver;
+use syd_types::{RequestId, SydError, SydResult, Value};
+
+/// Per-call knobs for [`crate::Node::call_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallOptions {
+    /// How long to wait for the response before giving up.
+    pub timeout: Duration,
+    /// How many times to re-send after a *transient* failure (timeout,
+    /// lock timeout, disconnection). Retries use fresh request ids; the
+    /// callee may observe a retried request twice, so retried methods
+    /// should be idempotent — all SyD kernel internals are.
+    pub retries: u32,
+}
+
+impl CallOptions {
+    /// Default: 2 s deadline, no retries.
+    pub const fn new() -> Self {
+        Self {
+            timeout: Duration::from_secs(2),
+            retries: 0,
+        }
+    }
+
+    /// Builder: replaces the timeout.
+    pub const fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Builder: replaces the retry budget.
+    pub const fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+}
+
+impl Default for CallOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An in-flight call whose response can be awaited later — the engine's
+/// group invocation sends every request first, then collects, so a group
+/// call takes one round-trip latency rather than `n` (§3.1 "execute a
+/// service on a group of objects").
+#[derive(Debug)]
+pub struct PendingCall {
+    pub(crate) id: RequestId,
+    pub(crate) rx: Receiver<SydResult<Value>>,
+}
+
+impl PendingCall {
+    /// The request id correlating this call.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Waits up to `timeout` for the response.
+    pub fn wait(self, timeout: Duration) -> SydResult<Value> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => Err(SydError::Timeout(self.id)),
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => Err(SydError::Shutdown),
+        }
+    }
+
+    /// Returns the response if it has already arrived.
+    pub fn poll(&self) -> Option<SydResult<Value>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_builders() {
+        let opts = CallOptions::new()
+            .with_timeout(Duration::from_millis(10))
+            .with_retries(3);
+        assert_eq!(opts.timeout, Duration::from_millis(10));
+        assert_eq!(opts.retries, 3);
+        assert_eq!(CallOptions::default(), CallOptions::new());
+    }
+
+    #[test]
+    fn pending_call_timeout_names_request() {
+        let (_tx, rx) = crossbeam_channel::bounded(1);
+        let call = PendingCall {
+            id: RequestId::new(9),
+            rx,
+        };
+        assert_eq!(
+            call.wait(Duration::from_millis(10)).unwrap_err(),
+            SydError::Timeout(RequestId::new(9))
+        );
+    }
+
+    #[test]
+    fn pending_call_poll() {
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        let call = PendingCall {
+            id: RequestId::new(1),
+            rx,
+        };
+        assert!(call.poll().is_none());
+        tx.send(Ok(Value::I64(5))).unwrap();
+        assert_eq!(call.poll().unwrap().unwrap(), Value::I64(5));
+    }
+}

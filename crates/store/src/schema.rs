@@ -1,0 +1,345 @@
+//! Table schemas: typed columns, nullability and primary keys.
+
+use syd_types::{SydError, SydResult, Value};
+
+/// Column data types. `Any` admits every non-null value — the escape hatch
+/// for ad-hoc stores (the paper explicitly supports "flat file / EXCEL
+/// worksheet / list repository" devices with loose schemas, §2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit float (also accepts `I64`, widened on read).
+    F64,
+    /// UTF-8 string.
+    Str,
+    /// Opaque bytes.
+    Bytes,
+    /// Any non-null value.
+    Any,
+}
+
+impl ColumnType {
+    /// True iff `value` conforms to this type (ignoring nullability).
+    pub fn admits(self, value: &Value) -> bool {
+        match (self, value) {
+            (_, Value::Null) => false,
+            (ColumnType::Bool, Value::Bool(_)) => true,
+            (ColumnType::I64, Value::I64(_)) => true,
+            (ColumnType::F64, Value::F64(_) | Value::I64(_)) => true,
+            (ColumnType::Str, Value::Str(_)) => true,
+            (ColumnType::Bytes, Value::Bytes(_)) => true,
+            (ColumnType::Any, _) => true,
+            _ => false,
+        }
+    }
+
+    /// Stable code used by snapshots.
+    pub fn code(self) -> u8 {
+        match self {
+            ColumnType::Bool => 0,
+            ColumnType::I64 => 1,
+            ColumnType::F64 => 2,
+            ColumnType::Str => 3,
+            ColumnType::Bytes => 4,
+            ColumnType::Any => 5,
+        }
+    }
+
+    /// Inverse of [`ColumnType::code`].
+    pub fn from_code(code: u8) -> SydResult<Self> {
+        Ok(match code {
+            0 => ColumnType::Bool,
+            1 => ColumnType::I64,
+            2 => ColumnType::F64,
+            3 => ColumnType::Str,
+            4 => ColumnType::Bytes,
+            5 => ColumnType::Any,
+            other => return Err(SydError::Codec(format!("bad column type code {other}"))),
+        })
+    }
+}
+
+/// One column of a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Column {
+    /// Column name, unique within the table.
+    pub name: String,
+    /// Data type.
+    pub ty: ColumnType,
+    /// Whether `Null` is admitted.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A required (non-nullable) column.
+    pub fn required(name: impl Into<String>, ty: ColumnType) -> Self {
+        Column {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, ty: ColumnType) -> Self {
+        Column {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+
+    /// True iff `value` is admissible in this column.
+    pub fn admits(&self, value: &Value) -> bool {
+        if value.is_null() {
+            self.nullable
+        } else {
+            self.ty.admits(value)
+        }
+    }
+}
+
+/// A table schema: name, columns and an optional primary key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    /// Table name.
+    pub name: String,
+    /// Ordered columns.
+    pub columns: Vec<Column>,
+    /// Indexes (into `columns`) of the primary-key columns; empty = no key.
+    pub primary_key: Vec<usize>,
+}
+
+impl Schema {
+    /// Builds a schema; `primary_key` columns are named and must exist and
+    /// be non-nullable.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<Column>,
+        primary_key: &[&str],
+    ) -> SydResult<Schema> {
+        let name = name.into();
+        // Duplicate column names are configuration errors.
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                if a.name == b.name {
+                    return Err(SydError::SchemaViolation(format!(
+                        "duplicate column `{}` in table `{name}`",
+                        a.name
+                    )));
+                }
+            }
+        }
+        let mut pk = Vec::with_capacity(primary_key.len());
+        for key_col in primary_key {
+            let idx = columns
+                .iter()
+                .position(|c| c.name == *key_col)
+                .ok_or_else(|| SydError::NoSuchColumn((*key_col).to_owned()))?;
+            if columns[idx].nullable {
+                return Err(SydError::SchemaViolation(format!(
+                    "primary key column `{key_col}` must not be nullable"
+                )));
+            }
+            pk.push(idx);
+        }
+        Ok(Schema {
+            name,
+            columns,
+            primary_key: pk,
+        })
+    }
+
+    /// Index of a named column.
+    pub fn column_index(&self, name: &str) -> SydResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| SydError::NoSuchColumn(format!("{}.{name}", self.name)))
+    }
+
+    /// Validates a full row against column count, types and nullability.
+    pub fn validate_row(&self, values: &[Value]) -> SydResult<()> {
+        if values.len() != self.columns.len() {
+            return Err(SydError::SchemaViolation(format!(
+                "table `{}` expects {} columns, got {}",
+                self.name,
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        for (col, value) in self.columns.iter().zip(values) {
+            if !col.admits(value) {
+                return Err(SydError::SchemaViolation(format!(
+                    "column `{}.{}` ({:?}{}) rejects {}",
+                    self.name,
+                    col.name,
+                    col.ty,
+                    if col.nullable { ", nullable" } else { "" },
+                    value
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the primary-key values of a row (empty if no key).
+    pub fn key_of(&self, values: &[Value]) -> Vec<Value> {
+        self.primary_key
+            .iter()
+            .map(|&i| values[i].clone())
+            .collect()
+    }
+
+    /// True iff the schema declares a primary key.
+    pub fn has_primary_key(&self) -> bool {
+        !self.primary_key.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(
+            "slots",
+            vec![
+                Column::required("day", ColumnType::I64),
+                Column::required("slot", ColumnType::I64),
+                Column::required("status", ColumnType::Str),
+                Column::nullable("meeting", ColumnType::I64),
+            ],
+            &["day", "slot"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_rows_pass() {
+        let s = sample();
+        s.validate_row(&[
+            Value::I64(1),
+            Value::I64(9),
+            Value::str("free"),
+            Value::Null,
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn wrong_arity_fails() {
+        let s = sample();
+        let err = s.validate_row(&[Value::I64(1)]).unwrap_err();
+        assert!(err.to_string().contains("expects 4 columns"), "{err}");
+    }
+
+    #[test]
+    fn type_mismatch_fails_with_column_name() {
+        let s = sample();
+        let err = s
+            .validate_row(&[
+                Value::str("not a day"),
+                Value::I64(1),
+                Value::str("free"),
+                Value::Null,
+            ])
+            .unwrap_err();
+        assert!(err.to_string().contains("slots.day"), "{err}");
+    }
+
+    #[test]
+    fn null_in_required_column_fails() {
+        let s = sample();
+        assert!(s
+            .validate_row(&[Value::Null, Value::I64(1), Value::str("x"), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn f64_column_accepts_i64() {
+        let s = Schema::new(
+            "m",
+            vec![Column::required("x", ColumnType::F64)],
+            &[],
+        )
+        .unwrap();
+        s.validate_row(&[Value::I64(3)]).unwrap();
+        s.validate_row(&[Value::F64(3.5)]).unwrap();
+    }
+
+    #[test]
+    fn any_column_accepts_everything_but_null() {
+        let col = Column::required("x", ColumnType::Any);
+        assert!(col.admits(&Value::str("s")));
+        assert!(col.admits(&Value::list([Value::I64(1)])));
+        assert!(!col.admits(&Value::Null));
+    }
+
+    #[test]
+    fn key_extraction() {
+        let s = sample();
+        let key = s.key_of(&[
+            Value::I64(2),
+            Value::I64(7),
+            Value::str("free"),
+            Value::Null,
+        ]);
+        assert_eq!(key, vec![Value::I64(2), Value::I64(7)]);
+        assert!(s.has_primary_key());
+    }
+
+    #[test]
+    fn unknown_pk_column_rejected() {
+        let err = Schema::new(
+            "t",
+            vec![Column::required("a", ColumnType::I64)],
+            &["missing"],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SydError::NoSuchColumn(_)));
+    }
+
+    #[test]
+    fn nullable_pk_column_rejected() {
+        let err = Schema::new(
+            "t",
+            vec![Column::nullable("a", ColumnType::I64)],
+            &["a"],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SydError::SchemaViolation(_)));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = Schema::new(
+            "t",
+            vec![
+                Column::required("a", ColumnType::I64),
+                Column::required("a", ColumnType::Str),
+            ],
+            &[],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate column"), "{err}");
+    }
+
+    #[test]
+    fn column_type_codes_round_trip() {
+        for ty in [
+            ColumnType::Bool,
+            ColumnType::I64,
+            ColumnType::F64,
+            ColumnType::Str,
+            ColumnType::Bytes,
+            ColumnType::Any,
+        ] {
+            assert_eq!(ColumnType::from_code(ty.code()).unwrap(), ty);
+        }
+        assert!(ColumnType::from_code(99).is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! ECA (event-condition-action) triggers.
+//!
+//! §5.3: the prototype implemented automatic updates with Oracle triggers
+//! calling Java stored procedures, and planned to move triggers into the
+//! middleware for database independence. This module is the store-level
+//! half (the Oracle-style route); `syd-core::events` provides the
+//! middleware-level half, and benchmark `ablation_triggers` compares them.
+//!
+//! Semantics:
+//!
+//! * **Before** triggers run while the mutation is being validated and may
+//!   **veto** it by returning an error (the statement fails, nothing is
+//!   applied). They must be pure row checks — their context carries no
+//!   store handle, so they cannot re-enter the engine.
+//! * **After** triggers run once the statement has been applied and the
+//!   table latch released; they receive a [`crate::Store`] handle and may
+//!   freely perform further operations (including on the same table) — this
+//!   is the hook the SyD kernel uses to launch link actions. An error from
+//!   an after trigger propagates to the caller but does **not** undo the
+//!   already-applied statement, matching the prototype's post-commit
+//!   stored-procedure behaviour.
+
+use std::sync::Arc;
+
+use syd_types::{SydResult, Value};
+
+use crate::predicate::Predicate;
+use crate::schema::Schema;
+use crate::store::Store;
+
+/// Which mutation fires the trigger.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum TriggerEvent {
+    /// Row inserted.
+    Insert,
+    /// Row updated.
+    Update,
+    /// Row deleted.
+    Delete,
+}
+
+/// When the trigger runs relative to the mutation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TriggerTiming {
+    /// Before the mutation; may veto.
+    Before,
+    /// After the mutation; observes it.
+    After,
+}
+
+/// Context handed to a trigger action, one row at a time.
+pub struct TriggerCtx<'a> {
+    /// Store handle — `Some` only for *after* triggers (see module docs).
+    pub store: Option<&'a Store>,
+    /// Table the mutation targets.
+    pub table: &'a str,
+    /// The firing event.
+    pub event: TriggerEvent,
+    /// Row values before the mutation (`Update`/`Delete`).
+    pub old: Option<&'a [Value]>,
+    /// Row values after the mutation (`Insert`/`Update`).
+    pub new: Option<&'a [Value]>,
+    /// Schema of the table, for name-based cell access.
+    pub schema: &'a Schema,
+}
+
+impl TriggerCtx<'_> {
+    /// Cell of the *new* row by column name.
+    pub fn new_cell(&self, column: &str) -> SydResult<&Value> {
+        let idx = self.schema.column_index(column)?;
+        self.new
+            .map(|row| &row[idx])
+            .ok_or_else(|| syd_types::SydError::Protocol("trigger has no new row".into()))
+    }
+
+    /// Cell of the *old* row by column name.
+    pub fn old_cell(&self, column: &str) -> SydResult<&Value> {
+        let idx = self.schema.column_index(column)?;
+        self.old
+            .map(|row| &row[idx])
+            .ok_or_else(|| syd_types::SydError::Protocol("trigger has no old row".into()))
+    }
+}
+
+/// Action callback type.
+pub type TriggerFn = Arc<dyn Fn(&TriggerCtx<'_>) -> SydResult<()> + Send + Sync>;
+
+/// A registered trigger.
+#[derive(Clone)]
+pub struct Trigger {
+    /// Unique trigger name (used for removal).
+    pub name: String,
+    /// Table it watches.
+    pub table: String,
+    /// Events it fires on.
+    pub events: Vec<TriggerEvent>,
+    /// Before (veto) or after (observe).
+    pub timing: TriggerTiming,
+    /// Optional row condition: evaluated against the *new* row for
+    /// insert/update and the *old* row for delete. The trigger fires only
+    /// when the condition holds.
+    pub condition: Option<Predicate>,
+    /// The action.
+    pub action: TriggerFn,
+}
+
+impl Trigger {
+    /// Builds an after-trigger with no condition.
+    pub fn after(
+        name: impl Into<String>,
+        table: impl Into<String>,
+        events: Vec<TriggerEvent>,
+        action: impl Fn(&TriggerCtx<'_>) -> SydResult<()> + Send + Sync + 'static,
+    ) -> Self {
+        Trigger {
+            name: name.into(),
+            table: table.into(),
+            events,
+            timing: TriggerTiming::After,
+            condition: None,
+            action: Arc::new(action),
+        }
+    }
+
+    /// Builds a before-trigger (veto hook) with no condition.
+    pub fn before(
+        name: impl Into<String>,
+        table: impl Into<String>,
+        events: Vec<TriggerEvent>,
+        action: impl Fn(&TriggerCtx<'_>) -> SydResult<()> + Send + Sync + 'static,
+    ) -> Self {
+        Trigger {
+            name: name.into(),
+            table: table.into(),
+            events,
+            timing: TriggerTiming::Before,
+            condition: None,
+            action: Arc::new(action),
+        }
+    }
+
+    /// Builder: adds a firing condition.
+    pub fn when(mut self, condition: Predicate) -> Self {
+        self.condition = Some(condition);
+        self
+    }
+
+    /// True iff this trigger applies to `table`/`event` at `timing`.
+    pub(crate) fn matches(&self, table: &str, event: TriggerEvent, timing: TriggerTiming) -> bool {
+        self.timing == timing && self.table == table && self.events.contains(&event)
+    }
+
+    /// Evaluates the firing condition against the appropriate row.
+    pub(crate) fn condition_holds(
+        &self,
+        schema: &Schema,
+        event: TriggerEvent,
+        old: Option<&[Value]>,
+        new: Option<&[Value]>,
+    ) -> SydResult<bool> {
+        let Some(cond) = &self.condition else {
+            return Ok(true);
+        };
+        let row = match event {
+            TriggerEvent::Insert | TriggerEvent::Update => new,
+            TriggerEvent::Delete => old,
+        };
+        match row {
+            Some(row) => cond.eval(schema, row),
+            None => Ok(false),
+        }
+    }
+}
+
+impl std::fmt::Debug for Trigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trigger")
+            .field("name", &self.name)
+            .field("table", &self.table)
+            .field("events", &self.events)
+            .field("timing", &self.timing)
+            .field("condition", &self.condition)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "t",
+            vec![Column::required("n", ColumnType::I64)],
+            &[],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matching_rules() {
+        let t = Trigger::after("t1", "slots", vec![TriggerEvent::Insert], |_| Ok(()));
+        assert!(t.matches("slots", TriggerEvent::Insert, TriggerTiming::After));
+        assert!(!t.matches("slots", TriggerEvent::Delete, TriggerTiming::After));
+        assert!(!t.matches("slots", TriggerEvent::Insert, TriggerTiming::Before));
+        assert!(!t.matches("other", TriggerEvent::Insert, TriggerTiming::After));
+    }
+
+    #[test]
+    fn condition_uses_new_row_for_insert_and_old_for_delete() {
+        let s = schema();
+        let t = Trigger::after(
+            "t",
+            "t",
+            vec![TriggerEvent::Insert, TriggerEvent::Delete],
+            |_| Ok(()),
+        )
+        .when(Predicate::Gt("n".into(), Value::I64(5)));
+
+        let hot = vec![Value::I64(9)];
+        let cold = vec![Value::I64(1)];
+        assert!(t
+            .condition_holds(&s, TriggerEvent::Insert, None, Some(&hot))
+            .unwrap());
+        assert!(!t
+            .condition_holds(&s, TriggerEvent::Insert, None, Some(&cold))
+            .unwrap());
+        assert!(t
+            .condition_holds(&s, TriggerEvent::Delete, Some(&hot), None)
+            .unwrap());
+        // No applicable row: condition cannot hold.
+        assert!(!t
+            .condition_holds(&s, TriggerEvent::Delete, None, Some(&hot))
+            .unwrap());
+    }
+
+    #[test]
+    fn unconditioned_trigger_always_fires() {
+        let s = schema();
+        let t = Trigger::before("t", "t", vec![TriggerEvent::Update], |_| Ok(()));
+        assert!(t
+            .condition_holds(&s, TriggerEvent::Update, None, None)
+            .unwrap());
+    }
+
+    #[test]
+    fn ctx_cell_accessors() {
+        let s = schema();
+        let old = vec![Value::I64(1)];
+        let new = vec![Value::I64(2)];
+        let ctx = TriggerCtx {
+            store: None,
+            table: "t",
+            event: TriggerEvent::Update,
+            old: Some(&old),
+            new: Some(&new),
+            schema: &s,
+        };
+        assert_eq!(ctx.old_cell("n").unwrap(), &Value::I64(1));
+        assert_eq!(ctx.new_cell("n").unwrap(), &Value::I64(2));
+        assert!(ctx.new_cell("ghost").is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Model-based property tests: the store against a naive in-memory model
+//! under random operation sequences.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use syd_store::{Column, ColumnType, Predicate, Schema, Store};
+use syd_types::Value;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { key: i64, payload: i64 },
+    UpdatePayload { key: i64, payload: i64 },
+    Delete { key: i64 },
+    DeleteRange { lo: i64, hi: i64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..30i64, any::<i64>()).prop_map(|(key, payload)| Op::Insert { key, payload }),
+        (0..30i64, any::<i64>()).prop_map(|(key, payload)| Op::UpdatePayload { key, payload }),
+        (0..30i64).prop_map(|key| Op::Delete { key }),
+        (0..30i64, 0..30i64).prop_map(|(a, b)| Op::DeleteRange {
+            lo: a.min(b),
+            hi: a.max(b)
+        }),
+    ]
+}
+
+fn fresh_store(indexed: bool) -> Store {
+    let store = Store::new();
+    store
+        .create_table(
+            Schema::new(
+                "t",
+                vec![
+                    Column::required("key", ColumnType::I64),
+                    Column::required("payload", ColumnType::I64),
+                ],
+                &["key"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    if indexed {
+        store.create_index("t", "payload").unwrap();
+    }
+    store
+}
+
+fn apply(store: &Store, model: &mut BTreeMap<i64, i64>, op: &Op) {
+    match op {
+        Op::Insert { key, payload } => {
+            let result = store.insert("t", vec![Value::I64(*key), Value::I64(*payload)]);
+            if model.contains_key(key) {
+                assert!(result.is_err(), "duplicate PK must be rejected");
+            } else {
+                result.unwrap();
+                model.insert(*key, *payload);
+            }
+        }
+        Op::UpdatePayload { key, payload } => {
+            let n = store
+                .update(
+                    "t",
+                    &Predicate::Eq("key".into(), Value::I64(*key)),
+                    &[("payload".into(), Value::I64(*payload))],
+                )
+                .unwrap();
+            if let Some(entry) = model.get_mut(key) {
+                assert_eq!(n, 1);
+                *entry = *payload;
+            } else {
+                assert_eq!(n, 0);
+            }
+        }
+        Op::Delete { key } => {
+            let n = store
+                .delete("t", &Predicate::Eq("key".into(), Value::I64(*key)))
+                .unwrap();
+            assert_eq!(n, usize::from(model.remove(key).is_some()));
+        }
+        Op::DeleteRange { lo, hi } => {
+            let n = store
+                .delete(
+                    "t",
+                    &Predicate::Between("key".into(), Value::I64(*lo), Value::I64(*hi)),
+                )
+                .unwrap();
+            let keys: Vec<i64> = model.range(*lo..=*hi).map(|(k, _)| *k).collect();
+            assert_eq!(n, keys.len());
+            for k in keys {
+                model.remove(&k);
+            }
+        }
+    }
+}
+
+fn check_equivalence(store: &Store, model: &BTreeMap<i64, i64>) {
+    // Row count and full contents.
+    assert_eq!(store.row_count("t").unwrap(), model.len());
+    let mut rows: Vec<(i64, i64)> = store
+        .select("t", &Predicate::True)
+        .unwrap()
+        .into_iter()
+        .map(|r| (r.values[0].as_i64().unwrap(), r.values[1].as_i64().unwrap()))
+        .collect();
+    rows.sort_unstable();
+    let expected: Vec<(i64, i64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(rows, expected);
+
+    // Point lookups agree.
+    for key in 0..30i64 {
+        let got = store
+            .get_by_key("t", &[Value::I64(key)])
+            .unwrap()
+            .map(|r| r.values[1].as_i64().unwrap());
+        assert_eq!(got, model.get(&key).copied(), "key {key}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn store_matches_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let store = fresh_store(false);
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            apply(&store, &mut model, op);
+        }
+        check_equivalence(&store, &model);
+    }
+
+    /// The same sequences with a secondary index active: results must be
+    /// identical (the index is an optimization, never a semantic change).
+    #[test]
+    fn indexed_store_matches_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let store = fresh_store(true);
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            apply(&store, &mut model, op);
+        }
+        check_equivalence(&store, &model);
+        // Index-served query agrees with a model filter.
+        for payload in [-1i64, 0, 1] {
+            let via_index = store
+                .select("t", &Predicate::Eq("payload".into(), Value::I64(payload)))
+                .unwrap()
+                .len();
+            let via_model = model.values().filter(|&&v| v == payload).count();
+            prop_assert_eq!(via_index, via_model);
+        }
+    }
+
+    /// Snapshot round trips preserve arbitrary store states.
+    #[test]
+    fn snapshot_preserves_random_states(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let store = fresh_store(true);
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            apply(&store, &mut model, op);
+        }
+        let restored = Store::from_snapshot(&store.snapshot()).unwrap();
+        check_equivalence(&restored, &model);
+    }
+
+    /// A rolled-back transaction leaves no trace, no matter what it did.
+    #[test]
+    fn rollback_is_total(
+        setup in proptest::collection::vec(arb_op(), 1..20),
+        inside in proptest::collection::vec(arb_op(), 1..20),
+    ) {
+        let store = fresh_store(false);
+        let mut model = BTreeMap::new();
+        for op in &setup {
+            apply(&store, &mut model, op);
+        }
+        let before = store.select("t", &Predicate::True).unwrap();
+
+        let mut txn = store.begin();
+        for op in &inside {
+            // Transactions tolerate failing statements (e.g. duplicate PK).
+            match op {
+                Op::Insert { key, payload } => {
+                    let _ = txn.insert("t", vec![Value::I64(*key), Value::I64(*payload)]);
+                }
+                Op::UpdatePayload { key, payload } => {
+                    let _ = txn.update(
+                        "t",
+                        &Predicate::Eq("key".into(), Value::I64(*key)),
+                        &[("payload".into(), Value::I64(*payload))],
+                    );
+                }
+                Op::Delete { key } => {
+                    let _ = txn.delete("t", &Predicate::Eq("key".into(), Value::I64(*key)));
+                }
+                Op::DeleteRange { lo, hi } => {
+                    let _ = txn.delete(
+                        "t",
+                        &Predicate::Between("key".into(), Value::I64(*lo), Value::I64(*hi)),
+                    );
+                }
+            }
+        }
+        txn.rollback().unwrap();
+
+        let after = store.select("t", &Predicate::True).unwrap();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(store.locks().held_count(), 0);
+        check_equivalence(&store, &model);
+    }
+}

@@ -1,0 +1,26 @@
+//! Common vocabulary types for the SyD middleware.
+//!
+//! System on Devices (SyD) coordinates heterogeneous, independent per-device
+//! data stores (Prasad et al., *Implementation of a Calendar Application
+//! Based on SyD Coordination Links*, IPDPS 2003). Every layer of this
+//! reproduction — the simulated network, the embedded store, the kernel and
+//! the applications — shares the identifiers, dynamic values, clocks and
+//! error types defined here.
+//!
+//! The crate is intentionally dependency-light: it must be usable from the
+//! lowest substrate (the wire codec) upward.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod id;
+pub mod priority;
+pub mod time;
+pub mod value;
+
+pub use error::{SydError, SydResult};
+pub use id::{DeviceId, GroupId, LinkId, MeetingId, NodeAddr, RequestId, ServiceName, UserId};
+pub use priority::Priority;
+pub use time::{Clock, Day, SimClock, SlotIndex, SlotRange, SystemClock, TimeSlot, Timestamp};
+pub use value::Value;

@@ -1,0 +1,86 @@
+//! Priorities for users, meetings and coordination links.
+//!
+//! §4.1 gives every link a priority; §5/§6 assign priorities to users and
+//! meetings ("a higher priority meeting may bump a previously scheduled
+//! meeting", "each user is assigned a priority"). One ordered scale serves
+//! all three.
+
+use core::fmt;
+
+/// A priority on a 0–255 scale; **higher values win**.
+///
+/// Waiting links are promoted highest-priority-first (§4.2 op. 3), and a
+/// meeting may bump another only if its priority is strictly higher (§6).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// Lowest possible priority.
+    pub const MIN: Priority = Priority(0);
+    /// Default priority for ordinary users and meetings.
+    pub const NORMAL: Priority = Priority(100);
+    /// Priority used for supervisors / must-attend meetings.
+    pub const HIGH: Priority = Priority(200);
+    /// Highest possible priority.
+    pub const MAX: Priority = Priority(255);
+
+    /// Builds a priority from its raw level.
+    pub const fn new(level: u8) -> Self {
+        Self(level)
+    }
+
+    /// Raw level.
+    pub const fn level(self) -> u8 {
+        self.0
+    }
+
+    /// True iff `self` may bump `other` (strictly higher, §6).
+    pub fn outranks(self, other: Priority) -> bool {
+        self.0 > other.0
+    }
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::NORMAL
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u8> for Priority {
+    fn from(level: u8) -> Self {
+        Priority(level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Priority::HIGH > Priority::NORMAL);
+        assert!(Priority::MIN < Priority::MAX);
+        let mut v = vec![Priority::new(5), Priority::MAX, Priority::MIN];
+        v.sort();
+        assert_eq!(v, vec![Priority::MIN, Priority::new(5), Priority::MAX]);
+    }
+
+    #[test]
+    fn outranks_is_strict() {
+        assert!(Priority::HIGH.outranks(Priority::NORMAL));
+        assert!(!Priority::NORMAL.outranks(Priority::NORMAL));
+        assert!(!Priority::NORMAL.outranks(Priority::HIGH));
+    }
+
+    #[test]
+    fn default_is_normal() {
+        assert_eq!(Priority::default(), Priority::NORMAL);
+        assert_eq!(format!("{}", Priority::default()), "p100");
+    }
+}

@@ -1,0 +1,467 @@
+//! Message envelopes exchanged between SyD endpoints.
+//!
+//! Three payload kinds cover everything in the paper's runtime (Fig. 3):
+//!
+//! * [`Request`] — a remote method invocation dispatched by the SyDEngine
+//!   and served by a SyDListener. Carries encrypted credentials (§5.4).
+//! * [`Response`] — the correlated reply.
+//! * [`EventMsg`] — a fire-and-forget global event published through the
+//!   SyDEventHandler (link triggers, proxy heartbeats, mailbox pushes).
+//!
+//! An [`Envelope`] adds source/destination addressing for the simulated
+//! network; a version byte leads every encoding so future formats can
+//! coexist.
+
+use bytes::BufMut;
+use syd_types::{NodeAddr, RequestId, ServiceName, SydError, SydResult, UserId, Value};
+
+use crate::codec::{put_varint, varint_len, Decode, Encode, Reader};
+
+/// Wire format version tag.
+pub const WIRE_VERSION: u8 = 1;
+
+/// A remote method invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Correlation id, unique per caller endpoint.
+    pub id: RequestId,
+    /// The invoking user (for auditing; authentication uses `credentials`).
+    pub caller: UserId,
+    /// The logical user the request is addressed to (the owner of the
+    /// target service). Devices hosting a single user ignore it; a proxy
+    /// hosting several disconnected users' replicas routes by it (§5.2).
+    /// `UserId(0)` = unspecified.
+    pub target: UserId,
+    /// TEA-encrypted `user:password` envelope (§5.4); empty when the
+    /// network runs with authentication disabled.
+    pub credentials: Vec<u8>,
+    /// Target service, e.g. `"calendar"`.
+    pub service: ServiceName,
+    /// Target method, e.g. `"reserve_slot"`.
+    pub method: String,
+    /// Positional arguments.
+    pub args: Vec<Value>,
+}
+
+impl Encode for Request {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.id.encode(buf);
+        self.caller.encode(buf);
+        self.target.encode(buf);
+        self.credentials.encode(buf);
+        self.service.encode(buf);
+        self.method.encode(buf);
+        self.args.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len()
+            + self.caller.encoded_len()
+            + self.target.encoded_len()
+            + self.credentials.encoded_len()
+            + self.service.encoded_len()
+            + self.method.encoded_len()
+            + self.args.encoded_len()
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut Reader<'_>) -> SydResult<Self> {
+        Ok(Request {
+            id: RequestId::decode(r)?,
+            caller: UserId::decode(r)?,
+            target: UserId::decode(r)?,
+            credentials: Vec::<u8>::decode(r)?,
+            service: ServiceName::decode(r)?,
+            method: String::decode(r)?,
+            args: Vec::<Value>::decode(r)?,
+        })
+    }
+}
+
+/// Reply to a [`Request`] with the same `id`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Correlation id copied from the request.
+    pub id: RequestId,
+    /// Result of the invocation.
+    pub result: Result<Value, SydError>,
+}
+
+impl Encode for Response {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.id.encode(buf);
+        self.result.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len() + self.result.encoded_len()
+    }
+}
+
+impl Decode for Response {
+    fn decode(r: &mut Reader<'_>) -> SydResult<Self> {
+        Ok(Response {
+            id: RequestId::decode(r)?,
+            result: Result::<Value, SydError>::decode(r)?,
+        })
+    }
+}
+
+/// Fire-and-forget published event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventMsg {
+    /// Hierarchical topic, e.g. `"link.deleted"` or `"calendar.changed"`.
+    pub topic: String,
+    /// Publishing user.
+    pub source: UserId,
+    /// Event payload.
+    pub payload: Value,
+}
+
+impl Encode for EventMsg {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.topic.encode(buf);
+        self.source.encode(buf);
+        self.payload.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.topic.encoded_len() + self.source.encoded_len() + self.payload.encoded_len()
+    }
+}
+
+impl Decode for EventMsg {
+    fn decode(r: &mut Reader<'_>) -> SydResult<Self> {
+        Ok(EventMsg {
+            topic: String::decode(r)?,
+            source: UserId::decode(r)?,
+            payload: Value::decode(r)?,
+        })
+    }
+}
+
+/// The three kinds of traffic on a SyD network.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// Remote invocation.
+    Request(Request),
+    /// Correlated reply.
+    Response(Response),
+    /// Published event.
+    Event(EventMsg),
+}
+
+const TAG_REQUEST: u8 = 0;
+const TAG_RESPONSE: u8 = 1;
+const TAG_EVENT: u8 = 2;
+
+impl Encode for Payload {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            Payload::Request(m) => {
+                buf.put_u8(TAG_REQUEST);
+                m.encode(buf);
+            }
+            Payload::Response(m) => {
+                buf.put_u8(TAG_RESPONSE);
+                m.encode(buf);
+            }
+            Payload::Event(m) => {
+                buf.put_u8(TAG_EVENT);
+                m.encode(buf);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Payload::Request(m) => m.encoded_len(),
+            Payload::Response(m) => m.encoded_len(),
+            Payload::Event(m) => m.encoded_len(),
+        }
+    }
+}
+
+impl Decode for Payload {
+    fn decode(r: &mut Reader<'_>) -> SydResult<Self> {
+        match r.u8()? {
+            TAG_REQUEST => Ok(Payload::Request(Request::decode(r)?)),
+            TAG_RESPONSE => Ok(Payload::Response(Response::decode(r)?)),
+            TAG_EVENT => Ok(Payload::Event(EventMsg::decode(r)?)),
+            other => Err(SydError::Codec(format!("invalid payload tag {other}"))),
+        }
+    }
+}
+
+/// An addressed message on the simulated network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Sending endpoint.
+    pub src: NodeAddr,
+    /// Receiving endpoint.
+    pub dst: NodeAddr,
+    /// Message body.
+    pub payload: Payload,
+}
+
+impl Envelope {
+    /// Convenience constructor.
+    pub fn new(src: NodeAddr, dst: NodeAddr, payload: Payload) -> Self {
+        Self { src, dst, payload }
+    }
+
+    /// Wire footprint in bytes (version byte included); reported by the
+    /// baseline-vs-SyD benchmark (experiment E1).
+    pub fn wire_len(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl Encode for Envelope {
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u8(WIRE_VERSION);
+        self.src.encode(buf);
+        self.dst.encode(buf);
+        // Length-prefixed payload lets routers forward without decoding it.
+        put_varint(buf, self.payload.encoded_len() as u64);
+        self.payload.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        let body = self.payload.encoded_len();
+        1 + self.src.encoded_len() + self.dst.encoded_len() + varint_len(body as u64) + body
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(r: &mut Reader<'_>) -> SydResult<Self> {
+        let version = r.u8()?;
+        if version != WIRE_VERSION {
+            return Err(SydError::Codec(format!(
+                "unsupported wire version {version} (expected {WIRE_VERSION})"
+            )));
+        }
+        let src = NodeAddr::decode(r)?;
+        let dst = NodeAddr::decode(r)?;
+        let body_len = r.len_prefix()?;
+        let before = r.remaining();
+        let payload = Payload::decode(r)?;
+        let consumed = before - r.remaining();
+        if consumed != body_len {
+            return Err(SydError::Codec(format!(
+                "payload length prefix {body_len} != actual {consumed}"
+            )));
+        }
+        Ok(Envelope { src, dst, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_from_slice, encode_to_vec};
+
+    fn sample_request() -> Request {
+        Request {
+            id: RequestId::new(17),
+            caller: UserId::new(3),
+            target: UserId::new(4),
+            credentials: vec![0xde, 0xad],
+            service: ServiceName::new("calendar"),
+            method: "find_free_slots".into(),
+            args: vec![Value::I64(1), Value::str("d1..d2")],
+        }
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let env = Envelope::new(
+            NodeAddr::new(1),
+            NodeAddr::new(2),
+            Payload::Request(sample_request()),
+        );
+        let bytes = encode_to_vec(&env);
+        assert_eq!(bytes.len(), env.wire_len());
+        let back: Envelope = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn response_round_trip_ok_and_err() {
+        for result in [
+            Ok(Value::list([Value::I64(9)])),
+            Err(SydError::ConstraintFailed("xor".into())),
+        ] {
+            let env = Envelope::new(
+                NodeAddr::new(2),
+                NodeAddr::new(1),
+                Payload::Response(Response {
+                    id: RequestId::new(17),
+                    result,
+                }),
+            );
+            let bytes = encode_to_vec(&env);
+            let back: Envelope = decode_from_slice(&bytes).unwrap();
+            assert_eq!(back, env);
+        }
+    }
+
+    #[test]
+    fn event_round_trip() {
+        let env = Envelope::new(
+            NodeAddr::new(5),
+            NodeAddr::new(6),
+            Payload::Event(EventMsg {
+                topic: "link.deleted".into(),
+                source: UserId::new(8),
+                payload: Value::map([("link", Value::I64(12))]),
+            }),
+        );
+        let bytes = encode_to_vec(&env);
+        assert_eq!(decode_from_slice::<Envelope>(&bytes).unwrap(), env);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let env = Envelope::new(
+            NodeAddr::new(1),
+            NodeAddr::new(2),
+            Payload::Event(EventMsg {
+                topic: "t".into(),
+                source: UserId::new(0),
+                payload: Value::Null,
+            }),
+        );
+        let mut bytes = encode_to_vec(&env);
+        bytes[0] = 99;
+        let err = decode_from_slice::<Envelope>(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_length_prefix_rejected() {
+        let env = Envelope::new(
+            NodeAddr::new(1),
+            NodeAddr::new(2),
+            Payload::Request(sample_request()),
+        );
+        let mut bytes = encode_to_vec(&env);
+        // The length prefix sits right after version + two 1-byte addrs.
+        bytes[3] = bytes[3].wrapping_add(1);
+        assert!(decode_from_slice::<Envelope>(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_credentials_mean_unauthenticated() {
+        let mut req = sample_request();
+        req.credentials.clear();
+        let bytes = encode_to_vec(&req);
+        let back: Request = decode_from_slice(&bytes).unwrap();
+        assert!(back.credentials.is_empty());
+    }
+
+    #[test]
+    fn wire_len_tracks_payload_size() {
+        let small = Envelope::new(
+            NodeAddr::new(1),
+            NodeAddr::new(2),
+            Payload::Event(EventMsg {
+                topic: "t".into(),
+                source: UserId::new(0),
+                payload: Value::Null,
+            }),
+        );
+        let big = Envelope::new(
+            NodeAddr::new(1),
+            NodeAddr::new(2),
+            Payload::Event(EventMsg {
+                topic: "t".into(),
+                source: UserId::new(0),
+                payload: Value::Bytes(vec![0; 1000]),
+            }),
+        );
+        assert!(big.wire_len() > small.wire_len() + 900);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::codec::{decode_from_slice, encode_to_vec};
+    use proptest::prelude::*;
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::I64),
+            ".{0,16}".prop_map(Value::Str),
+            proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::Bytes),
+        ]
+    }
+
+    fn arb_payload() -> impl Strategy<Value = Payload> {
+        prop_oneof![
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                proptest::collection::vec(any::<u8>(), 0..32),
+                "[a-z.]{1,12}",
+                "[a-z_]{1,12}",
+                proptest::collection::vec(arb_value(), 0..4),
+            )
+                .prop_map(|(id, caller, target, credentials, service, method, args)| {
+                    Payload::Request(Request {
+                        id: RequestId::new(id),
+                        caller: UserId::new(caller),
+                        target: UserId::new(target),
+                        credentials,
+                        service: ServiceName::new(service),
+                        method,
+                        args,
+                    })
+                }),
+            (any::<u64>(), arb_value()).prop_map(|(id, v)| {
+                Payload::Response(Response {
+                    id: RequestId::new(id),
+                    result: Ok(v),
+                })
+            }),
+            (any::<u64>(), "[a-z.]{1,16}", any::<u64>(), arb_value()).prop_map(
+                |(_, topic, source, payload)| {
+                    Payload::Event(EventMsg {
+                        topic,
+                        source: UserId::new(source),
+                        payload,
+                    })
+                }
+            ),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn envelope_round_trip(src in any::<u64>(), dst in any::<u64>(), payload in arb_payload()) {
+            let env = Envelope::new(NodeAddr::new(src), NodeAddr::new(dst), payload);
+            let bytes = encode_to_vec(&env);
+            prop_assert_eq!(bytes.len(), env.wire_len());
+            let back: Envelope = decode_from_slice(&bytes).unwrap();
+            prop_assert_eq!(back, env);
+        }
+
+        #[test]
+        fn envelope_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let _ = decode_from_slice::<Envelope>(&bytes);
+        }
+
+        #[test]
+        fn single_bit_flips_never_panic(payload in arb_payload(), flip in 0usize..64) {
+            let env = Envelope::new(NodeAddr::new(1), NodeAddr::new(2), payload);
+            let mut bytes = encode_to_vec(&env);
+            let idx = flip % bytes.len();
+            bytes[idx] ^= 1 << (flip % 8);
+            // Either decodes to something or errors; never panics, and a
+            // successful decode re-encodes without panicking.
+            if let Ok(back) = decode_from_slice::<Envelope>(&bytes) {
+                let _ = encode_to_vec(&back);
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Heterogeneous data stores (§2): one participant's "database" is a flat
+//! text file — "an ad-hoc data store such as a flat file, an EXCEL
+//! worksheet or a list repository" — imported into their device object,
+//! after which they coordinate like everyone else.
+//!
+//! ```sh
+//! cargo run --example flat_file_device
+//! ```
+
+use syd::calendar::{CalendarApp, MeetingSpec, MeetingStatus};
+use syd::kernel::SydEnv;
+use syd::net::NetConfig;
+use syd::store::{export_table, import_table, Predicate, Store};
+use syd::types::{SlotRange, TimeSlot};
+
+fn main() {
+    // Suzy's "calendar" lives in an ASCII list on her ancient organizer.
+    let suzy_file = "\
+slot:i64,label:str
+9,dentist
+10,dentist
+33,pick up kids
+";
+    // Import the flat file into a store — the paper's deviceware adapter.
+    let imported = Store::new();
+    let rows = import_table(&imported, "busy_list", suzy_file, true).unwrap();
+    println!("imported {rows} busy entries from suzy's flat file");
+
+    // Stand up the deployment.
+    let env = SydEnv::new(NetConfig::ideal(), "flat-file passphrase");
+    let phil = CalendarApp::install(&env.device("phil", "pw").unwrap()).unwrap();
+    let suzy = CalendarApp::install(&env.device("suzy", "pw").unwrap()).unwrap();
+
+    // Feed the imported list into suzy's calendar object.
+    for row in imported.select("busy_list", &Predicate::True).unwrap() {
+        let ordinal = row.values[0].as_i64().unwrap() as u64;
+        suzy.mark_busy(TimeSlot::from_ordinal(ordinal)).unwrap();
+    }
+
+    // Phil schedules around suzy's flat-file engagements transparently.
+    let common = phil
+        .find_common_slots(
+            &[phil.user(), suzy.user()],
+            SlotRange::new(TimeSlot::new(0, 8), TimeSlot::new(0, 12)),
+        )
+        .unwrap();
+    println!("common free slots on day 0 (8:00–12:00): {common:?}");
+    assert!(!common.contains(&TimeSlot::new(0, 9)), "dentist blocks 9:00");
+    assert!(!common.contains(&TimeSlot::new(0, 10)));
+
+    let outcome = phil
+        .schedule(MeetingSpec::plain("sync", common[0], vec![suzy.user()]))
+        .unwrap();
+    assert_eq!(outcome.status, MeetingStatus::Confirmed);
+    println!("meeting confirmed at {}", common[0]);
+
+    // And suzy's device can export its current calendar back to text for
+    // the organizer to re-sync.
+    let exported = export_table(suzy.device().store(), "slots").unwrap();
+    println!("\nsuzy's calendar, exported back to flat text:\n{exported}");
+}

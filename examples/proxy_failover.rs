@@ -1,0 +1,160 @@
+//! Mobility support through proxies (§5.2): a device drops off the
+//! wireless network, its proxy transparently serves in its place, and on
+//! reconnect the device "takes over the proxy" by replaying the journal.
+//!
+//! ```sh
+//! cargo run --example proxy_failover
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use syd::kernel::proxy::{enable_replication, proxy_service, replay_journal, ProxyMethod};
+use syd::kernel::SydEnv;
+use syd::net::NetConfig;
+use syd::store::{Column, ColumnType, Predicate, Schema, Store};
+use syd::types::{ServiceName, TimeSlot, Value};
+
+fn slots_schema() -> Schema {
+    Schema::new(
+        "slots",
+        vec![
+            Column::required("ordinal", ColumnType::I64),
+            Column::required("status", ColumnType::Str),
+        ],
+        &["ordinal"],
+    )
+    .unwrap()
+}
+
+fn main() {
+    let env = SydEnv::new(NetConfig::wireless_lan(), "proxy passphrase");
+    let phil = env.device("phil", "pw-phil").unwrap();
+    let andy = env.device("andy", "pw-andy").unwrap();
+    // The proxy lives on an application-service-provider machine (§3.2).
+    let proxy = env.proxy("asp-proxy", "pw-proxy").unwrap();
+    let svc = ServiceName::new("slots");
+
+    // Phil's primary store and a tiny slots service.
+    phil.store().create_table(slots_schema()).unwrap();
+    {
+        let store = phil.store().clone();
+        phil.register_service(
+            &svc,
+            "get",
+            Arc::new(move |_ctx, args: &[Value]| {
+                let ordinal = args[0].as_i64()?;
+                Ok(store
+                    .get_by_key("slots", &[Value::I64(ordinal)])?
+                    .map_or(Value::str("free"), |row| row.values[1].clone()))
+            }),
+        )
+        .unwrap();
+    }
+
+    // The proxy hosts a replica of Phil's database and serves the same
+    // service — including writes, which it journals.
+    let get: ProxyMethod = Arc::new(|_ctx, store: &Store, args: &[Value]| {
+        let ordinal = args[0].as_i64()?;
+        Ok(store
+            .get_by_key("slots", &[Value::I64(ordinal)])?
+            .map_or(Value::str("free"), |row| row.values[1].clone()))
+    });
+    let set: ProxyMethod = Arc::new(|_ctx, store: &Store, args: &[Value]| {
+        let ordinal = args[0].as_i64()?;
+        let status = args[1].as_str()?;
+        if store.get_by_key("slots", &[Value::I64(ordinal)])?.is_some() {
+            store.update(
+                "slots",
+                &Predicate::Eq("ordinal".into(), Value::I64(ordinal)),
+                &[("status".into(), Value::str(status))],
+            )?;
+        } else {
+            store.insert("slots", vec![Value::I64(ordinal), Value::str(status)])?;
+        }
+        Ok(Value::Null)
+    });
+    proxy
+        .host_user(phil.user(), |store| {
+            store.create_table(slots_schema())?;
+            Ok(vec![
+                ((svc.clone(), "get".to_owned()), get),
+                ((svc.clone(), "set".to_owned()), set),
+            ])
+        })
+        .unwrap();
+    enable_replication(&phil, proxy.addr(), &["slots"]).unwrap();
+
+    // Phil books a slot; replication keeps the proxy warm.
+    let slot = TimeSlot::new(1, 9);
+    phil.store()
+        .insert(
+            "slots",
+            vec![Value::from(slot.ordinal()), Value::str("dentist")],
+        )
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while proxy
+        .replica_store(phil.user())
+        .unwrap()
+        .row_count("slots")
+        .unwrap()
+        == 0
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!("replica warm: proxy mirrors phil's booking");
+
+    // Phil's iPAQ goes out of range…
+    phil.disconnect().unwrap();
+    println!("phil disconnected");
+
+    // …but Andy's queries still work: the directory silently routes to
+    // the proxy ("the proxy and the SyD object act as a single entity").
+    let status = andy
+        .engine()
+        .invoke(phil.user(), &svc, "get", vec![Value::from(slot.ordinal())])
+        .unwrap();
+    println!("andy reads phil's calendar via proxy: {status}");
+
+    // Andy even books a new slot; the proxy journals the write.
+    andy.engine()
+        .invoke(
+            phil.user(),
+            &svc,
+            "set",
+            vec![Value::from(TimeSlot::new(1, 15).ordinal()), Value::str("sync with andy")],
+        )
+        .unwrap();
+    println!(
+        "andy wrote through the proxy (journal: {} op)",
+        proxy.journal_len(phil.user())
+    );
+
+    // Phil comes back: drain the journal and take over.
+    phil.reconnect().unwrap();
+    let ops = phil
+        .node()
+        .call(
+            proxy.addr(),
+            &proxy_service(),
+            "drain_journal",
+            vec![Value::from(phil.user().raw())],
+        )
+        .unwrap()
+        .into_list()
+        .unwrap();
+    let applied = replay_journal(phil.store(), &ops).unwrap();
+    println!("phil reconnected and replayed {applied} journaled op(s)");
+
+    let status = phil
+        .store()
+        .get_by_key("slots", &[Value::from(TimeSlot::new(1, 15).ordinal())])
+        .unwrap()
+        .unwrap();
+    println!(
+        "phil's own database now shows: {}",
+        status.values[1]
+    );
+}
