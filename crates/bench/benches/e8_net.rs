@@ -27,6 +27,7 @@ fn sample_envelope(args: usize) -> Envelope {
             service: ServiceName::new("calendar"),
             method: "free_slots".into(),
             args: (0..args as i64).map(Value::I64).collect(),
+            trace: None,
         }),
     )
 }

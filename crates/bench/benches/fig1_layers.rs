@@ -80,6 +80,7 @@ fn bench_layers(c: &mut Criterion) {
         service: svc.clone(),
         method: "select".into(),
         args: vec![Value::I64(42)],
+        trace: None,
     };
     group.bench_function("L2_listener_dispatch", |b| {
         b.iter(|| listener.dispatch(NodeAddr::new(1), &request).unwrap())

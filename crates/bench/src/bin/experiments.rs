@@ -29,11 +29,12 @@ fn main() {
     f4_negotiation_outcomes();
     e3_convergence();
     e5_proxy_failover();
+    e8_rpc_reliability();
     e1_storage_footprint();
 }
 
 fn delta(net: &syd_net::Network, before: StatsSnapshot) -> StatsSnapshot {
-    before.delta(&net.stats())
+    net.stats().since(&before)
 }
 
 /// E1 — §3.3/§6: messages and bytes to set up (and react to) a meeting,
@@ -332,6 +333,56 @@ fn e5_proxy_failover() {
     println!("  takeover (1st call): {takeover_us:>8} µs");
     println!("  query via proxy   : {proxy_us:>8.1} µs");
     println!("(availability holds through the disconnect; takeover cost is one\n failed attempt + one directory re-resolution)\n");
+}
+
+/// E8 — RPC reliability under loss: how many retries and timeouts the
+/// node layer absorbs to keep meeting setup working on a lossy network,
+/// plus the telemetry dump the rest of the harness can read.
+fn e8_rpc_reliability() {
+    println!("== E8: rpc retries/timeouts under loss (one 4-party meeting each) ==");
+    println!(
+        "{:>8} | {:>8} {:>8} {:>8} | {:>10}",
+        "loss", "calls", "retries", "timeouts", "outcome"
+    );
+    let mut dump_device: Option<DeviceRuntime> = None;
+    for loss in [0.0f64, 0.02, 0.05, 0.10] {
+        let env = SydEnv::new_insecure(NetConfig::ideal().with_loss(loss).with_seed(7));
+        let apps = calendar_rig(&env, 4);
+        let attendees: Vec<UserId> = users_of(&apps)[1..].to_vec();
+        let outcome = apps[0].schedule(MeetingSpec::plain("m", TimeSlot::new(2, 10), attendees));
+        let node = apps[0].device().node();
+        let calls = node
+            .metrics()
+            .get_histogram("rpc.call")
+            .map_or(0, |h| h.count());
+        println!(
+            "{:>7}% | {:>8} {:>8} {:>8} | {:>10}",
+            (loss * 100.0) as u32,
+            calls,
+            node.rpc_retries(),
+            node.rpc_timeouts(),
+            match outcome {
+                Ok(o) => format!("{:?}", o.status),
+                Err(_) => "Err".to_owned(),
+            }
+        );
+        if loss == 0.0 {
+            dump_device = Some(apps[0].device().clone());
+        }
+    }
+    println!("(retries are absorbed by the node layer; timeouts that exhaust the\n retry budget surface as negotiation declines and repair rounds)\n");
+
+    if let Some(device) = dump_device {
+        println!("-- telemetry dump (initiator device, lossless run) --");
+        print!("{}", syd_telemetry::metrics_table(&device.metrics().snapshot()));
+        let journal = device.journal().dump();
+        let lines: Vec<&str> = journal.lines().collect();
+        println!("-- journal ({} events, first 10) --", lines.len());
+        for line in lines.iter().take(10) {
+            println!("{line}");
+        }
+        println!("(full dumps: DeviceRuntime::telemetry_dump / telemetry_jsonl)\n");
+    }
 }
 
 /// §6's storage claim: "each user's local machine stores only that

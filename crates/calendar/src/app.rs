@@ -19,6 +19,7 @@ use parking_lot::Mutex;
 use syd_core::links::{FireResult, LinkKind, LinkSpec, LinkStatus};
 use syd_core::{DeviceRuntime, EntityHandler, SubscriptionHandler};
 use syd_store::{Column, ColumnType, Predicate, Schema, Store};
+use syd_telemetry::{Counter, Histogram};
 use syd_types::{
     MeetingId, Priority, ServiceName, SydError, SydResult, TimeSlot, UserId, Value,
 };
@@ -44,11 +45,23 @@ pub struct CalendarApp {
     pub(crate) device: DeviceRuntime,
     pub(crate) store: Store,
     pub(crate) mailbox: Arc<Mailbox>,
+    pub(crate) metrics: CalendarMetrics,
     next_meeting: AtomicU64,
     /// Per-meeting serialization of reconcile rounds.
     pub(crate) reconcile_locks: Mutex<HashMap<MeetingId, Arc<Mutex<()>>>>,
     /// Meetings currently being rescheduled after a bump (dedup guard).
     pub(crate) rescheduling: Mutex<Vec<MeetingId>>,
+}
+
+/// Preregistered handles into the device's metrics registry; recording on
+/// the scheduling paths never touches the registry lock.
+pub(crate) struct CalendarMetrics {
+    /// End-to-end `schedule()` latency ("calendar.schedule").
+    pub(crate) schedule: Histogram,
+    /// Per-round `reconcile()` latency ("calendar.reconcile").
+    pub(crate) reconcile: Histogram,
+    /// Meetings cancelled by this initiator ("calendar.cancels").
+    pub(crate) cancels: Counter,
 }
 
 impl CalendarApp {
@@ -84,10 +97,17 @@ impl CalendarApp {
         )?)?;
 
         let mailbox = Mailbox::install(device)?;
+        let registry = device.metrics();
+        let metrics = CalendarMetrics {
+            schedule: registry.histogram("calendar.schedule"),
+            reconcile: registry.histogram("calendar.reconcile"),
+            cancels: registry.counter("calendar.cancels"),
+        };
         let app = Arc::new(CalendarApp {
             device: device.clone(),
             store,
             mailbox,
+            metrics,
             next_meeting: AtomicU64::new(1),
             reconcile_locks: Mutex::new(HashMap::new()),
             rescheduling: Mutex::new(Vec::new()),

@@ -16,6 +16,7 @@
 use syd_core::links::{Constraint, LinkKind, LinkRef, LinkSpec};
 use syd_core::negotiate::Participant;
 use syd_store::Predicate;
+use syd_telemetry::{trace, EventKind};
 use syd_types::{
     MeetingId, SlotRange, SydError, SydResult, TimeSlot, UserId, Value,
 };
@@ -27,6 +28,16 @@ use crate::model::{
 
 /// How far ahead (in slots) auto-rescheduling searches for a new time.
 const RESCHEDULE_HORIZON: u64 = 7 * 24;
+
+/// How many times a lock-contended reservation grab is retried before the
+/// round gives up and leaves the meeting tentative.
+const GRAB_RETRIES: u32 = 4;
+
+/// Backoff before retrying a contended grab. Staggered by user id so two
+/// racing coordinators don't re-collide in lockstep, growing per attempt.
+fn grab_backoff(user: UserId, attempt: u32) -> std::time::Duration {
+    std::time::Duration::from_millis(u64::from(attempt + 1) * (3 + user.raw() % 7))
+}
 
 impl CalendarApp {
     // ---- queries -------------------------------------------------------------
@@ -79,7 +90,36 @@ impl CalendarApp {
     /// Sets up a meeting (§5): reserves the chosen slot at every available
     /// participant and returns a confirmed or tentative outcome.
     pub fn schedule(&self, spec: MeetingSpec) -> SydResult<ScheduleOutcome> {
+        // One meeting setup = one trace: every RPC this call fans out
+        // (status queries, negotiation marks/commits, link installs)
+        // carries the same trace id across all participants' journals.
+        let _span = match trace::current() {
+            None => Some(trace::enter(trace::root_span())),
+            Some(_) => None,
+        };
+        let started = std::time::Instant::now();
         let id = self.alloc_meeting();
+        self.device.journal().record(
+            EventKind::SpanBegin,
+            format!("calendar.schedule meeting={} slot={}", id.raw(), spec.slot.ordinal()),
+        );
+        let result = self.schedule_inner(id, spec);
+        self.metrics.schedule.record_duration(started.elapsed());
+        self.device.journal().record(
+            EventKind::SpanEnd,
+            match &result {
+                Ok(out) => format!(
+                    "calendar.schedule meeting={} status={:?}",
+                    id.raw(),
+                    out.status
+                ),
+                Err(err) => format!("calendar.schedule meeting={} error={err}", id.raw()),
+            },
+        );
+        result
+    }
+
+    fn schedule_inner(&self, id: MeetingId, spec: MeetingSpec) -> SydResult<ScheduleOutcome> {
         let corr = format!("meeting:{}", id.raw());
         let ordinal = spec.slot.ordinal();
 
@@ -130,6 +170,13 @@ impl CalendarApp {
 
     /// One reservation/repair round (see module docs). Initiator only.
     pub fn reconcile(&self, id: MeetingId) -> SydResult<MeetingStatus> {
+        let started = std::time::Instant::now();
+        let result = self.reconcile_inner(id);
+        self.metrics.reconcile.record_duration(started.elapsed());
+        result
+    }
+
+    fn reconcile_inner(&self, id: MeetingId) -> SydResult<MeetingStatus> {
         let guard = self.reconcile_guard(id);
         let _g = guard.lock();
 
@@ -172,8 +219,12 @@ impl CalendarApp {
             }
         }
 
-        // Grab whoever is now available (negotiation with a trivially
-        // satisfied at-least-0 constraint commits every yes-voter).
+        // Grab whoever is now available. A contended round (another
+        // initiator's negotiation mid-flight on some slot) commits
+        // nothing; back off for a user-staggered moment and retry so that
+        // exactly one of the racing coordinators ends up holding the
+        // slots — committing partial sets under crossed locks is how a
+        // slot gets split between two meetings.
         let mut newly: Vec<UserId> = Vec::new();
         if !missing.is_empty() {
             let change = self.reserve_change(&rec);
@@ -181,10 +232,14 @@ impl CalendarApp {
                 .iter()
                 .map(|&u| Participant::new(u, slot_entity(ordinal), change.clone()))
                 .collect();
-            let outcome = self
-                .device
-                .negotiator()
-                .negotiate(Constraint::AtLeast(0), &parts)?;
+            let mut outcome = self.device.negotiator().negotiate_available(&parts)?;
+            for attempt in 0..GRAB_RETRIES {
+                if outcome.contended.is_empty() {
+                    break;
+                }
+                std::thread::sleep(grab_backoff(self.user(), attempt));
+                outcome = self.device.negotiator().negotiate_available(&parts)?;
+            }
             newly = outcome.committed;
             holders.extend(newly.iter().copied());
             missing.retain(|u| !holders.contains(u));
@@ -291,6 +346,15 @@ impl CalendarApp {
         self.device
             .events()
             .publish_local("calendar.reconciled", &Value::from(id.raw()));
+        self.device.journal().record(
+            EventKind::Info,
+            format!(
+                "calendar.reconcile meeting={} status={:?} reserved={}",
+                id.raw(),
+                rec.status,
+                rec.reserved.len()
+            ),
+        );
         Ok(rec.status)
     }
 
@@ -348,6 +412,11 @@ impl CalendarApp {
         if rec.status == MeetingStatus::Cancelled {
             return Ok(());
         }
+        self.metrics.cancels.inc();
+        self.device.journal().record(
+            EventKind::Info,
+            format!("calendar.cancel meeting={}", id.raw()),
+        );
         let reserved = rec.reserved.clone();
         rec.status = MeetingStatus::Cancelled;
         rec.reserved.clear();
@@ -565,10 +634,7 @@ impl CalendarApp {
                 .iter()
                 .map(|&u| Participant::new(u, slot_entity(rec.ordinal), change.clone()))
                 .collect();
-            let outcome = self
-                .device
-                .negotiator()
-                .negotiate(Constraint::AtLeast(0), &parts)?;
+            let outcome = self.device.negotiator().negotiate_available(&parts)?;
             let mut extended = hypothetical.clone();
             extended.extend(outcome.committed.iter().copied());
             if !rec.constraints_satisfied_by(&extended) {

@@ -1,0 +1,113 @@
+//! End-to-end telemetry: one meeting setup produces one trace that spans
+//! every participant's journal, the negotiation counters and RPC
+//! histograms tick, and a forced abort shows up in the postmortem dump
+//! with its reason.
+
+use std::sync::Arc;
+
+use syd_calendar::{CalendarApp, MeetingSpec, MeetingStatus};
+use syd_core::SydEnv;
+use syd_net::NetConfig;
+use syd_telemetry::EventKind;
+use syd_types::{TimeSlot, UserId};
+
+fn rig(n: usize) -> (SydEnv, Vec<Arc<CalendarApp>>) {
+    let env = SydEnv::new_insecure(NetConfig::ideal());
+    let apps = (0..n)
+        .map(|i| {
+            let device = env.device(&format!("user{i}"), "").unwrap();
+            CalendarApp::install(&device).unwrap()
+        })
+        .collect();
+    (env, apps)
+}
+
+#[test]
+fn one_trace_spans_all_participants_and_metrics_tick() {
+    let (_env, apps) = rig(4);
+    let slot = TimeSlot::new(3, 10);
+    let attendees: Vec<UserId> = apps[1..].iter().map(|a| a.user()).collect();
+    let outcome = apps[0]
+        .schedule(MeetingSpec::plain("telemetry", slot, attendees))
+        .unwrap();
+    assert_eq!(outcome.status, MeetingStatus::Confirmed);
+
+    // The initiator's journal recorded the schedule span; pull its trace.
+    let trace = apps[0]
+        .device()
+        .journal()
+        .events()
+        .into_iter()
+        .find(|e| e.kind == EventKind::SpanBegin && e.detail.contains("calendar.schedule"))
+        .expect("schedule span recorded")
+        .trace;
+    assert_ne!(trace, 0, "schedule opened a root trace");
+
+    // The same trace id appears in every participant's journal: the
+    // negotiation marks/commits arrived with the propagated context.
+    for app in &apps {
+        assert!(
+            app.device().journal().contains_trace(trace),
+            "device {} journal lacks trace {trace:016x}:\n{}",
+            app.user(),
+            app.device().journal().dump()
+        );
+    }
+
+    // Counters and histograms ticked on the initiator.
+    let metrics = apps[0].device().metrics();
+    let sessions = metrics
+        .get_counter("negotiate.sessions")
+        .expect("negotiate.sessions registered");
+    assert!(sessions.get() >= 1, "no negotiation sessions counted");
+    let rpc = metrics.get_histogram("rpc.call").expect("rpc.call registered");
+    assert!(rpc.count() >= 1, "no rpc latencies recorded");
+    assert!(rpc.summary().p50 > 0, "rpc p50 should be positive");
+    let schedule = metrics
+        .get_histogram("calendar.schedule")
+        .expect("calendar.schedule registered");
+    assert_eq!(schedule.count(), 1);
+
+    // Participants served requests and journalled the state transitions.
+    for app in &apps[1..] {
+        let dump = app.device().journal().dump();
+        assert!(dump.contains("lock"), "{dump}");
+        assert!(dump.contains("vote=yes"), "{dump}");
+        assert!(dump.contains("change"), "{dump}");
+    }
+}
+
+#[test]
+fn forced_abort_lands_in_journal_with_reason() {
+    let (_env, apps) = rig(3);
+    let slot = TimeSlot::new(4, 9);
+    let attendees: Vec<UserId> = apps[1..].iter().map(|a| a.user()).collect();
+    let outcome = apps[0]
+        .schedule(MeetingSpec::plain("movable", slot, attendees))
+        .unwrap();
+    assert_eq!(outcome.status, MeetingStatus::Confirmed);
+
+    // The move target is busy at one holder, so the negotiation-and over
+    // the new slot fails and the yes-voters are aborted.
+    let target = TimeSlot::new(4, 15);
+    apps[2].mark_busy(target).unwrap();
+    let moved = apps[0].request_change(outcome.meeting, target).unwrap();
+    assert!(!moved, "change should fail against a busy holder");
+
+    let dump = apps[0].device().journal().dump();
+    assert!(
+        dump.contains("reason=constraint-failed"),
+        "coordinator journal lacks the abort reason:\n{dump}"
+    );
+    let aborts = apps[0]
+        .device()
+        .metrics()
+        .get_counter("negotiate.aborts")
+        .expect("negotiate.aborts registered");
+    assert!(aborts.get() >= 1);
+
+    // The jsonl export renders the same story for machines.
+    let jsonl = apps[0].device().telemetry_jsonl();
+    assert!(jsonl.contains("\"kind\":\"abort\""), "{jsonl}");
+    assert!(jsonl.contains("constraint-failed"), "{jsonl}");
+}

@@ -22,6 +22,7 @@ use parking_lot::{Mutex, RwLock};
 use syd_crypto::Authenticator;
 use syd_net::{Network, Node};
 use syd_store::{LockKey, Store};
+use syd_telemetry::{EventKind, Journal, Registry};
 use syd_types::{Clock, NodeAddr, ServiceName, SydError, SydResult, UserId, Value};
 
 use crate::directory::DirectoryClient;
@@ -74,6 +75,7 @@ struct DeviceInner {
     events: EventHandler,
     links: Arc<LinksModule>,
     negotiator: Negotiator,
+    journal: Arc<Journal>,
     clock: Arc<dyn Clock>,
     entity_handler: RwLock<Option<Arc<dyn EntityHandler>>>,
     subscription_handler: RwLock<Option<Arc<dyn SubscriptionHandler>>>,
@@ -106,7 +108,9 @@ impl DeviceRuntime {
 
         let store = Store::new();
         let listener = Arc::new(Listener::new(auth));
+        listener.attach_metrics(node.metrics());
         node.set_handler(Arc::new(ListenerHandler(Arc::clone(&listener))));
+        let journal = Arc::new(Journal::default());
 
         // Kernel and application methods are idempotent by design, so the
         // engine retries transient failures — the paper's weakly-connected
@@ -130,7 +134,24 @@ impl DeviceRuntime {
             Arc::clone(&clock),
             events.clone(),
         )?);
-        let negotiator = Negotiator::new(engine.clone(), user);
+        let negotiator = Negotiator::new(engine.clone(), user)
+            .with_telemetry(node.metrics(), Arc::clone(&journal));
+        // Link lifecycle transitions land in the postmortem journal —
+        // §4.2 op. 3's waiting-link promotion as a first-class event, the
+        // rest as timeline context.
+        {
+            let journal = Arc::clone(&journal);
+            events.subscribe(
+                "link.",
+                Arc::new(move |topic: &str, payload: &Value| {
+                    let kind = match topic {
+                        "link.promoted" => EventKind::Promotion,
+                        _ => EventKind::Info,
+                    };
+                    journal.record(kind, format!("{topic} {payload}"));
+                }),
+            );
+        }
 
         let inner = Arc::new(DeviceInner {
             user,
@@ -143,6 +164,7 @@ impl DeviceRuntime {
             events,
             links,
             negotiator,
+            journal,
             clock,
             entity_handler: RwLock::new(None),
             subscription_handler: RwLock::new(None),
@@ -200,6 +222,39 @@ impl DeviceRuntime {
     /// The underlying node (identity stamping, raw calls).
     pub fn node(&self) -> &Node {
         &self.inner.node
+    }
+
+    /// This device's metrics registry (shared with the node, engine,
+    /// listener, and negotiator).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        self.inner.node.metrics()
+    }
+
+    /// The postmortem event journal.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.inner.journal
+    }
+
+    /// Human-readable telemetry dump: the metrics table followed by the
+    /// journal timeline. For postmortems and harness output.
+    pub fn telemetry_dump(&self) -> String {
+        format!(
+            "== device {} ({}) metrics ==\n{}\n== journal ==\n{}",
+            self.inner.user,
+            self.inner.name,
+            syd_telemetry::metrics_table(&self.metrics().snapshot()),
+            self.inner.journal.dump()
+        )
+    }
+
+    /// Machine-readable telemetry dump: metrics then journal, one JSON
+    /// object per line.
+    pub fn telemetry_jsonl(&self) -> String {
+        format!(
+            "{}{}",
+            syd_telemetry::metrics_jsonl(&self.metrics().snapshot()),
+            self.inner.journal.to_jsonl()
+        )
     }
 
     /// The deployment clock.
@@ -307,22 +362,52 @@ impl DeviceRuntime {
                         .acquire(session, &key, MARK_LOCK_WAIT)
                         .is_err()
                     {
-                        return Ok(Value::Bool(false));
+                        inner.journal.record(
+                            EventKind::Mark,
+                            format!("session={session} entity={entity} vote=no reason=lock-busy"),
+                        );
+                        // Distinguishable from a durable prepare refusal:
+                        // the coordinator treats any non-true vote as a
+                        // decline, but a greedy grab must not commit while
+                        // another negotiation holds this lock.
+                        return Ok(Value::str("lock-busy"));
                     }
                 }
+                inner.journal.record(
+                    EventKind::Lock,
+                    format!("session={session} entity={entity}"),
+                );
                 inner.sessions.lock().insert(session, Instant::now());
                 let handler = inner.entity_handler.read().clone();
                 match handler {
                     Some(h) => match h.prepare(entity, change) {
-                        Ok(()) => Ok(Value::Bool(true)),
-                        Err(_) => {
+                        Ok(()) => {
+                            inner.journal.record(
+                                EventKind::Mark,
+                                format!("session={session} entity={entity} vote=yes"),
+                            );
+                            Ok(Value::Bool(true))
+                        }
+                        Err(err) => {
                             inner.store.locks().release(session, &key);
+                            inner.journal.record(
+                                EventKind::Mark,
+                                format!(
+                                    "session={session} entity={entity} vote=no reason={err}"
+                                ),
+                            );
                             Ok(Value::Bool(false))
                         }
                     },
                     // No entity handler: vote yes on lock alone (pure
                     // mutual exclusion semantics).
-                    None => Ok(Value::Bool(true)),
+                    None => {
+                        inner.journal.record(
+                            EventKind::Mark,
+                            format!("session={session} entity={entity} vote=yes"),
+                        );
+                        Ok(Value::Bool(true))
+                    }
                 }
             }),
         );
@@ -347,6 +432,13 @@ impl DeviceRuntime {
                     .locks()
                     .release(session, &entity_lock_key(entity));
                 inner.sessions.lock().remove(&session);
+                inner.journal.record(
+                    EventKind::Change,
+                    format!(
+                        "session={session} entity={entity} applied={}",
+                        result.is_ok()
+                    ),
+                );
                 result.map(|_| Value::Null)
             }),
         );
@@ -369,6 +461,10 @@ impl DeviceRuntime {
                     .locks()
                     .release(session, &entity_lock_key(entity));
                 inner.sessions.lock().remove(&session);
+                inner.journal.record(
+                    EventKind::Abort,
+                    format!("session={session} entity={entity} reason=coordinator-abort"),
+                );
                 Ok(Value::Null)
             }),
         );
@@ -624,6 +720,44 @@ mod tests {
         for d in &devices {
             assert_eq!(d.store().locks().held_count(), 0);
         }
+    }
+
+    #[test]
+    fn greedy_grab_aborts_under_lock_contention() {
+        let (_net, _dir, devices) = rig(3);
+        let states = install_map_handlers(&devices);
+        // A foreign negotiation session holds device 2's entity lock, as
+        // if another coordinator were mid-negotiation on the same slot.
+        let key = entity_lock_key("slot:1:9");
+        assert!(devices[2].store().locks().try_acquire(0xdead, &key));
+        let participants: Vec<Participant> = devices
+            .iter()
+            .map(|d| Participant::new(d.user(), "slot:1:9", Value::str("reserved")))
+            .collect();
+        let outcome = devices[0]
+            .negotiator()
+            .negotiate_available(&participants)
+            .unwrap();
+        // Devices 0 and 1 voted yes but nothing may commit: grabbing a
+        // partial set while another coordinator holds the rest is how a
+        // slot ends up split between two meetings.
+        assert_eq!(outcome.contended, vec![devices[2].user()]);
+        assert!(outcome.committed.is_empty(), "{outcome:?}");
+        assert!(!outcome.satisfied);
+        for state in &states {
+            assert!(state.lock().get("slot:1:9").is_none());
+        }
+        for d in &devices[..2] {
+            assert_eq!(d.store().locks().held_count(), 0);
+        }
+        // Once the other session is gone the same grab commits everyone.
+        devices[2].store().locks().release(0xdead, &key);
+        let outcome = devices[0]
+            .negotiator()
+            .negotiate_available(&participants)
+            .unwrap();
+        assert!(outcome.satisfied, "{outcome:?}");
+        assert_eq!(outcome.committed.len(), 3);
     }
 
     #[test]

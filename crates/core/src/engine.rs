@@ -17,6 +17,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use syd_net::{CallOptions, Node};
+use syd_telemetry::Histogram;
 use syd_types::{NodeAddr, ServiceName, SydError, SydResult, UserId, Value};
 
 use crate::directory::DirectoryClient;
@@ -71,17 +72,21 @@ pub struct SydEngine {
     cache: Arc<Mutex<HashMap<UserId, NodeAddr>>>,
     opts: CallOptions,
     qos: Option<Arc<QosMonitor>>,
+    /// End-to-end invoke latency ("engine.invoke"), resolve included.
+    invoke_hist: Histogram,
 }
 
 impl SydEngine {
     /// Builds an engine over `node`, resolving names with `directory`.
     pub fn new(node: Node, directory: DirectoryClient) -> SydEngine {
+        let invoke_hist = node.metrics().histogram("engine.invoke");
         SydEngine {
             node,
             directory,
             cache: Arc::new(Mutex::new(HashMap::new())),
             opts: CallOptions::default(),
             qos: None,
+            invoke_hist,
         }
     }
 
@@ -234,6 +239,7 @@ impl SydEngine {
     ) -> SydResult<Value> {
         let started = std::time::Instant::now();
         let result = self.invoke_inner(user, service, method, args);
+        self.invoke_hist.record_duration(started.elapsed());
         if let Some(qos) = &self.qos {
             qos.observe(user, service, started.elapsed(), result.is_ok());
         }
@@ -259,6 +265,7 @@ impl SydEngine {
         );
         let started = std::time::Instant::now();
         let result = bounded.invoke_inner(user, service, method, args);
+        self.invoke_hist.record_duration(started.elapsed());
         if let Some(qos) = &self.qos {
             qos.observe(user, service, started.elapsed(), result.is_ok());
         }

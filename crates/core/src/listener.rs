@@ -18,6 +18,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use syd_crypto::Authenticator;
 use syd_net::RequestHandler;
+use syd_telemetry::{Counter, Registry};
 use syd_types::{NodeAddr, ServiceName, SydError, SydResult, UserId, Value};
 use syd_wire::Request;
 
@@ -40,10 +41,17 @@ struct ListenerState {
     methods: HashMap<(String, String), ServiceMethod>,
 }
 
+/// Preregistered dispatch counters (see [`Listener::attach_metrics`]).
+struct ListenerMetrics {
+    dispatches: Counter,
+    auth_failures: Counter,
+}
+
 /// The per-device service registry and request dispatcher.
 pub struct Listener {
     state: RwLock<ListenerState>,
     auth: Option<Arc<Authenticator>>,
+    metrics: RwLock<Option<ListenerMetrics>>,
 }
 
 impl Listener {
@@ -56,7 +64,18 @@ impl Listener {
                 methods: HashMap::new(),
             }),
             auth,
+            metrics: RwLock::new(None),
         }
+    }
+
+    /// Attaches dispatch counters ("listener.dispatch",
+    /// "listener.auth_failures") to `registry`. Handles are resolved once
+    /// here, not per request.
+    pub fn attach_metrics(&self, registry: &Registry) {
+        *self.metrics.write() = Some(ListenerMetrics {
+            dispatches: registry.counter("listener.dispatch"),
+            auth_failures: registry.counter("listener.auth_failures"),
+        });
     }
 
     /// Registers (or replaces) a method under `service`.
@@ -89,9 +108,20 @@ impl Listener {
 
     /// Dispatches one request: authenticate, look up, invoke.
     pub fn dispatch(&self, from: NodeAddr, req: &Request) -> SydResult<Value> {
+        if let Some(m) = &*self.metrics.read() {
+            m.dispatches.inc();
+        }
         let ctx = match &self.auth {
             Some(auth) => {
-                let caller = auth.verify(&req.credentials)?;
+                let caller = match auth.verify(&req.credentials) {
+                    Ok(caller) => caller,
+                    Err(err) => {
+                        if let Some(m) = &*self.metrics.read() {
+                            m.auth_failures.inc();
+                        }
+                        return Err(err);
+                    }
+                };
                 InvokeCtx {
                     caller,
                     from,
@@ -145,6 +175,7 @@ mod tests {
             service: ServiceName::new(service),
             method: method.to_owned(),
             args: vec![Value::I64(5)],
+            trace: None,
         }
     }
 

@@ -31,7 +31,9 @@
 //! than deadlock.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use syd_telemetry::{Counter, EventKind, Journal, Registry};
 use syd_types::{ServiceName, SydError, SydResult, UserId, Value};
 
 use crate::engine::SydEngine;
@@ -78,6 +80,11 @@ pub struct NegotiationOutcome {
     /// Participants that declined (could not lock / prepare failed /
     /// unreachable).
     pub declined: Vec<UserId>,
+    /// The subset of `declined` whose refusal was a *transient* lock
+    /// conflict with another in-flight negotiation (as opposed to a
+    /// durable prepare failure). Callers that grab greedily should treat
+    /// a non-empty list as "retry after the other coordinator finishes".
+    pub contended: Vec<UserId>,
     /// The session id used (diagnostics; lock owner on every device).
     pub session: u64,
 }
@@ -87,6 +94,12 @@ pub struct Negotiator {
     engine: SydEngine,
     local_user: UserId,
     next_session: AtomicU64,
+    /// Counts sessions coordinated by this device ("negotiate.sessions").
+    sessions: Option<Counter>,
+    /// Counts aborts issued by this coordinator ("negotiate.aborts").
+    aborts: Option<Counter>,
+    /// Postmortem journal recording the §4.3 state transitions.
+    journal: Option<Arc<Journal>>,
 }
 
 impl Negotiator {
@@ -96,6 +109,25 @@ impl Negotiator {
             engine,
             local_user,
             next_session: AtomicU64::new(1),
+            sessions: None,
+            aborts: None,
+            journal: None,
+        }
+    }
+
+    /// Attaches metrics and the postmortem journal. Counters are
+    /// preregistered here so the negotiation path never touches the
+    /// registry lock.
+    pub fn with_telemetry(mut self, registry: &Registry, journal: Arc<Journal>) -> Negotiator {
+        self.sessions = Some(registry.counter("negotiate.sessions"));
+        self.aborts = Some(registry.counter("negotiate.aborts"));
+        self.journal = Some(journal);
+        self
+    }
+
+    fn journal_record(&self, kind: EventKind, detail: String) {
+        if let Some(journal) = &self.journal {
+            journal.record(kind, detail);
         }
     }
 
@@ -123,11 +155,44 @@ impl Negotiator {
         constraint: Constraint,
         participants: &[Participant],
     ) -> SydResult<NegotiationOutcome> {
+        self.negotiate_impl(constraint, participants, false)
+    }
+
+    /// Greedy grab for repair rounds: commits every participant that can
+    /// change right now (`AtLeast(0)`) — **unless** any decline was a
+    /// transient lock conflict with a concurrent negotiation, in which
+    /// case nothing commits and the conflict is reported via
+    /// [`NegotiationOutcome::contended`] so the caller can back off and
+    /// retry. Committing under crossed locks is how two racing
+    /// coordinators each end up holding part of the other's entity set.
+    pub fn negotiate_available(
+        &self,
+        participants: &[Participant],
+    ) -> SydResult<NegotiationOutcome> {
+        self.negotiate_impl(Constraint::AtLeast(0), participants, true)
+    }
+
+    fn negotiate_impl(
+        &self,
+        constraint: Constraint,
+        participants: &[Participant],
+        abort_on_contention: bool,
+    ) -> SydResult<NegotiationOutcome> {
         if participants.is_empty() {
             return Err(SydError::Protocol("negotiation needs participants".into()));
         }
         let session = self.new_session();
         let svc = link_service();
+        if let Some(c) = &self.sessions {
+            c.inc();
+        }
+        self.journal_record(
+            EventKind::SpanBegin,
+            format!(
+                "negotiate session={session} constraint={constraint:?} participants={}",
+                participants.len()
+            ),
+        );
 
         // Phase 1: mark everyone.
         let mark_calls: Vec<(UserId, Vec<Value>)> = participants
@@ -147,20 +212,40 @@ impl Negotiator {
 
         let mut yes = Vec::new();
         let mut declined = Vec::new();
+        let mut contended = Vec::new();
         for (i, (user, outcome)) in votes.outcomes.iter().enumerate() {
             match outcome {
                 Ok(Value::Bool(true)) => yes.push(i),
+                Ok(Value::Str(s)) if s == "lock-busy" => {
+                    contended.push(*user);
+                    declined.push(*user);
+                }
                 _ => declined.push(*user),
             }
         }
 
-        // Decide.
+        self.journal_record(
+            EventKind::Mark,
+            format!(
+                "session={session} yes={} declined={} contended={}",
+                yes.len(),
+                declined.len(),
+                contended.len()
+            ),
+        );
+
+        // Decide. A contended round never commits when the caller asked
+        // for contention safety: the locks we failed to get are held by
+        // another coordinator mid-negotiation, and committing our partial
+        // set would interleave two half-applied changes.
         let yes_count = yes.len() as u32;
-        let (satisfied, commit_count) = match constraint {
+        let (constraint_ok, commit_count) = match constraint {
             Constraint::And => (yes_count == participants.len() as u32, yes_count),
             Constraint::AtLeast(k) => (yes_count >= k, yes_count),
             Constraint::Exactly(k) => (yes_count >= k, k.min(yes_count)),
         };
+        let blocked = abort_on_contention && !contended.is_empty();
+        let satisfied = constraint_ok && !blocked;
 
         let (to_commit, to_abort): (Vec<usize>, Vec<usize>) = if satisfied {
             let commit: Vec<usize> = yes.iter().copied().take(commit_count as usize).collect();
@@ -168,6 +253,15 @@ impl Negotiator {
             (commit, abort)
         } else {
             (Vec::new(), yes.clone())
+        };
+        // Why the yes-voters in `to_abort` are being aborted — surfaced in
+        // the postmortem journal alongside each abort fan-out.
+        let abort_reason = if blocked {
+            "lock-contention"
+        } else if satisfied {
+            "xor-overflow"
+        } else {
+            "constraint-failed"
         };
 
         // Phase 2: commit the chosen, abort the rest of the yes-voters.
@@ -216,15 +310,43 @@ impl Negotiator {
                         let (u, args) = &commit_calls[i];
                         match self.engine.invoke(*u, &svc, "commit", args.clone()) {
                             Ok(_) => committed.push(user),
-                            Err(_) => aborted.push(user),
+                            Err(_) => {
+                                self.journal_record(
+                                    EventKind::Abort,
+                                    format!(
+                                        "session={session} user={} reason=commit-failed",
+                                        user.raw()
+                                    ),
+                                );
+                                if let Some(c) = &self.aborts {
+                                    c.inc();
+                                }
+                                aborted.push(user);
+                            }
                         }
                     }
                 }
+            }
+            if !committed.is_empty() {
+                self.journal_record(
+                    EventKind::Change,
+                    format!("session={session} committed={}", committed.len()),
+                );
             }
         }
         if !abort_calls.is_empty() {
             let results = self.engine.invoke_group_varied(&abort_calls, &svc, "abort");
             for (user, _) in results.outcomes {
+                self.journal_record(
+                    EventKind::Abort,
+                    format!(
+                        "session={session} user={} reason={abort_reason}",
+                        user.raw()
+                    ),
+                );
+                if let Some(c) = &self.aborts {
+                    c.inc();
+                }
                 aborted.push(user);
             }
         }
@@ -252,13 +374,25 @@ impl Negotiator {
                 .invoke_group_varied(&decline_aborts, &svc, "abort");
         }
 
-        Ok(NegotiationOutcome {
+        let outcome = NegotiationOutcome {
             satisfied: satisfied && !committed.is_empty(),
             committed,
             aborted,
             declined,
+            contended,
             session,
-        })
+        };
+        self.journal_record(
+            EventKind::SpanEnd,
+            format!(
+                "negotiate session={session} satisfied={} committed={} aborted={} declined={}",
+                outcome.satisfied,
+                outcome.committed.len(),
+                outcome.aborted.len(),
+                outcome.declined.len()
+            ),
+        );
+        Ok(outcome)
     }
 
     /// Negotiation-and over `participants` (§4.3): all or nothing.

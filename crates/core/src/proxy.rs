@@ -71,6 +71,9 @@ struct ProxyInner {
     replicas: RwLock<HashMap<UserId, Arc<Replica>>>,
     #[allow(dead_code)]
     clock: Arc<dyn Clock>,
+    /// Requests answered from a replica on behalf of a hosted user
+    /// ("proxy.served").
+    served: syd_telemetry::Counter,
 }
 
 /// A proxy host. Cloning shares the host.
@@ -93,6 +96,7 @@ impl ProxyHost {
         let node = Node::spawn(net);
         let directory = DirectoryClient::new(node.clone(), dir_addr);
         directory.register(user, name, node.addr())?;
+        let served = node.metrics().counter("proxy.served");
         let inner = Arc::new(ProxyInner {
             user,
             name: name.to_owned(),
@@ -101,6 +105,7 @@ impl ProxyHost {
             auth,
             replicas: RwLock::new(HashMap::new()),
             clock,
+            served,
         });
         let host = ProxyHost {
             inner: Arc::clone(&inner),
@@ -275,6 +280,7 @@ fn serve(inner: &Arc<ProxyInner>, from: NodeAddr, req: &Request) -> SydResult<Va
         .get(&(req.service.as_str().to_owned(), req.method.clone()))
         .cloned()
         .ok_or_else(|| SydError::NoSuchService(req.service.clone(), req.method.clone()))?;
+    inner.served.inc();
     handler(&ctx, &replica.store, &req.args)
 }
 

@@ -424,6 +424,7 @@ mod tests {
             service: ServiceName::new("svc"),
             method: "m".into(),
             args: vec![],
+            trace: None,
         })
     }
 
@@ -439,6 +440,14 @@ mod tests {
         match env.payload {
             Payload::Event(ev) => assert_eq!(ev.topic, "hello"),
             other => panic!("unexpected payload {other:?}"),
+        }
+        // The router increments `delivered` after handing the bytes to
+        // the endpoint, so the receiver can get here first — wait for
+        // the counter rather than racing it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(1);
+        while net.stats().delivered < 1 {
+            assert!(std::time::Instant::now() < deadline, "delivery uncounted");
+            std::thread::yield_now();
         }
         let stats = net.stats();
         assert_eq!(stats.sent, 1);
@@ -602,6 +611,14 @@ mod tests {
         let before = net.stats();
         a.send(b.addr(), event("one")).unwrap();
         b.recv_timeout(Duration::from_secs(1)).unwrap();
+        // The router increments `delivered` after handing the bytes to the
+        // endpoint, so wait for the counter rather than racing it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(1);
+        while net.stats().delivered < before.delivered + 1
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::yield_now();
+        }
         let delta = before.delta(&net.stats());
         assert_eq!(delta.sent, 1);
         assert_eq!(delta.delivered, 1);

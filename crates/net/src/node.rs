@@ -9,12 +9,13 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-
+use std::time::Instant;
 
 use crossbeam_channel::Sender;
 use parking_lot::{Mutex, RwLock};
+use syd_telemetry::{trace, Counter, Histogram, Registry, SpanCtx};
 use syd_types::{NodeAddr, RequestId, ServiceName, SydError, SydResult, UserId, Value};
-use syd_wire::{EventMsg, Payload, Request, Response};
+use syd_wire::{EventMsg, Payload, Request, Response, TraceContext};
 
 use crate::network::{Endpoint, Network};
 use crate::pool::WorkerPool;
@@ -54,6 +55,31 @@ where
     }
 }
 
+/// Preregistered metric handles for the RPC hot path. Recording through
+/// any of these is a relaxed atomic op — no lock, no allocation — which
+/// is what keeps `rpc_round_trip/ideal` flat after instrumentation.
+struct NodeMetrics {
+    /// `rpc.call` — blocking-call latency (microseconds).
+    rpc_call: Histogram,
+    /// `rpc.retries` — transient-failure re-sends from `call_with`.
+    rpc_retries: Counter,
+    /// `rpc.timeouts` — calls (or attempts) that hit their deadline.
+    rpc_timeouts: Counter,
+    /// `rpc.requests_served` — inbound requests dispatched to a handler.
+    requests_served: Counter,
+}
+
+impl NodeMetrics {
+    fn preregister(registry: &Registry) -> Self {
+        Self {
+            rpc_call: registry.histogram("rpc.call"),
+            rpc_retries: registry.counter("rpc.retries"),
+            rpc_timeouts: registry.counter("rpc.timeouts"),
+            requests_served: registry.counter("rpc.requests_served"),
+        }
+    }
+}
+
 struct NodeShared {
     addr: NodeAddr,
     net: Network,
@@ -63,6 +89,8 @@ struct NodeShared {
     events: RwLock<Option<Arc<dyn EventSink>>>,
     identity: RwLock<(UserId, Vec<u8>)>,
     pool: WorkerPool,
+    registry: Arc<Registry>,
+    metrics: NodeMetrics,
 }
 
 /// A live node on the simulated network. Cloning shares the node.
@@ -76,6 +104,8 @@ impl Node {
     pub fn spawn(net: &Network) -> Node {
         let endpoint = net.register();
         let addr = endpoint.addr();
+        let registry = Arc::new(Registry::new());
+        let metrics = NodeMetrics::preregister(&registry);
         let shared = Arc::new(NodeShared {
             addr,
             net: net.clone(),
@@ -85,6 +115,8 @@ impl Node {
             events: RwLock::new(None),
             identity: RwLock::new((UserId::default(), Vec::new())),
             pool: WorkerPool::for_device(format!("node{}", addr.raw())),
+            registry,
+            metrics,
         });
         let driver_shared = Arc::clone(&shared);
         std::thread::Builder::new()
@@ -107,6 +139,23 @@ impl Node {
     /// The worker pool dispatching this node's inbound requests.
     pub fn pool(&self) -> &WorkerPool {
         &self.shared.pool
+    }
+
+    /// This node's metrics registry (`rpc.call`, `rpc.retries`,
+    /// `rpc.timeouts`, `rpc.requests_served`, plus whatever higher
+    /// layers register on it).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
+    /// Number of transient-failure re-sends performed by blocking calls.
+    pub fn rpc_retries(&self) -> u64 {
+        self.shared.metrics.rpc_retries.get()
+    }
+
+    /// Number of call attempts that hit their deadline.
+    pub fn rpc_timeouts(&self) -> u64 {
+        self.shared.metrics.rpc_timeouts.get()
     }
 
     /// Installs the request handler (replacing any previous one).
@@ -145,15 +194,26 @@ impl Node {
         args: Vec<Value>,
         opts: CallOptions,
     ) -> SydResult<Value> {
+        let started = Instant::now();
         let mut attempts = 0;
         loop {
             let pending = self.call_async(dst, service, method, args.clone())?;
             match pending.wait(opts.timeout) {
-                Ok(value) => return Ok(value),
-                Err(err) if err.is_transient() && attempts < opts.retries => {
-                    attempts += 1;
+                Ok(value) => {
+                    self.shared.metrics.rpc_call.record_duration(started.elapsed());
+                    return Ok(value);
                 }
-                Err(err) => return Err(err),
+                Err(err) => {
+                    if matches!(err, SydError::Timeout(_)) {
+                        self.shared.metrics.rpc_timeouts.inc();
+                    }
+                    if err.is_transient() && attempts < opts.retries {
+                        attempts += 1;
+                        self.shared.metrics.rpc_retries.inc();
+                    } else {
+                        return Err(err);
+                    }
+                }
             }
         }
     }
@@ -183,6 +243,12 @@ impl Node {
         let (tx, rx) = crossbeam_channel::bounded(1);
         self.shared.pending.lock().insert(id, tx);
         let (caller, credentials) = self.shared.identity.read().clone();
+        // Continue the thread's current trace (nested invocation) or
+        // mint a fresh root — either way every request carries context.
+        let span = match trace::current() {
+            Some(ctx) => ctx.child(),
+            None => trace::root_span(),
+        };
         let request = Request {
             id,
             caller,
@@ -191,6 +257,11 @@ impl Node {
             service: service.clone(),
             method: method.to_owned(),
             args,
+            trace: Some(TraceContext {
+                trace_id: span.trace,
+                span_id: span.span,
+                hop: span.hop,
+            }),
         };
         let send_result = self.shared.net.send(syd_wire::Envelope::new(
             self.shared.addr,
@@ -252,6 +323,16 @@ fn driver_loop(endpoint: Endpoint, shared: Arc<NodeShared>) {
                 let from = envelope.src;
                 let reply_shared = Arc::clone(&shared);
                 let job = move || {
+                    reply_shared.metrics.requests_served.inc();
+                    // Serve under the caller's trace context so nested
+                    // outbound calls made by the handler inherit it.
+                    let _span = req.trace.map(|tc| {
+                        trace::enter(SpanCtx {
+                            trace: tc.trace_id,
+                            span: tc.span_id,
+                            hop: tc.hop + 1,
+                        })
+                    });
                     let result = match handler {
                         Some(h) => h.handle(from, req.clone()),
                         None => Err(SydError::NoSuchService(
@@ -426,6 +507,72 @@ mod tests {
 
         let result = a.call(b.addr(), &svc, "ping", vec![]).unwrap();
         assert_eq!(result, Value::str("pong"));
+    }
+
+    #[test]
+    fn trace_context_spans_nested_calls() {
+        let net = Network::ideal();
+        let a = Node::spawn(&net);
+        let b = Node::spawn(&net);
+
+        // b reports the trace context it observes on the wire.
+        b.set_handler(Arc::new(|_: NodeAddr, req: Request| {
+            let tc = req.trace.expect("request arrived without trace context");
+            Ok(Value::list([
+                Value::I64(tc.trace_id as i64),
+                Value::I64(tc.hop as i64),
+            ]))
+        }));
+        // a's handler makes a nested call to b from its worker thread.
+        let a_clone = a.clone();
+        let b_addr = b.addr();
+        a.set_handler(Arc::new(move |_: NodeAddr, _: Request| {
+            a_clone.call(b_addr, &ServiceName::new("svc"), "probe", vec![])
+        }));
+
+        let client = Node::spawn(&net);
+        let root = syd_telemetry::root_span();
+        let reported = {
+            let _g = syd_telemetry::enter(root);
+            client
+                .call(a.addr(), &ServiceName::new("svc"), "relay", vec![])
+                .unwrap()
+        };
+        // One trace id from client through a's handler to b, and b sees
+        // the call one hop deeper than the client's root.
+        assert_eq!(
+            reported,
+            Value::list([Value::I64(root.trace as i64), Value::I64(1)])
+        );
+    }
+
+    #[test]
+    fn rpc_metrics_count_calls_timeouts_and_retries() {
+        let net = Network::ideal();
+        let server = Node::spawn(&net);
+        server.set_handler(echo_handler());
+        let client = Node::spawn(&net);
+        client
+            .call(server.addr(), &ServiceName::new("echo"), "m", vec![])
+            .unwrap();
+        let hist = client.metrics().get_histogram("rpc.call").unwrap();
+        assert_eq!(hist.count(), 1);
+        assert!(server.metrics().get_counter("rpc.requests_served").unwrap().get() >= 1);
+
+        // A silent peer: the first attempt and its single retry both
+        // time out, so the call fails with two timeouts and one retry.
+        let silent = net.register();
+        let opts = CallOptions::new()
+            .with_timeout(Duration::from_millis(30))
+            .with_retries(1);
+        let err = client
+            .call_with(silent.addr(), &ServiceName::new("svc"), "m", vec![], opts)
+            .unwrap_err();
+        assert!(matches!(err, SydError::Timeout(_)), "{err}");
+        assert_eq!(client.rpc_timeouts(), 2);
+        assert_eq!(client.rpc_retries(), 1);
+        // The successful call is still the only histogram sample.
+        assert_eq!(hist.count(), 1);
     }
 
     #[test]

@@ -103,6 +103,13 @@ impl StatsSnapshot {
             dropped_unreachable: later.dropped_unreachable - self.dropped_unreachable,
         }
     }
+
+    /// Traffic since an earlier snapshot (`self - earlier`) — the same
+    /// arithmetic as [`StatsSnapshot::delta`] but reading naturally at
+    /// the call site: `net.stats().since(&before)`.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        earlier.delta(self)
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +145,7 @@ mod tests {
         assert_eq!(d.sent, 1);
         assert_eq!(d.bytes_sent, 20);
         assert_eq!(d.delivered, 1);
+        // `since` is the same delta, phrased from the later snapshot.
+        assert_eq!(after.since(&before), d);
     }
 }

@@ -1,0 +1,131 @@
+//! Renderings of a metrics snapshot: a human-readable table for harness
+//! output and JSON-lines for tooling.
+
+use crate::metrics::MetricsSnapshot;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as an aligned, human-readable table.
+///
+/// Counters and gauges get one `name value` line each; histograms get
+/// count/mean and the p50/p95/p99 summary in microseconds.
+pub fn metrics_table(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if snap.is_empty() {
+        out.push_str("(no metrics registered)\n");
+        return out;
+    }
+    let width = snap
+        .counters
+        .iter()
+        .map(|(k, _)| k.len())
+        .chain(snap.gauges.iter().map(|(k, _)| k.len()))
+        .chain(snap.histograms.iter().map(|(k, _)| k.len()))
+        .max()
+        .unwrap_or(0);
+    for (name, value) in &snap.counters {
+        out.push_str(&format!("{name:<width$}  {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        out.push_str(&format!("{name:<width$}  {value}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str(&format!(
+            "{name:<width$}  count={} mean={}us p50={}us p95={}us p99={}us\n",
+            h.count, h.mean, h.p50, h.p95, h.p99
+        ));
+    }
+    out
+}
+
+/// Renders a snapshot as JSON-lines: one object per metric.
+pub fn metrics_jsonl(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        out.push_str(&format!(
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}\n",
+            json_escape(name),
+            value
+        ));
+    }
+    for (name, value) in &snap.gauges {
+        out.push_str(&format!(
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}\n",
+            json_escape(name),
+            value
+        ));
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str(&format!(
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum_us\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}\n",
+            json_escape(name),
+            h.count,
+            h.sum,
+            h.mean,
+            h.p50,
+            h.p95,
+            h.p99
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\t"), "x\\ny\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn table_lists_every_metric() {
+        let reg = Registry::new();
+        reg.counter("rpc.retries").add(3);
+        reg.gauge("pool.size").set(4);
+        reg.histogram("rpc.call").record(100);
+        let table = metrics_table(&reg.snapshot());
+        assert!(table.contains("rpc.retries"), "{table}");
+        assert!(table.contains("pool.size"), "{table}");
+        assert!(table.contains("p99="), "{table}");
+    }
+
+    #[test]
+    fn empty_table_says_so() {
+        let table = metrics_table(&Registry::new().snapshot());
+        assert!(table.contains("no metrics"), "{table}");
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_metric() {
+        let reg = Registry::new();
+        reg.counter("c").inc();
+        reg.gauge("g").set(1);
+        reg.histogram("h").record(10);
+        let jsonl = metrics_jsonl(&reg.snapshot());
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(jsonl.contains("\"type\":\"counter\""), "{jsonl}");
+        assert!(jsonl.contains("\"type\":\"gauge\""), "{jsonl}");
+        assert!(jsonl.contains("\"type\":\"histogram\""), "{jsonl}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Cross-cutting observability for SyD.
+//!
+//! The paper's evaluation (Figures 3–4, §6) is a story about *where time
+//! and messages go*: kernel layer crossings, negotiation rounds, link
+//! cascades. This crate makes those costs visible at runtime rather than
+//! only under Criterion:
+//!
+//! * [`metrics`] — a registry of named counters, gauges and log-bucketed
+//!   latency histograms. Recording through a preregistered handle is a
+//!   single relaxed atomic op: no locks, no allocation, cheap enough for
+//!   the RPC hot path.
+//! * [`trace`] — thread-local trace-context propagation. A root span is
+//!   minted at the first outbound `Node::call`; servers re-enter the
+//!   received context (hop + 1) before dispatching, so nested invocations
+//!   (engine group invokes, negotiation fan-out, cancel cascades) inherit
+//!   one trace id end to end.
+//! * [`journal`] — a bounded ring-buffer event journal per device
+//!   recording span begin/end and negotiation state transitions
+//!   (mark/lock/change/abort, waiting-link promotion) for postmortem
+//!   dumps when a scenario fails.
+//! * [`export`] — human-readable table and JSON-lines renderings of a
+//!   metrics snapshot, shared by `DeviceRuntime`, `Network` and the
+//!   `experiments` harness.
+//!
+//! The crate deliberately depends on nothing but `parking_lot` so every
+//! layer — wire, net, kernel, apps — can use it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod journal;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{json_escape, metrics_jsonl, metrics_table};
+pub use journal::{EventKind, Journal, JournalEvent};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry};
+pub use trace::{current, enter, fresh_id, root_span, SpanCtx, SpanGuard};

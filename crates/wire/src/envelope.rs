@@ -20,6 +20,49 @@ use crate::codec::{put_varint, varint_len, Decode, Encode, Reader};
 /// Wire format version tag.
 pub const WIRE_VERSION: u8 = 1;
 
+/// Marker byte introducing an optional trailing [`TraceContext`] on a
+/// [`Request`].
+const TRACE_MARKER: u8 = 1;
+
+/// Distributed trace context carried on requests (see `syd-telemetry`).
+///
+/// The context is encoded as an *optional trailing extension* of
+/// [`Request`]: a request without one encodes to exactly the bytes the
+/// pre-trace format produced (keeping the format canonical), and a
+/// decoder that finds no bytes after `args` yields `None`. That gives
+/// two-way compatibility: old bytes decode under the new code, and
+/// trace-free new bytes are byte-identical to old ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// End-to-end operation id, stable across every hop of a trace.
+    pub trace_id: u64,
+    /// Id of the span this request belongs to.
+    pub span_id: u64,
+    /// Number of RPC dispatches between the trace root and this request.
+    pub hop: u32,
+}
+
+impl Encode for TraceContext {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.trace_id.encode(buf);
+        self.span_id.encode(buf);
+        self.hop.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.trace_id.encoded_len() + self.span_id.encoded_len() + self.hop.encoded_len()
+    }
+}
+
+impl Decode for TraceContext {
+    fn decode(r: &mut Reader<'_>) -> SydResult<Self> {
+        Ok(TraceContext {
+            trace_id: u64::decode(r)?,
+            span_id: u64::decode(r)?,
+            hop: u32::decode(r)?,
+        })
+    }
+}
+
 /// A remote method invocation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Request {
@@ -41,6 +84,9 @@ pub struct Request {
     pub method: String,
     /// Positional arguments.
     pub args: Vec<Value>,
+    /// Optional distributed trace context, encoded as a trailing
+    /// extension so trace-free requests keep the pre-trace byte format.
+    pub trace: Option<TraceContext>,
 }
 
 impl Encode for Request {
@@ -52,6 +98,12 @@ impl Encode for Request {
         self.service.encode(buf);
         self.method.encode(buf);
         self.args.encode(buf);
+        // Trailing extension: nothing when absent (old-format bytes),
+        // marker + context when present.
+        if let Some(trace) = &self.trace {
+            buf.put_u8(TRACE_MARKER);
+            trace.encode(buf);
+        }
     }
     fn encoded_len(&self) -> usize {
         self.id.encoded_len()
@@ -61,19 +113,43 @@ impl Encode for Request {
             + self.service.encoded_len()
             + self.method.encoded_len()
             + self.args.encoded_len()
+            + self.trace.as_ref().map_or(0, |t| 1 + t.encoded_len())
     }
 }
 
 impl Decode for Request {
     fn decode(r: &mut Reader<'_>) -> SydResult<Self> {
+        let id = RequestId::decode(r)?;
+        let caller = UserId::decode(r)?;
+        let target = UserId::decode(r)?;
+        let credentials = Vec::<u8>::decode(r)?;
+        let service = ServiceName::decode(r)?;
+        let method = String::decode(r)?;
+        let args = Vec::<Value>::decode(r)?;
+        // A request always ends its enclosing frame, so any bytes left
+        // are the trailing trace extension; none means an old-format
+        // (or deliberately untraced) request.
+        let trace = if r.remaining() > 0 {
+            match r.u8()? {
+                TRACE_MARKER => Some(TraceContext::decode(r)?),
+                other => {
+                    return Err(SydError::Codec(format!(
+                        "invalid request extension marker {other}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
         Ok(Request {
-            id: RequestId::decode(r)?,
-            caller: UserId::decode(r)?,
-            target: UserId::decode(r)?,
-            credentials: Vec::<u8>::decode(r)?,
-            service: ServiceName::decode(r)?,
-            method: String::decode(r)?,
-            args: Vec::<Value>::decode(r)?,
+            id,
+            caller,
+            target,
+            credentials,
+            service,
+            method,
+            args,
+            trace,
         })
     }
 }
@@ -266,7 +342,22 @@ mod tests {
             service: ServiceName::new("calendar"),
             method: "find_free_slots".into(),
             args: vec![Value::I64(1), Value::str("d1..d2")],
+            trace: None,
         }
+    }
+
+    /// Encodes a request exactly as the pre-`TraceContext` format did:
+    /// the seven original fields and nothing after `args`.
+    fn encode_legacy(req: &Request) -> Vec<u8> {
+        let mut buf = Vec::new();
+        req.id.encode(&mut buf);
+        req.caller.encode(&mut buf);
+        req.target.encode(&mut buf);
+        req.credentials.encode(&mut buf);
+        req.service.encode(&mut buf);
+        req.method.encode(&mut buf);
+        req.args.encode(&mut buf);
+        buf
     }
 
     #[test]
@@ -348,6 +439,67 @@ mod tests {
     }
 
     #[test]
+    fn traced_request_round_trips() {
+        let mut req = sample_request();
+        req.trace = Some(TraceContext {
+            trace_id: 0xdead_beef_0042,
+            span_id: 7,
+            hop: 3,
+        });
+        let env = Envelope::new(NodeAddr::new(1), NodeAddr::new(2), Payload::Request(req));
+        let bytes = encode_to_vec(&env);
+        assert_eq!(bytes.len(), env.wire_len());
+        let back: Envelope = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn legacy_request_bytes_still_decode() {
+        // Bytes produced by the pre-trace encoder must decode, with the
+        // trace absent.
+        let req = sample_request();
+        let legacy = encode_legacy(&req);
+        let back: Request = decode_from_slice(&legacy).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.trace, None);
+    }
+
+    #[test]
+    fn untraced_request_encodes_to_legacy_bytes() {
+        // The other direction of compatibility: a request without a
+        // trace must be byte-identical to the old format, so old
+        // decoders (and stored captures) see nothing new.
+        let req = sample_request();
+        assert_eq!(encode_to_vec(&req), encode_legacy(&req));
+    }
+
+    #[test]
+    fn unknown_extension_marker_rejected() {
+        let mut bytes = encode_to_vec(&sample_request());
+        bytes.push(9); // not TRACE_MARKER
+        let err = decode_from_slice::<Request>(&bytes).unwrap_err();
+        assert!(err.to_string().contains("extension marker"), "{err}");
+    }
+
+    #[test]
+    fn truncated_trace_extension_rejected() {
+        let mut req = sample_request();
+        req.trace = Some(TraceContext {
+            trace_id: u64::MAX,
+            span_id: u64::MAX,
+            hop: u32::MAX,
+        });
+        let bytes = encode_to_vec(&req);
+        let legacy_len = encode_legacy(&req).len();
+        for cut in legacy_len + 1..bytes.len() {
+            assert!(
+                decode_from_slice::<Request>(&bytes[..cut]).is_err(),
+                "truncation at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
     fn empty_credentials_mean_unauthenticated() {
         let mut req = sample_request();
         req.credentials.clear();
@@ -396,6 +548,16 @@ mod proptests {
         ]
     }
 
+    fn arb_trace() -> impl Strategy<Value = Option<TraceContext>> {
+        proptest::option::of((any::<u64>(), any::<u64>(), any::<u32>()).prop_map(
+            |(trace_id, span_id, hop)| TraceContext {
+                trace_id,
+                span_id,
+                hop,
+            },
+        ))
+    }
+
     fn arb_payload() -> impl Strategy<Value = Payload> {
         prop_oneof![
             (
@@ -406,18 +568,22 @@ mod proptests {
                 "[a-z.]{1,12}",
                 "[a-z_]{1,12}",
                 proptest::collection::vec(arb_value(), 0..4),
+                arb_trace(),
             )
-                .prop_map(|(id, caller, target, credentials, service, method, args)| {
-                    Payload::Request(Request {
-                        id: RequestId::new(id),
-                        caller: UserId::new(caller),
-                        target: UserId::new(target),
-                        credentials,
-                        service: ServiceName::new(service),
-                        method,
-                        args,
-                    })
-                }),
+                .prop_map(
+                    |(id, caller, target, credentials, service, method, args, trace)| {
+                        Payload::Request(Request {
+                            id: RequestId::new(id),
+                            caller: UserId::new(caller),
+                            target: UserId::new(target),
+                            credentials,
+                            service: ServiceName::new(service),
+                            method,
+                            args,
+                            trace,
+                        })
+                    }
+                ),
             (any::<u64>(), arb_value()).prop_map(|(id, v)| {
                 Payload::Response(Response {
                     id: RequestId::new(id),
@@ -444,6 +610,24 @@ mod proptests {
             prop_assert_eq!(bytes.len(), env.wire_len());
             let back: Envelope = decode_from_slice(&bytes).unwrap();
             prop_assert_eq!(back, env);
+        }
+
+        #[test]
+        fn trace_extension_round_trip(trace in arb_trace(), id in any::<u64>()) {
+            let req = Request {
+                id: RequestId::new(id),
+                caller: UserId::new(1),
+                target: UserId::new(2),
+                credentials: vec![],
+                service: ServiceName::new("s"),
+                method: "m".into(),
+                args: vec![],
+                trace,
+            };
+            let bytes = encode_to_vec(&req);
+            prop_assert_eq!(bytes.len(), req.encoded_len());
+            let back: Request = decode_from_slice(&bytes).unwrap();
+            prop_assert_eq!(back, req);
         }
 
         #[test]

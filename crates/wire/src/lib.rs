@@ -24,4 +24,4 @@ pub mod codec;
 pub mod envelope;
 
 pub use codec::{decode_from_slice, encode_to_vec, Decode, Encode, Reader};
-pub use envelope::{Envelope, EventMsg, Payload, Request, Response};
+pub use envelope::{Envelope, EventMsg, Payload, Request, Response, TraceContext};
