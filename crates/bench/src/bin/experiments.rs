@@ -196,10 +196,7 @@ fn f4_negotiation_outcomes() {
         let and_ok = run(Constraint::And);
         let or_ok = run(Constraint::AtLeast(2));
         let xor_ok = run(Constraint::Exactly(1));
-        println!(
-            "{:>11}% | {:>10} {:>10} {:>10}",
-            avail, and_ok, or_ok, xor_ok
-        );
+        println!("{avail:>11}% | {and_ok:>10} {or_ok:>10} {xor_ok:>10}");
     }
     println!(
         "(expected shape: AND collapses fast as availability drops; OR/XOR\n\
@@ -398,10 +395,7 @@ fn e1_storage_footprint() {
         // calendar of one week (168 slots) at 25% density, each replica is
         // 42 rows × (n-1) members.
         let baseline_rows = 42 * (n - 1);
-        println!(
-            "{:>6} | {:>10} | {:>14}",
-            n, syd_rows_per_device, baseline_rows
-        );
+        println!("{n:>6} | {syd_rows_per_device:>10} | {baseline_rows:>14}");
     }
     println!("(computed from the §6 storage model: replicas scale with group size\n and calendar density; SyD state scales with own commitments only)\n");
 }

@@ -5,6 +5,8 @@
 //! network unless the experiment is explicitly about transport effects,
 //! authentication off unless the experiment is about §5.4.
 
+pub mod stress;
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 

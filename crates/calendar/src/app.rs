@@ -174,10 +174,10 @@ impl CalendarApp {
                     v => Some(MeetingId::new(v.as_i64()? as u64)),
                 };
                 Ok(match (status, meeting) {
-                    ("busy", _) => SlotState::Busy,
                     ("tent", Some(m)) => SlotState::Tentative(m),
                     ("conf", Some(m)) => SlotState::Reserved(m),
-                    _ => SlotState::Busy, // defensive: unknown rows block
+                    // "busy" rows and defective unknown rows both block.
+                    _ => SlotState::Busy,
                 })
             }
         }

@@ -227,7 +227,7 @@ impl CalendarApp {
         // slot gets split between two meetings.
         let mut newly: Vec<UserId> = Vec::new();
         if !missing.is_empty() {
-            let change = self.reserve_change(&rec);
+            let change = Self::reserve_change(&rec);
             let parts: Vec<Participant> = missing
                 .iter()
                 .map(|&u| Participant::new(u, slot_entity(ordinal), change.clone()))
@@ -358,7 +358,7 @@ impl CalendarApp {
         Ok(rec.status)
     }
 
-    fn reserve_change(&self, rec: &Meeting) -> Value {
+    fn reserve_change(rec: &Meeting) -> Value {
         Value::map([
             ("action", Value::str("reserve")),
             ("meeting", Value::from(rec.id.raw())),
@@ -528,7 +528,7 @@ impl CalendarApp {
         // All-or-nothing reserve at the new slot.
         let mut moved_rec = rec.clone();
         moved_rec.ordinal = new_ordinal;
-        let change = self.reserve_change(&moved_rec);
+        let change = Self::reserve_change(&moved_rec);
         let parts: Vec<Participant> = holders
             .iter()
             .map(|&u| Participant::new(u, slot_entity(new_ordinal), change.clone()))
@@ -629,7 +629,7 @@ impl CalendarApp {
             if candidates.is_empty() {
                 return Ok(false);
             }
-            let change = self.reserve_change(&rec);
+            let change = Self::reserve_change(&rec);
             let parts: Vec<Participant> = candidates
                 .iter()
                 .map(|&u| Participant::new(u, slot_entity(rec.ordinal), change.clone()))

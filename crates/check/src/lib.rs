@@ -1,0 +1,201 @@
+//! `syd-check` — protocol invariant checker for the SyD middleware.
+//!
+//! The paper's negotiation protocol (§4.3) and waiting-link promotion
+//! table (§4.2 op. 3) are multi-device state machines: a subtle
+//! interleaving bug — a leaked entity lock, a double-booked slot, a lost
+//! waiter — corrupts calendars silently instead of crashing. This crate
+//! turns the `syd-telemetry` journal plus live [`DeviceRuntime`] state
+//! into a machine-checkable correctness criterion:
+//!
+//! * **ordering** — per session: mark → lock → (change | abort) → unlock;
+//! * **lock leaks** — no entity lock survives its session's story;
+//! * **double-book** — no entity committed by a session that does not
+//!   hold its lock, and no two sessions hold one entity at once;
+//! * **constraint arithmetic** — `and` commits all, `or` at least *k*,
+//!   `xor` exactly *k* of the committed set;
+//! * **waiting links** — no lost, duplicate, or orphaned waiter, and
+//!   promotion respects priority;
+//! * **cascade deletes** (strict) — no link halves left behind.
+//!
+//! Run [`audit`] (or [`audit_strict`] after quiescing on a reliable
+//! network) over the deployment's devices; the returned
+//! [`AuditReport`] renders each violation with the offending session id
+//! and a minimized journal excerpt. [`audit_journals`] checks captured
+//! journals offline — that is also what the synthetic-journal oracle in
+//! [`synth`] exercises. The `syd-bench` crate's `check` binary drives
+//! hundreds of seeded negotiations through lossy and partitioned
+//! networks and audits the aftermath.
+
+pub mod event;
+pub mod replay;
+pub mod report;
+pub mod synth;
+
+use std::collections::BTreeSet;
+
+use syd_core::{DeviceRuntime, LinkStatus};
+use syd_types::Value;
+
+pub use event::{ConstraintKind, ProtoEvent};
+pub use replay::{audit_journals, AuditOptions};
+pub use report::{AuditReport, Rule, Violation};
+pub use synth::Mutation;
+
+/// Audits live devices with loss-tolerant checks: in-flight sessions and
+/// locks awaiting the stale-session sweep are not violations. Suitable
+/// after any run, including lossy or partitioned networks.
+pub fn audit<'a, I>(devices: I) -> AuditReport
+where
+    I: IntoIterator<Item = &'a DeviceRuntime>,
+{
+    audit_with(devices, &AuditOptions::default())
+}
+
+/// Audits live devices with the strict checks added: every lock story
+/// closed, no abort after commit, no cascade leftovers. Use after the
+/// system quiesced on a reliable network (or after forcing
+/// `sweep_stale_sessions` on every device).
+pub fn audit_strict<'a, I>(devices: I) -> AuditReport
+where
+    I: IntoIterator<Item = &'a DeviceRuntime>,
+{
+    audit_with(devices, &AuditOptions::strict())
+}
+
+/// Audits live devices under explicit [`AuditOptions`]: replays every
+/// journal, then correlates the stories with each device's lock table,
+/// waiting-link queue, and link database.
+pub fn audit_with<'a, I>(devices: I, opts: &AuditOptions) -> AuditReport
+where
+    I: IntoIterator<Item = &'a DeviceRuntime>,
+{
+    let devices: Vec<&DeviceRuntime> = devices.into_iter().collect();
+    let mut report = AuditReport::default();
+    let mut all_sessions = BTreeSet::new();
+    let mut cascaded: BTreeSet<String> = BTreeSet::new();
+
+    for device in &devices {
+        let events = device.journal().events();
+        let summary = replay::replay_device(device.name(), &events, opts, &mut report);
+
+        // Lock-leak detector: a lock still held although its journal
+        // story closed can never be released — commit and abort both
+        // release before returning, so a held lock with a closed story
+        // means the release was lost inside the device. In strict mode
+        // any held lock is a failure (the run quiesced first).
+        for (owner, key) in device.store().locks().held() {
+            if key.table != "syd.entity" {
+                continue;
+            }
+            let entity = match key.key.first().map(syd_store::key::OrdValue::value) {
+                Some(Value::Str(s)) => s.clone(),
+                _ => key.to_string(),
+            };
+            let story = (owner, entity.clone());
+            let closed_story = !summary.truncated
+                && summary.closed.contains(&story)
+                && !summary.open.contains(&story);
+            if opts.strict || closed_story {
+                report.violations.push(Violation {
+                    device: device.name().to_owned(),
+                    session: Some(owner),
+                    rule: Rule::LockLeak,
+                    message: if closed_story {
+                        format!(
+                            "lock on `{entity}` still held although its session story closed"
+                        )
+                    } else {
+                        format!("lock on `{entity}` still held after quiesce")
+                    },
+                    excerpt: report::session_excerpt(&events, owner, 12),
+                });
+            }
+        }
+
+        // Waiting-queue audit (§4.2 op. 3): every waiter exists exactly
+        // once, is still tentative, and waits on a link that exists.
+        if let (Ok(waiting), Ok(links)) = (device.links().waiting(), device.links().all()) {
+            let ids: BTreeSet<u64> = links.iter().map(|l| l.id.raw()).collect();
+            let mut seen = BTreeSet::new();
+            for entry in &waiting {
+                if !seen.insert(entry.link.raw()) {
+                    report.violations.push(waiting_violation(
+                        device,
+                        format!("link {} queued twice in the waiting table", entry.link),
+                    ));
+                }
+                if !ids.contains(&entry.link.raw()) {
+                    report.violations.push(waiting_violation(
+                        device,
+                        format!("waiting entry references deleted link {}", entry.link),
+                    ));
+                } else if let Some(link) = links.iter().find(|l| l.id == entry.link) {
+                    if link.status != LinkStatus::Tentative {
+                        report.violations.push(waiting_violation(
+                            device,
+                            format!(
+                                "link {} is permanent but still queued as a waiter",
+                                entry.link
+                            ),
+                        ));
+                    }
+                }
+                if !ids.contains(&entry.waits_on.raw()) {
+                    report.violations.push(waiting_violation(
+                        device,
+                        format!(
+                            "link {} waits on deleted link {} — promotion lost it",
+                            entry.link, entry.waits_on
+                        ),
+                    ));
+                }
+            }
+        }
+
+        cascaded.extend(summary.cascaded.iter().cloned());
+        all_sessions.extend(summary.sessions);
+    }
+
+    // Cascade-delete completeness (strict): once any device cascade-
+    // deleted a correlation group, no device may still hold a link of
+    // that group. On lossy networks an unreachable peer legitimately
+    // keeps its half until expiry, so this is strict-only.
+    if opts.strict {
+        for corr in &cascaded {
+            for device in &devices {
+                if let Ok(links) = device.links().by_corr(corr) {
+                    if !links.is_empty() {
+                        report.violations.push(Violation {
+                            device: device.name().to_owned(),
+                            session: None,
+                            rule: Rule::Cascade,
+                            message: format!(
+                                "cascade delete of corr `{corr}` left {} link(s) behind: {}",
+                                links.len(),
+                                links
+                                    .iter()
+                                    .map(|l| l.id.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            ),
+                            excerpt: Vec::new(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    report.sessions = all_sessions.len();
+    report
+}
+
+fn waiting_violation(device: &DeviceRuntime, message: String) -> Violation {
+    Violation {
+        device: device.name().to_owned(),
+        session: None,
+        rule: Rule::Waiting,
+        message,
+        excerpt: Vec::new(),
+    }
+}

@@ -1,0 +1,227 @@
+//! Violation reports with minimized journal excerpts.
+
+use std::fmt;
+
+use syd_telemetry::JournalEvent;
+
+/// The invariant class a violation belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// §4.3 per-session ordering: mark → lock → (change | abort) → unlock.
+    Ordering,
+    /// A lock outlived its session, or a session story never closed.
+    LockLeak,
+    /// An entity was committed by a session that did not hold its lock,
+    /// or committed twice.
+    DoubleBook,
+    /// A satisfied session's committed set does not meet its constraint.
+    Constraint,
+    /// The waiting-link queue lost, duplicated, or mis-ordered a waiter.
+    Waiting,
+    /// A cascade delete left link halves behind.
+    Cascade,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rule::Ordering => "ordering",
+            Rule::LockLeak => "lock-leak",
+            Rule::DoubleBook => "double-book",
+            Rule::Constraint => "constraint",
+            Rule::Waiting => "waiting-link",
+            Rule::Cascade => "cascade-delete",
+        })
+    }
+}
+
+/// One invariant violation, with enough journal context to debug it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Device (journal) the violation was observed on.
+    pub device: String,
+    /// Offending negotiation session, when one is implicated.
+    pub session: Option<u64>,
+    /// Invariant class.
+    pub rule: Rule,
+    /// What went wrong.
+    pub message: String,
+    /// Minimized journal excerpt: the retained events of the offending
+    /// session (or the triggering event), rendered one per line.
+    pub excerpt: Vec<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] device={}", self.rule, self.device)?;
+        if let Some(session) = self.session {
+            write!(f, " session={session}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        for line in &self.excerpt {
+            write!(f, "\n    | {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of an audit pass.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Every violation found, in discovery order.
+    pub violations: Vec<Violation>,
+    /// Distinct negotiation sessions examined.
+    pub sessions: usize,
+    /// Journal events examined.
+    pub events: usize,
+    /// True when at least one journal had evicted (ring-truncated) events;
+    /// ordering checks were suppressed for those journals.
+    pub truncated: bool,
+}
+
+impl AuditReport {
+    /// True when no invariant was violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with the full report when any violation was found. The
+    /// integration tests call this after their scenario completes.
+    #[track_caller]
+    pub fn assert_clean(&self) {
+        assert!(self.ok(), "protocol invariants violated:\n{self}");
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.violations.extend(other.violations);
+        self.sessions += other.sessions;
+        self.events += other.events;
+        self.truncated |= other.truncated;
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "audit: {} violation(s) over {} session(s), {} event(s){}",
+            self.violations.len(),
+            self.sessions,
+            self.events,
+            if self.truncated {
+                " [journal truncated]"
+            } else {
+                ""
+            }
+        )?;
+        for v in &self.violations {
+            writeln!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders the journal lines that tell a session's story, newest last.
+/// `limit` caps the excerpt; when more lines match, the excerpt keeps the
+/// first and last few so both the setup and the failure stay visible.
+pub(crate) fn session_excerpt(events: &[JournalEvent], session: u64, limit: usize) -> Vec<String> {
+    let token = format!("session={session}");
+    let lines: Vec<String> = events
+        .iter()
+        .filter(|e| e.detail.split_whitespace().any(|t| t == token))
+        .map(render)
+        .collect();
+    if lines.len() <= limit || limit < 4 {
+        return lines;
+    }
+    let head = limit / 2;
+    let tail = limit - head - 1;
+    let mut out: Vec<String> = lines[..head].to_vec();
+    out.push(format!("… {} more …", lines.len() - head - tail));
+    out.extend_from_slice(&lines[lines.len() - tail..]);
+    out
+}
+
+/// Renders one journal event the way `Journal::dump` does, minus trace ids.
+pub(crate) fn render(event: &JournalEvent) -> String {
+    format!(
+        "#{} +{}us {} {}",
+        event.seq, event.at_micros, event.kind, event.detail
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syd_telemetry::EventKind;
+
+    fn ev(seq: u64, detail: &str) -> JournalEvent {
+        JournalEvent {
+            seq,
+            at_micros: seq * 10,
+            trace: 0,
+            span: 0,
+            kind: EventKind::Info,
+            detail: detail.to_owned(),
+        }
+    }
+
+    #[test]
+    fn excerpt_selects_exact_session_tokens() {
+        let events = vec![
+            ev(0, "session=5 entity=a"),
+            ev(1, "session=50 entity=b"),
+            ev(2, "negotiate session=5 satisfied=true"),
+        ];
+        let lines = session_excerpt(&events, 5, 8);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("entity=a"), "{lines:?}");
+        assert!(lines[1].contains("satisfied=true"), "{lines:?}");
+    }
+
+    #[test]
+    fn excerpt_elides_the_middle() {
+        let events: Vec<JournalEvent> = (0..20)
+            .map(|i| ev(i, &format!("session=1 step={i}")))
+            .collect();
+        let lines = session_excerpt(&events, 1, 8);
+        assert_eq!(lines.len(), 8);
+        assert!(lines[4].contains("more"), "{lines:?}");
+        assert!(lines[7].contains("step=19"), "{lines:?}");
+    }
+
+    #[test]
+    fn report_renders_violations() {
+        let mut report = AuditReport::default();
+        assert!(report.ok());
+        report.assert_clean();
+        report.violations.push(Violation {
+            device: "dev1".into(),
+            session: Some(9),
+            rule: Rule::LockLeak,
+            message: "lock still held".into(),
+            excerpt: vec!["#1 +10us lock session=9 entity=e".into()],
+        });
+        assert!(!report.ok());
+        let text = report.to_string();
+        assert!(text.contains("[lock-leak] device=dev1 session=9"), "{text}");
+        assert!(text.contains("| #1"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol invariants violated")]
+    fn assert_clean_panics_on_violation() {
+        let report = AuditReport {
+            violations: vec![Violation {
+                device: "d".into(),
+                session: None,
+                rule: Rule::Cascade,
+                message: "left behind".into(),
+                excerpt: vec![],
+            }],
+            ..AuditReport::default()
+        };
+        report.assert_clean();
+    }
+}

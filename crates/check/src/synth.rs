@@ -1,0 +1,499 @@
+//! Synthetic journal generator — the oracle for the checker itself.
+//!
+//! Generates per-device journals for batches of well-formed §4.3
+//! negotiation sessions, then optionally applies one targeted
+//! [`Mutation`] that breaks a specific invariant. The checker's own
+//! tests assert that unmutated journals audit clean and every mutation
+//! is caught with the right [`crate::Rule`] — without an oracle, a
+//! checker that accepts everything would look identical to one that
+//! works.
+//!
+//! The generator carries its own xorshift RNG so `syd-check` needs no
+//! dependency on an external randomness crate; proptest layers real
+//! shrinking on top in the test suite.
+
+use syd_telemetry::{EventKind, JournalEvent};
+
+use crate::event::ConstraintKind;
+
+/// A deliberate protocol defect to inject into one generated session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// No defect: the journals describe a correct run.
+    None,
+    /// A committed participant's `Change`/release record is dropped, so
+    /// its lock story never closes (a leaked lock).
+    DropRelease,
+    /// An extra `Change` is recorded for a foreign session while the
+    /// entity is locked by another (a double booking).
+    DoubleCommit,
+    /// A participant records `Change` without ever locking the entity.
+    CommitWithoutLock,
+    /// The coordinator reports `satisfied=true` with fewer commits than
+    /// the constraint requires.
+    BadArithmetic,
+}
+
+impl Mutation {
+    /// Every mutation, for exhaustive oracle sweeps.
+    pub const ALL: [Mutation; 5] = [
+        Mutation::None,
+        Mutation::DropRelease,
+        Mutation::DoubleCommit,
+        Mutation::CommitWithoutLock,
+        Mutation::BadArithmetic,
+    ];
+}
+
+/// Deterministic xorshift64* generator.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds the generator (zero is remapped to a fixed odd constant).
+    pub fn new(seed: u64) -> Rng {
+        Rng(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// One device's journal under construction.
+struct DeviceJournal {
+    name: String,
+    seq: u64,
+    events: Vec<JournalEvent>,
+}
+
+impl DeviceJournal {
+    fn push(&mut self, at: &mut u64, kind: EventKind, detail: String) {
+        *at += 1;
+        self.events.push(JournalEvent {
+            seq: self.seq,
+            at_micros: *at,
+            trace: 0,
+            span: 0,
+            kind,
+            detail,
+        });
+        self.seq += 1;
+    }
+}
+
+/// Generates `sessions` sequential negotiation sessions across `devices`
+/// devices, applying `mutation` to the middle session. Returns one
+/// `(name, journal)` pair per device, shaped exactly like
+/// [`crate::audit_journals`] expects.
+pub fn generate(
+    seed: u64,
+    sessions: usize,
+    devices: usize,
+    mutation: Mutation,
+) -> Vec<(String, Vec<JournalEvent>)> {
+    let devices = devices.max(2);
+    let mut rng = Rng::new(seed);
+    let mut journals: Vec<DeviceJournal> = (0..devices)
+        .map(|i| DeviceJournal {
+            name: format!("dev{i}"),
+            seq: 0,
+            events: Vec::new(),
+        })
+        .collect();
+    let mut at = 0u64;
+    let target = sessions / 2;
+
+    for i in 0..sessions {
+        let m = if i == target { mutation } else { Mutation::None };
+        gen_session(&mut rng, &mut journals, &mut at, i as u64, m);
+    }
+
+    journals
+        .into_iter()
+        .map(|d| (d.name, d.events))
+        .collect()
+}
+
+fn gen_session(
+    rng: &mut Rng,
+    journals: &mut [DeviceJournal],
+    at: &mut u64,
+    index: u64,
+    mutation: Mutation,
+) {
+    let devices = journals.len();
+    let coord = rng.below(devices as u64) as usize;
+    let session = ((coord as u64 + 1) << 24) | (index + 1);
+    // The mutated session gets its own entity: a leaked lock on a shared
+    // slot would (correctly) trip double-book checks on *later* sessions
+    // too, muddying the oracle's one-mutation → one-rule mapping.
+    let entity = if mutation == Mutation::None {
+        format!("slot:{}", rng.below(4))
+    } else {
+        "slot:mut".to_owned()
+    };
+    // Participants: every device except duplicates, 1..=devices of them.
+    let count = 1 + rng.below(devices as u64) as usize;
+    let mut participants: Vec<usize> = (0..devices).collect();
+    for i in (1..participants.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        participants.swap(i, j);
+    }
+    participants.truncate(count);
+
+    let constraint = if mutation == Mutation::BadArithmetic {
+        // Force a constraint that the mutated counts will clearly violate.
+        ConstraintKind::And
+    } else {
+        match rng.below(3) {
+            0 => ConstraintKind::And,
+            1 => ConstraintKind::AtLeast(1 + rng.below(count as u64) as u32),
+            _ => ConstraintKind::Exactly(1 + rng.below(count as u64) as u32),
+        }
+    };
+
+    journals[coord].push(
+        at,
+        EventKind::SpanBegin,
+        format!(
+            "negotiate session={session} constraint={constraint:?} participants={}",
+            participants.len()
+        ),
+    );
+
+    // Mark phase: mostly yes votes; occasional declines and lock-busy.
+    let mut yes = Vec::new();
+    let mut declined = 0usize;
+    let mut contended = 0usize;
+    for &p in &participants {
+        if mutation == Mutation::None && rng.chance(1, 8) {
+            if rng.chance(1, 2) {
+                // Lock-busy: no lock was ever taken on p.
+                journals[p].push(
+                    at,
+                    EventKind::Mark,
+                    format!("session={session} entity={entity} vote=no reason=lock-busy"),
+                );
+                // A lock-busy decline counts in both tallies: `contended`
+                // is the transient subset of `declined`.
+                declined += 1;
+                contended += 1;
+            } else {
+                // Prepare failure: lock taken, then released.
+                journals[p].push(
+                    at,
+                    EventKind::Lock,
+                    format!("session={session} entity={entity}"),
+                );
+                journals[p].push(
+                    at,
+                    EventKind::Mark,
+                    format!("session={session} entity={entity} vote=no reason={entity} is busy"),
+                );
+                declined += 1;
+            }
+        } else {
+            journals[p].push(
+                at,
+                EventKind::Lock,
+                format!("session={session} entity={entity}"),
+            );
+            journals[p].push(
+                at,
+                EventKind::Mark,
+                format!("session={session} entity={entity} vote=yes"),
+            );
+            yes.push(p);
+        }
+    }
+    journals[coord].push(
+        at,
+        EventKind::Mark,
+        format!(
+            "session={session} yes={} declined={declined} contended={contended}",
+            yes.len()
+        ),
+    );
+
+    // Decide the outcome.
+    let n = participants.len();
+    let satisfied = match constraint {
+        ConstraintKind::And => yes.len() == n,
+        ConstraintKind::AtLeast(k) | ConstraintKind::Exactly(k) => yes.len() >= k as usize,
+    };
+    let committed: Vec<usize> = if satisfied {
+        match constraint {
+            ConstraintKind::Exactly(k) => yes.iter().copied().take(k as usize).collect(),
+            _ => yes.clone(),
+        }
+    } else {
+        Vec::new()
+    };
+    let aborted: Vec<usize> = yes
+        .iter()
+        .copied()
+        .filter(|p| !committed.contains(p))
+        .collect();
+
+    // Commit fan-out.
+    let mut dropped = false;
+    for &p in &committed {
+        if mutation == Mutation::DropRelease && !dropped {
+            // The change (and therefore the release) never lands: the
+            // participant's lock story stays open.
+            dropped = true;
+            continue;
+        }
+        if mutation == Mutation::CommitWithoutLock && p == committed[0] {
+            // Recorded on a device that never locked the entity: pick a
+            // non-participant if one exists, else reuse with a bogus
+            // session id so no lock precedes it.
+            let stranger = (0..journals.len()).find(|d| !participants.contains(d));
+            match stranger {
+                Some(d) => journals[d].push(
+                    at,
+                    EventKind::Change,
+                    format!("session={session} entity={entity} applied=true"),
+                ),
+                None => journals[p].push(
+                    at,
+                    EventKind::Change,
+                    format!("session={} entity={entity} applied=true", session ^ 0xbad),
+                ),
+            }
+        }
+        if mutation == Mutation::DoubleCommit && p == committed[0] {
+            // A foreign session commits the entity while `session` still
+            // holds its lock — the classic double booking.
+            journals[p].push(
+                at,
+                EventKind::Change,
+                format!("session={} entity={entity} applied=true", session ^ 0xf00d),
+            );
+        }
+        journals[p].push(
+            at,
+            EventKind::Change,
+            format!("session={session} entity={entity} applied=true"),
+        );
+    }
+    if !committed.is_empty() {
+        journals[coord].push(
+            at,
+            EventKind::Change,
+            format!("session={session} committed={}", committed.len()),
+        );
+    }
+
+    // Abort fan-out: yes-voters not committed, plus decliners (broadcast
+    // cleanup — legal without a lock).
+    for &p in &aborted {
+        journals[p].push(
+            at,
+            EventKind::Abort,
+            format!("session={session} entity={entity} reason=coordinator-abort"),
+        );
+    }
+
+    let reported_committed = if mutation == Mutation::BadArithmetic {
+        // Satisfied-and with one commit short of everyone.
+        committed.len().saturating_sub(1)
+    } else {
+        committed.len()
+    };
+    let final_satisfied = if mutation == Mutation::BadArithmetic {
+        true
+    } else {
+        satisfied && !committed.is_empty()
+    };
+    journals[coord].push(
+        at,
+        EventKind::SpanEnd,
+        format!(
+            "negotiate session={session} satisfied={final_satisfied} \
+             committed={reported_committed} aborted={} declined={declined}",
+            aborted.len()
+        ),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::{audit_journals, AuditOptions};
+    use crate::report::Rule;
+
+    #[test]
+    fn valid_journals_audit_clean() {
+        for seed in 1..=20u64 {
+            let journals = generate(seed, 12, 4, Mutation::None);
+            let report = audit_journals(&journals, &AuditOptions::strict());
+            assert!(report.ok(), "seed {seed}:\n{report}");
+            assert!(report.sessions >= 12, "seed {seed}: {}", report.sessions);
+        }
+    }
+
+    #[test]
+    fn drop_release_is_caught_as_lock_leak() {
+        for seed in 1..=20u64 {
+            let journals = generate(seed, 9, 4, Mutation::DropRelease);
+            let report = audit_journals(&journals, &AuditOptions::strict());
+            // The drop may hit a session with no commits; those seeds
+            // still audit clean, but most must trip the leak detector.
+            if report.violations.is_empty() {
+                continue;
+            }
+            assert!(
+                report.violations.iter().any(|v| v.rule == Rule::LockLeak),
+                "seed {seed}:\n{report}"
+            );
+        }
+        // At least one seed in the sweep must produce the leak.
+        let any = (1..=20u64).any(|seed| {
+            let journals = generate(seed, 9, 4, Mutation::DropRelease);
+            !audit_journals(&journals, &AuditOptions::strict()).ok()
+        });
+        assert!(any, "no seed produced a lock leak");
+    }
+
+    #[test]
+    fn double_commit_is_caught_with_session_and_excerpt() {
+        let mut caught = 0;
+        for seed in 1..=20u64 {
+            let journals = generate(seed, 9, 4, Mutation::DoubleCommit);
+            let report = audit_journals(&journals, &AuditOptions::strict());
+            if let Some(v) = report
+                .violations
+                .iter()
+                .find(|v| v.rule == Rule::DoubleBook)
+            {
+                assert!(v.session.is_some(), "{v}");
+                assert!(!v.excerpt.is_empty(), "{v}");
+                caught += 1;
+            }
+        }
+        assert!(caught >= 10, "double commits caught in only {caught}/20 seeds");
+    }
+
+    #[test]
+    fn commit_without_lock_is_caught() {
+        let mut caught = 0;
+        for seed in 1..=20u64 {
+            let journals = generate(seed, 9, 4, Mutation::CommitWithoutLock);
+            let report = audit_journals(&journals, &AuditOptions::strict());
+            if report
+                .violations
+                .iter()
+                .any(|v| v.rule == Rule::DoubleBook)
+            {
+                caught += 1;
+            }
+        }
+        assert!(caught >= 10, "caught only {caught}/20 seeds");
+    }
+
+    #[test]
+    fn bad_arithmetic_is_caught() {
+        let mut caught = 0;
+        for seed in 1..=20u64 {
+            let journals = generate(seed, 9, 4, Mutation::BadArithmetic);
+            let report = audit_journals(&journals, &AuditOptions::strict());
+            if report
+                .violations
+                .iter()
+                .any(|v| v.rule == Rule::Constraint)
+            {
+                caught += 1;
+            }
+        }
+        assert!(caught >= 10, "caught only {caught}/20 seeds");
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let j1 = generate(3, 5, 3, Mutation::None);
+        let j2 = generate(3, 5, 3, Mutation::None);
+        assert_eq!(j1, j2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::replay::{audit_journals, AuditOptions};
+    use crate::report::Rule;
+
+    proptest! {
+        #[test]
+        fn valid_journals_always_audit_clean(
+            seed in 1u64..10_000,
+            sessions in 1usize..24,
+            devices in 2usize..6,
+        ) {
+            let journals = generate(seed, sessions, devices, Mutation::None);
+            let report = audit_journals(&journals, &AuditOptions::strict());
+            prop_assert!(report.ok(), "{report}");
+        }
+
+        #[test]
+        fn mutations_never_pass_silently_as_wrong_rule(
+            seed in 1u64..10_000,
+            sessions in 3usize..16,
+            devices in 2usize..6,
+            which in 1usize..Mutation::ALL.len(),
+        ) {
+            let mutation = Mutation::ALL[which];
+            let journals = generate(seed, sessions, devices, mutation);
+            let report = audit_journals(&journals, &AuditOptions::strict());
+            // A mutation either leaves the journals accidentally valid
+            // (e.g. the target session committed nothing) or is reported
+            // under its own invariant class — never as random noise.
+            for v in &report.violations {
+                let expected = match mutation {
+                    Mutation::DropRelease => Rule::LockLeak,
+                    Mutation::DoubleCommit | Mutation::CommitWithoutLock => Rule::DoubleBook,
+                    Mutation::BadArithmetic => Rule::Constraint,
+                    Mutation::None => unreachable!(),
+                };
+                prop_assert_eq!(v.rule, expected, "unexpected violation: {}", v);
+            }
+        }
+
+        #[test]
+        fn double_commit_violations_carry_context(
+            seed in 1u64..2_000,
+            devices in 2usize..6,
+        ) {
+            let journals = generate(seed, 9, devices, Mutation::DoubleCommit);
+            let report = audit_journals(&journals, &AuditOptions::strict());
+            for v in &report.violations {
+                prop_assert!(v.session.is_some());
+                prop_assert!(!v.device.is_empty());
+            }
+        }
+    }
+}

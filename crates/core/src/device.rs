@@ -148,7 +148,7 @@ impl DeviceRuntime {
                         "link.promoted" => EventKind::Promotion,
                         _ => EventKind::Info,
                     };
-                    journal.record(kind, format!("{topic} {payload}"));
+                    journal.record(kind, format!("{topic} {}", flat_detail(payload)));
                 }),
             );
         }
@@ -389,13 +389,14 @@ impl DeviceRuntime {
                             Ok(Value::Bool(true))
                         }
                         Err(err) => {
-                            inner.store.locks().release(session, &key);
+                            // Journal-before-release, as in commit.
                             inner.journal.record(
                                 EventKind::Mark,
                                 format!(
                                     "session={session} entity={entity} vote=no reason={err}"
                                 ),
                             );
+                            inner.store.locks().release(session, &key);
                             Ok(Value::Bool(false))
                         }
                     },
@@ -427,11 +428,9 @@ impl DeviceRuntime {
                     Some(h) => h.commit(entity, change),
                     None => Ok(()),
                 };
-                inner
-                    .store
-                    .locks()
-                    .release(session, &entity_lock_key(entity));
-                inner.sessions.lock().remove(&session);
+                // Journal before releasing: the next session's `Lock`
+                // record must sequence after this `Change`, or the journal
+                // would show two holders of one entity.
                 inner.journal.record(
                     EventKind::Change,
                     format!(
@@ -439,7 +438,19 @@ impl DeviceRuntime {
                         result.is_ok()
                     ),
                 );
-                result.map(|_| Value::Null)
+                inner
+                    .store
+                    .locks()
+                    .release(session, &entity_lock_key(entity));
+                // Forget the session only once it holds no other lock on
+                // this device: a session may cover several local entities,
+                // and dropping it on the first commit would hide its
+                // remaining locks from the stale-session sweep if a later
+                // commit message is lost.
+                if inner.store.locks().held_by(session) == 0 {
+                    inner.sessions.lock().remove(&session);
+                }
+                result.map(|()| Value::Null)
             }),
         );
 
@@ -456,15 +467,19 @@ impl DeviceRuntime {
                 if let Some(h) = inner.entity_handler.read().clone() {
                     h.abort(entity, change);
                 }
-                inner
-                    .store
-                    .locks()
-                    .release(session, &entity_lock_key(entity));
-                inner.sessions.lock().remove(&session);
+                // Journal-before-release, as in commit.
                 inner.journal.record(
                     EventKind::Abort,
                     format!("session={session} entity={entity} reason=coordinator-abort"),
                 );
+                inner
+                    .store
+                    .locks()
+                    .release(session, &entity_lock_key(entity));
+                // Same rule as commit: see the multi-entity note there.
+                if inner.store.locks().held_by(session) == 0 {
+                    inner.sessions.lock().remove(&session);
+                }
                 Ok(Value::Null)
             }),
         );
@@ -564,19 +579,19 @@ impl DeviceRuntime {
             Duration::from_secs(5),
             move || {
                 if let Some(inner) = inner.upgrade() {
-                    let mut sessions = inner.sessions.lock();
-                    let now = Instant::now();
-                    sessions.retain(|&session, &mut started| {
-                        if now.duration_since(started) > STALE_SESSION_AGE {
-                            inner.store.locks().release_all(session);
-                            false
-                        } else {
-                            true
-                        }
-                    });
+                    sweep_sessions(&inner, STALE_SESSION_AGE);
                 }
             },
         );
+    }
+
+    /// Sweeps negotiation sessions older than `older_than`, releasing any
+    /// entity locks they still hold (the §4.3 lost-message cleanup,
+    /// normally run by the periodic `stale-sessions` task). Returns the
+    /// number of sessions swept. Exposed so fault-injection tests can
+    /// force a sweep without waiting for the scheduler.
+    pub fn sweep_stale_sessions(&self, older_than: Duration) -> usize {
+        sweep_sessions(&self.inner, older_than)
     }
 
     /// Stops the device: unregisters from the network, stops pools and
@@ -590,6 +605,63 @@ impl DeviceRuntime {
 /// The lock key guarding a named entity on a device.
 pub fn entity_lock_key(entity: &str) -> LockKey {
     LockKey::new("syd.entity", [Value::str(entity)])
+}
+
+/// Releases the locks of sessions older than `older_than` and forgets
+/// them, journaling an `Abort` per reclaimed entity lock so the invariant
+/// checker sees the cleanup instead of reporting a leak.
+fn sweep_sessions(inner: &DeviceInner, older_than: Duration) -> usize {
+    let mut sessions = inner.sessions.lock();
+    let now = Instant::now();
+    let mut swept = 0;
+    sessions.retain(|&session, &mut started| {
+        if now.duration_since(started) > older_than {
+            for key in inner.store.locks().keys_held_by(session) {
+                if key.table == "syd.entity" {
+                    if let Some(entity) = key.key.first() {
+                        inner.journal.record(
+                            EventKind::Abort,
+                            format!(
+                                "session={session} entity={} reason=stale-sweep",
+                                flat_detail(entity.value())
+                            ),
+                        );
+                    }
+                }
+            }
+            inner.store.locks().release_all(session);
+            debug_assert_eq!(
+                inner.store.locks().held_by(session),
+                0,
+                "session {session} still holds locks after sweep"
+            );
+            swept += 1;
+            false
+        } else {
+            true
+        }
+    });
+    swept
+}
+
+/// Renders an event payload as flat `key=value` tokens for the journal
+/// (map payloads become `k1=v1 k2=v2` in sorted key order; strings are
+/// unquoted so the checker can parse them back).
+fn flat_detail(payload: &Value) -> String {
+    fn scalar(v: &Value) -> String {
+        match v {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        }
+    }
+    match payload {
+        Value::Map(m) => m
+            .iter()
+            .map(|(k, v)| format!("{k}={}", scalar(v)))
+            .collect::<Vec<_>>()
+            .join(" "),
+        other => scalar(other),
+    }
 }
 
 fn args_get(args: &[Value], i: usize) -> SydResult<&Value> {

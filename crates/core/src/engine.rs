@@ -145,7 +145,7 @@ impl SydEngine {
         let mut pending: Vec<(usize, syd_net::PendingCall)> = Vec::new();
         {
             let cache = self.cache.lock();
-            for &user in users.iter() {
+            for &user in users {
                 if let Some(&addr) = cache.get(&user) {
                     out.push((user, Some(Ok(addr))));
                 } else {

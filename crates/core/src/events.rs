@@ -204,7 +204,7 @@ fn scheduler_loop(inner: Arc<Inner>) {
         let now = Instant::now();
         let mut due: Vec<Arc<dyn Fn() + Send + Sync>> = Vec::new();
         let mut next_wake: Option<Instant> = None;
-        for task in state.tasks.iter_mut() {
+        for task in &mut state.tasks {
             if task.next_due <= now {
                 due.push(Arc::clone(&task.action));
                 task.next_due = now + task.interval;

@@ -50,7 +50,7 @@ pub use directory::{DirectoryClient, DirectoryServer, GroupInfo, UserRecord};
 pub use engine::{GroupResult, SydEngine};
 pub use env::SydEnv;
 pub use events::{EventHandler, PeriodicTask};
-pub use links::{Constraint, Link, LinkKind, LinkRef, LinkStatus, LinksModule};
+pub use links::{Constraint, Link, LinkKind, LinkRef, LinkStatus, LinksModule, WaitingEntry};
 pub use listener::{InvokeCtx, Listener, ServiceMethod};
 pub use negotiate::{NegotiationOutcome, Negotiator, Participant};
 pub use proxy::ProxyHost;

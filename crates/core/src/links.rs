@@ -294,6 +294,21 @@ impl LinkSpec {
     }
 }
 
+/// One entry of the `SyD_WaitingLink` table: a tentative link queued
+/// behind a permanent one (§4.2 op. 3). Exposed for the invariant
+/// checker's waiting-queue audit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitingEntry {
+    /// The tentative link that is waiting.
+    pub link: LinkId,
+    /// The link it waits on.
+    pub waits_on: LinkId,
+    /// Promotion priority.
+    pub priority: Priority,
+    /// Waiting group (links promoted together share a group).
+    pub group: u64,
+}
+
 /// Report from a link deletion.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct DeleteReport {
@@ -500,8 +515,13 @@ impl LinksModule {
                 ],
             )?;
         }
-        self.events
-            .publish_local("link.created", &Value::from(id.raw()));
+        self.events.publish_local(
+            "link.created",
+            &Value::map([
+                ("id", Value::from(id.raw())),
+                ("corr", Value::str(corr.clone())),
+            ]),
+        );
         Ok(Link {
             id,
             kind: spec.kind,
@@ -599,6 +619,23 @@ impl LinksModule {
     /// Number of stored links.
     pub fn count(&self) -> SydResult<usize> {
         self.store.count(T_LINK, &Predicate::True)
+    }
+
+    /// Snapshot of the `SyD_WaitingLink` table, for the invariant
+    /// checker's waiting-queue audit (no lost or duplicate waiter).
+    pub fn waiting(&self) -> SydResult<Vec<WaitingEntry>> {
+        self.store
+            .select(T_WAIT, &Predicate::True)?
+            .iter()
+            .map(|row| {
+                Ok(WaitingEntry {
+                    link: LinkId::new(row.values[0].as_i64()? as u64),
+                    waits_on: LinkId::new(row.values[1].as_i64()? as u64),
+                    priority: Priority::new(row.values[2].as_i64()? as u8),
+                    group: row.values[3].as_i64()? as u64,
+                })
+            })
+            .collect()
     }
 
     // ---- §4.2 op. 2: negotiated creation -----------------------------------
@@ -722,8 +759,14 @@ impl LinksModule {
                 self.cascade_corr(&link.corr, vec![self.user.raw()], &link.refs)?;
         }
 
-        self.events
-            .publish_local("link.deleted", &Value::from(id.raw()));
+        self.events.publish_local(
+            "link.deleted",
+            &Value::map([
+                ("id", Value::from(id.raw())),
+                ("corr", Value::str(link.corr.clone())),
+                ("cascade", Value::from(cascade)),
+            ]),
+        );
         Ok(report)
     }
 
@@ -753,8 +796,16 @@ impl LinksModule {
             report.promoted.extend(self.promote_waiters(link.id)?);
             self.delete_local_only(link.id)?;
             report.deleted.push(link.id);
-            self.events
-                .publish_local("link.deleted", &Value::from(link.id.raw()));
+            // These deletions arrived over a cascade (§4.4) and are
+            // forwarded below, so they count as cascading themselves.
+            self.events.publish_local(
+                "link.deleted",
+                &Value::map([
+                    ("id", Value::from(link.id.raw())),
+                    ("corr", Value::str(corr)),
+                    ("cascade", Value::from(true)),
+                ]),
+            );
         }
         // Forward the cascade to peers we haven't visited.
         let mut peers: Vec<UserId> = links
@@ -850,17 +901,35 @@ impl LinksModule {
             .expect("non-empty waiting set");
 
         let mut promoted = Vec::new();
+        let mut promoted_rows = Vec::new();
         let mut remaining = Vec::new();
         for row in &waiting {
             let link_id = LinkId::new(row.values[0].as_i64()? as u64);
             if row.values[3] == best_group {
                 promoted.push(link_id);
+                promoted_rows.push((
+                    link_id,
+                    row.values[2].as_i64().unwrap_or(0),
+                    row.values[3].as_i64().unwrap_or(0),
+                ));
             } else {
                 remaining.push(link_id);
             }
         }
+        // §4.2 op. 3 invariant: the chosen group's priority is the maximum
+        // over the whole waiting set — a lower-priority promotion means the
+        // queue ordering broke.
+        debug_assert!(
+            {
+                let best = promoted_rows.first().map_or(0, |&(_, p, _)| p);
+                waiting
+                    .iter()
+                    .all(|row| row.values[2].as_i64().unwrap_or(0) <= best)
+            },
+            "waiting-link promotion skipped a higher-priority waiter (anchor {deleted})"
+        );
 
-        for &link_id in &promoted {
+        for &(link_id, priority, group) in &promoted_rows {
             self.store.update(
                 T_LINK,
                 &Predicate::Eq("id".into(), Value::from(link_id.raw())),
@@ -870,9 +939,20 @@ impl LinksModule {
                 T_WAIT,
                 &Predicate::Eq("link_id".into(), Value::from(link_id.raw())),
             )?;
-            self.events
-                .publish_local("link.promoted", &Value::from(link_id.raw()));
+            self.events.publish_local(
+                "link.promoted",
+                &Value::map([
+                    ("id", Value::from(link_id.raw())),
+                    ("priority", Value::I64(priority)),
+                    ("group", Value::I64(group)),
+                ]),
+            );
             if let Some(link) = self.get(link_id)? {
+                debug_assert_eq!(
+                    link.status,
+                    LinkStatus::Permanent,
+                    "promoted link {link_id} still tentative"
+                );
                 if let Some(handler) = self.promotion.read().clone() {
                     handler(&link);
                 }

@@ -374,8 +374,40 @@ impl Negotiator {
                 .invoke_group_varied(&decline_aborts, &svc, "abort");
         }
 
+        // Re-evaluate the constraint over the *committed* set: a commit
+        // RPC that failed (and exhausted its retry) moved a yes-voter into
+        // `aborted`, and a constraint that held over the votes may no
+        // longer hold over what actually changed. Reporting `satisfied`
+        // from the vote count alone would claim an atomic group change
+        // that did not happen (caught by `syd-check`'s constraint
+        // arithmetic audit under lossy networks).
+        let final_ok = satisfied
+            && !committed.is_empty()
+            && match constraint {
+                Constraint::And => committed.len() == participants.len(),
+                Constraint::AtLeast(k) => committed.len() >= k as usize,
+                Constraint::Exactly(k) => committed.len() == k as usize,
+            };
+        #[cfg(debug_assertions)]
+        {
+            // §4.3 conservation: every participant ends in exactly one of
+            // committed / aborted / declined.
+            let mut all: Vec<UserId> = committed
+                .iter()
+                .chain(aborted.iter())
+                .chain(declined.iter())
+                .copied()
+                .collect();
+            all.sort_unstable();
+            let mut expected: Vec<UserId> = participants.iter().map(|p| p.user).collect();
+            expected.sort_unstable();
+            debug_assert_eq!(
+                all, expected,
+                "negotiation session {session} lost or duplicated a participant"
+            );
+        }
         let outcome = NegotiationOutcome {
-            satisfied: satisfied && !committed.is_empty(),
+            satisfied: final_ok,
             committed,
             aborted,
             declined,

@@ -179,7 +179,7 @@ impl ProxyHost {
                 &table,
                 vec![TriggerEvent::Insert, TriggerEvent::Update, TriggerEvent::Delete],
                 move |ctx| {
-                    if SYNC_DEPTH.with(|d| d.get()) > 0 {
+                    if SYNC_DEPTH.with(std::cell::Cell::get) > 0 {
                         return Ok(());
                     }
                     let op = row_change_to_op(&table_name, ctx);

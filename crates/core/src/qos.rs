@@ -107,7 +107,7 @@ impl QosMonitor {
             .iter()
             .map(|((user, service), stats)| (*user, service.clone(), stats.clone()))
             .collect();
-        out.sort_by(|a, b| b.2.ewma.cmp(&a.2.ewma));
+        out.sort_by_key(|entry| std::cmp::Reverse(entry.2.ewma));
         out
     }
 

@@ -119,8 +119,7 @@ impl Vehicle {
         Ok(self
             .store
             .get_by_key(T_STATE, &[Value::str(key)])?
-            .map(|row| row.values[1].clone())
-            .unwrap_or(Value::Null))
+            .map_or(Value::Null, |row| row.values[1].clone()))
     }
 
     /// Current position.

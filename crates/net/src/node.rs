@@ -51,7 +51,7 @@ where
     F: Fn(NodeAddr, EventMsg) + Send + Sync + 'static,
 {
     fn on_event(&self, from: NodeAddr, event: EventMsg) {
-        self(from, event)
+        self(from, event);
     }
 }
 

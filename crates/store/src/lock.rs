@@ -168,6 +168,36 @@ impl LockManager {
     pub fn held_count(&self) -> usize {
         self.state.lock().len()
     }
+
+    /// Snapshot of every held lock as `(owner, key)` pairs, ordered by
+    /// key. Used by the invariant checker's lock-leak detector and the
+    /// stale-session sweep.
+    pub fn held(&self) -> Vec<(u64, LockKey)> {
+        self.state
+            .lock()
+            .iter()
+            .map(|(key, entry)| (entry.owner, key.clone()))
+            .collect()
+    }
+
+    /// Number of locks currently held by `owner`.
+    pub fn held_by(&self, owner: u64) -> usize {
+        self.state
+            .lock()
+            .values()
+            .filter(|e| e.owner == owner)
+            .count()
+    }
+
+    /// The keys currently held by `owner`, ordered.
+    pub fn keys_held_by(&self, owner: u64) -> Vec<LockKey> {
+        self.state
+            .lock()
+            .iter()
+            .filter(|(_, e)| e.owner == owner)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +307,23 @@ mod tests {
         }
         assert_eq!(*counter.lock(), 400);
         assert_eq!(lm.held_count(), 0);
+    }
+
+    #[test]
+    fn held_snapshot_and_per_owner_views() {
+        let lm = LockManager::new();
+        lm.try_acquire(1, &key(1));
+        lm.try_acquire(1, &key(2));
+        lm.try_acquire(2, &key(3));
+        assert_eq!(lm.held_by(1), 2);
+        assert_eq!(lm.held_by(9), 0);
+        assert_eq!(lm.keys_held_by(1), vec![key(1), key(2)]);
+        let held = lm.held();
+        assert_eq!(held.len(), 3);
+        assert!(held.contains(&(2, key(3))));
+        lm.release_all(1);
+        assert!(lm.keys_held_by(1).is_empty());
+        assert_eq!(lm.held_by(2), 1);
     }
 
     #[test]

@@ -24,16 +24,18 @@ pub enum ColumnType {
 impl ColumnType {
     /// True iff `value` conforms to this type (ignoring nullability).
     pub fn admits(self, value: &Value) -> bool {
-        match (self, value) {
-            (_, Value::Null) => false,
-            (ColumnType::Bool, Value::Bool(_)) => true,
-            (ColumnType::I64, Value::I64(_)) => true,
-            (ColumnType::F64, Value::F64(_) | Value::I64(_)) => true,
-            (ColumnType::Str, Value::Str(_)) => true,
-            (ColumnType::Bytes, Value::Bytes(_)) => true,
-            (ColumnType::Any, _) => true,
-            _ => false,
+        if matches!(value, Value::Null) {
+            return false;
         }
+        matches!(
+            (self, value),
+            (ColumnType::Bool, Value::Bool(_))
+                | (ColumnType::I64, Value::I64(_))
+                | (ColumnType::F64, Value::F64(_) | Value::I64(_))
+                | (ColumnType::Str, Value::Str(_))
+                | (ColumnType::Bytes, Value::Bytes(_))
+                | (ColumnType::Any, _)
+        )
     }
 
     /// Stable code used by snapshots.

@@ -106,7 +106,7 @@ impl Journal {
             epoch: Instant::now(),
             inner: Mutex::new(JournalInner {
                 next_seq: 0,
-                events: VecDeque::with_capacity(capacity.max(1).min(1024)),
+                events: VecDeque::with_capacity(capacity.clamp(1, 1024)),
             }),
         }
     }

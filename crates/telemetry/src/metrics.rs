@@ -179,7 +179,7 @@ impl Histogram {
         HistogramSummary {
             count,
             sum,
-            mean: if count == 0 { 0 } else { sum / count },
+            mean: sum.checked_div(count).unwrap_or(0),
             p50: self.percentile(0.50),
             p95: self.percentile(0.95),
             p99: self.percentile(0.99),

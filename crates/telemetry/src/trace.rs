@@ -55,8 +55,7 @@ fn seed() -> u64 {
     *SEED.get_or_init(|| {
         let nanos = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_nanos() as u64)
-            .unwrap_or(0);
+            .map_or(0, |d| d.as_nanos() as u64);
         nanos ^ 0x9e37_79b9_7f4a_7c15
     })
 }
@@ -90,7 +89,7 @@ pub fn root_span() -> SpanCtx {
 
 /// The context the current thread is working under, if any.
 pub fn current() -> Option<SpanCtx> {
-    CURRENT.with(|c| c.get())
+    CURRENT.with(Cell::get)
 }
 
 /// Installs `ctx` as the current thread's context until the returned

@@ -15,6 +15,7 @@
 //! | [`store`] | `syd-store` | embedded relational store with triggers |
 //! | [`crypto`] | `syd-crypto` | TEA cipher + request authentication |
 //! | [`kernel`] | `syd-core` | SyD kernel: directory, listener, engine, events, links, negotiation, proxies |
+//! | [`check`] | `syd-check` | protocol invariant checker: journal replay, lock-leak and double-book oracles |
 //! | [`calendar`] | `syd-calendar` | the calendar-of-meetings application + baseline |
 //! | [`fleet`] | `syd-fleet` | vehicle fleet application |
 //! | [`bidding`] | `syd-bidding` | price-is-right application |
@@ -43,6 +44,7 @@
 
 pub use syd_bidding as bidding;
 pub use syd_calendar as calendar;
+pub use syd_check as check;
 pub use syd_core as kernel;
 pub use syd_crypto as crypto;
 pub use syd_fleet as fleet;

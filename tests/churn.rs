@@ -10,6 +10,13 @@ use syd::kernel::SydEnv;
 use syd::net::NetConfig;
 use syd::types::{Priority, TimeSlot, UserId};
 
+/// Replays every journal and correlates it with the live lock tables and
+/// waiting queues — the mechanical version of the hand-written invariant
+/// assertions below.
+fn audit_clean(apps: &[Arc<CalendarApp>]) {
+    syd::check::audit(apps.iter().map(|a| a.device())).assert_clean();
+}
+
 fn quiesce(apps: &[Arc<CalendarApp>]) {
     // Wait for background repair rounds (spawned threads) to settle.
     let deadline = Instant::now() + Duration::from_secs(10);
@@ -93,6 +100,7 @@ fn sustained_schedule_cancel_churn_stays_consistent() {
         // No negotiation locks leaked.
         assert_eq!(app.device().store().locks().held_count(), 0);
     }
+    audit_clean(&apps);
 
     // Every *confirmed* meeting (from any initiator's view) has its slot
     // at every reserved participant.

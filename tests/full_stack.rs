@@ -21,6 +21,22 @@ fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
     }
 }
 
+/// Post-run protocol invariant audit: waits briefly for in-flight lock
+/// handoffs, forces the lost-message sweep (test traffic is over, so any
+/// surviving lock is stale by definition), then replays every journal.
+fn audit_clean(devices: &[&syd::kernel::DeviceRuntime]) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while devices.iter().any(|d| d.store().locks().held_count() > 0)
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for d in devices {
+        d.sweep_stale_sessions(Duration::ZERO);
+    }
+    syd::check::audit(devices.iter().copied()).assert_clean();
+}
+
 /// Figure 2: calendar, fleet and bidding share one kernel deployment.
 #[test]
 fn three_applications_share_one_deployment() {
@@ -53,6 +69,8 @@ fn three_applications_share_one_deployment() {
 
     let round = host.run_round(&[p1.user()], "kettle", 600).unwrap();
     assert_eq!(round.winner, Some(p1.user()));
+
+    audit_clean(&[phil.device(), andy.device(), &p1_dev]);
 }
 
 /// §5.4 end to end: every request authenticated; a device with broken
@@ -123,6 +141,9 @@ fn calendar_on_lossy_wireless_lan() {
             Some(outcome.meeting)
         );
     }
+    // Loss may have stranded participant locks; the audit tolerates only
+    // what the sweep can still clean up.
+    audit_clean(&[a.device(), b.device(), c.device()]);
 }
 
 /// A network partition during negotiation aborts cleanly: no dangling
@@ -159,6 +180,7 @@ fn partition_during_negotiation_aborts_cleanly() {
     env.network().heal_partitions();
     let status = a.reconcile(outcome.meeting).unwrap();
     assert_eq!(status, MeetingStatus::Confirmed);
+    audit_clean(&[a.device(), b.device(), c.device()]);
 }
 
 /// A participant's device crash mid-lifecycle doesn't corrupt the others:
@@ -195,6 +217,7 @@ fn cancel_with_crashed_participant_cleans_survivors() {
         c.slot_state(slot.ordinal()).unwrap().meeting(),
         Some(outcome.meeting)
     );
+    audit_clean(&[a.device(), b.device(), c.device()]);
 }
 
 /// Store snapshots capture a calendar device's full state and restore it.
@@ -305,6 +328,7 @@ fn bump_chain_resolves_by_priority() {
         },
         "mid meeting rescheduled",
     );
+    audit_clean(&[a.device(), b.device(), c.device()]);
 }
 
 /// The directory's dynamic groups drive group invocations end to end.

@@ -18,6 +18,16 @@ fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
     }
 }
 
+/// Replays each device's journal against the §4.3/§4.2 state machines and
+/// cross-checks lock tables and the `SyD_WaitingLink` queue.
+fn audit_clean(apps: &[&CalendarApp]) {
+    wait_for(
+        || apps.iter().all(|a| a.device().store().locks().held_count() == 0),
+        "locks to drain before the audit",
+    );
+    syd::check::audit(apps.iter().map(|a| a.device())).assert_clean();
+}
+
 /// The link database of §4.2 op. 1: installing a link-enabled application
 /// creates exactly the tables the paper names.
 #[test]
@@ -143,6 +153,7 @@ fn cancel_meeting_follows_section_4_4() {
         })
         .sum();
     assert_eq!(waiting_after, 0, "no residual waiting links");
+    audit_clean(&[&a, &b, &c]);
 }
 
 /// §4.2 op. 5's exact mechanism: the `SyD_LinkMethod` table holds the
@@ -274,6 +285,9 @@ fn highest_priority_tentative_link_fires_first() {
         a.meeting(low.meeting).unwrap().unwrap().status,
         MeetingStatus::Tentative
     );
+    // The leftover waiter (low's claim) must still be well-formed: queued
+    // once, tentative, waiting on a live link.
+    audit_clean(&[&a, &b, &c]);
 }
 
 /// §6: "each user is assigned a priority and each meeting is also assigned
