@@ -11,7 +11,7 @@ use syd_wire::{decode_from_slice, encode_to_vec, Envelope, Payload, Request};
 
 fn echo_handler() -> Arc<dyn RequestHandler> {
     Arc::new(|_from: NodeAddr, req: Request| -> SydResult<Value> {
-        Ok(Value::list(req.args))
+        Ok(Value::list(req.args.to_vec()))
     })
 }
 
@@ -26,7 +26,7 @@ fn sample_envelope(args: usize) -> Envelope {
             credentials: vec![0xAA; 24],
             service: ServiceName::new("calendar"),
             method: "free_slots".into(),
-            args: (0..args as i64).map(Value::I64).collect(),
+            args: (0..args as i64).map(Value::I64).collect::<Vec<_>>().into(),
             trace: None,
         }),
     )

@@ -1,0 +1,446 @@
+//! Round-trip & payload benchmark driver: the `BENCH_*.json` suite.
+//!
+//! Measures the hot paths the coordination-link middleware lives on —
+//! group invocation, directory resolution, and the full §5 schedule-a-
+//! meeting flow — across group sizes and loss rates, and emits a
+//! machine-readable `BENCH_results.json` (schema `syd-bench-perf/v1`,
+//! documented in EXPERIMENTS.md) so every future change has a trajectory
+//! to answer to.
+//!
+//! ```sh
+//! cargo run --release -p syd-bench --bin perf                  # optimized paths
+//! cargo run --release -p syd-bench --bin perf -- --mode legacy # pre-optimisation A/B
+//! cargo run --release -p syd-bench --bin perf -- --quick       # CI smoke subset
+//! cargo run --release -p syd-bench --bin perf -- --check BENCH_results.json
+//! ```
+//!
+//! `--mode legacy` re-enables the per-user overlapped directory lookups,
+//! per-recipient body re-encoding and ordinal-list availability exchange
+//! on the *same* harness, which is what makes `BENCH_baseline.json` vs
+//! `BENCH_results.json` an apples-to-apples diff. Everything is
+//! seed-deterministic; wall-clock latencies vary with the host, but
+//! message/byte/round-trip counts must not.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use syd_bench::json::Json;
+use syd_bench::{calendar_rig, devices, env_ideal, users_of};
+use syd_calendar::{CalendarApp, MeetingSpec};
+use syd_core::SydEnv;
+use syd_net::{CallOptions, NetConfig};
+use syd_types::{ServiceName, SlotRange, SydError, UserId, Value};
+
+/// Schema identifier stamped into every emitted document.
+const SCHEMA: &str = "syd-bench-perf/v1";
+
+/// Per-attempt deadline/retry budget used whenever loss is in play.
+fn lossy_opts() -> CallOptions {
+    CallOptions::new()
+        .with_timeout(Duration::from_millis(50))
+        .with_retries(8)
+}
+
+struct Config {
+    quick: bool,
+    legacy: bool,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn main() {
+    let mut cfg = Config {
+        quick: false,
+        legacy: false,
+        seed: 42,
+        out: None,
+    };
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--mode" => match args.next().as_deref() {
+                Some("legacy") => cfg.legacy = true,
+                Some("optimized") => cfg.legacy = false,
+                other => die(&format!("--mode legacy|optimized, got {other:?}")),
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => cfg.seed = seed,
+                None => die("--seed needs an integer"),
+            },
+            "--out" => cfg.out = args.next().or_else(|| die("--out needs a path")),
+            "--check" => check = args.next().or_else(|| die("--check needs a path")),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if let Some(path) = check {
+        match validate_file(&path) {
+            Ok(n) => println!("{path}: valid {SCHEMA} document with {n} results"),
+            Err(e) => die(&format!("{path}: {e}")),
+        }
+        return;
+    }
+    run(&cfg);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("perf: {msg}");
+    std::process::exit(1);
+}
+
+fn run(cfg: &Config) {
+    let mode = if cfg.legacy { "legacy" } else { "optimized" };
+    println!("SyD perf driver — mode={mode} seed={} quick={}", cfg.seed, cfg.quick);
+    let sizes: &[usize] = if cfg.quick { &[2, 8] } else { &[2, 8, 32] };
+    let losses: &[f64] = if cfg.quick { &[0.0] } else { &[0.0, 0.1] };
+
+    let mut results = Vec::new();
+    for &loss in losses {
+        for &n in sizes {
+            for bench in [bench_group_invoke, bench_directory_resolution, bench_schedule] {
+                let r = bench(cfg, n, loss);
+                print_result(&r);
+                results.push(r.into_json());
+            }
+        }
+    }
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("mode".into(), Json::Str(mode.into())),
+        ("seed".into(), Json::Num(cfg.seed as f64)),
+        ("quick".into(), Json::Bool(cfg.quick)),
+        ("results".into(), Json::Arr(results)),
+    ]);
+    let default_out = if cfg.legacy { "BENCH_baseline.json" } else { "BENCH_results.json" };
+    let out = cfg.out.as_deref().unwrap_or(default_out);
+    std::fs::write(out, doc.pretty()).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+    println!("\nwrote {out}");
+}
+
+// ---------------------------------------------------------------------------
+// measurements
+// ---------------------------------------------------------------------------
+
+/// One benchmark cell: every cell reports the same metric set, which is
+/// what keeps the schema uniform and the CI validator simple.
+struct Cell {
+    bench: &'static str,
+    group_size: usize,
+    loss_pct: f64,
+    iters: usize,
+    ok: usize,
+    latencies_ms: Vec<f64>,
+    dir_round_trips: f64,
+    wire_bytes: f64,
+}
+
+impl Cell {
+    fn into_json(self) -> Json {
+        let mut lat = self.latencies_ms;
+        lat.sort_by(f64::total_cmp);
+        let per_op = |total: f64| total / self.iters.max(1) as f64;
+        Json::Obj(vec![
+            ("bench".into(), Json::Str(self.bench.into())),
+            ("group_size".into(), Json::Num(self.group_size as f64)),
+            ("loss_pct".into(), Json::Num(self.loss_pct * 100.0)),
+            ("iters".into(), Json::Num(self.iters as f64)),
+            (
+                "ok_rate".into(),
+                Json::Num(self.ok as f64 / self.iters.max(1) as f64),
+            ),
+            ("median_ms".into(), Json::Num(round3(percentile(&lat, 50.0)))),
+            ("p90_ms".into(), Json::Num(round3(percentile(&lat, 90.0)))),
+            (
+                "dir_round_trips_per_op".into(),
+                Json::Num(round3(per_op(self.dir_round_trips))),
+            ),
+            (
+                "wire_bytes_per_op".into(),
+                Json::Num(round3(per_op(self.wire_bytes))),
+            ),
+        ])
+    }
+}
+
+fn print_result(cell: &Cell) {
+    let mut lat = cell.latencies_ms.clone();
+    lat.sort_by(f64::total_cmp);
+    println!(
+        "{:>22} n={:<3} loss={:>3.0}%  median={:>8.3}ms  dir_rt/op={:>6.2}  bytes/op={:>9.0}  ok={}/{}",
+        cell.bench,
+        cell.group_size,
+        cell.loss_pct * 100.0,
+        percentile(&lat, 50.0),
+        cell.dir_round_trips / cell.iters.max(1) as f64,
+        cell.wire_bytes / cell.iters.max(1) as f64,
+        cell.ok,
+        cell.iters,
+    );
+}
+
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1000.0
+}
+
+/// Directory round trips served so far: single lookups + batched lookups.
+fn dir_round_trips(env: &SydEnv) -> u64 {
+    let metrics = env.directory().metrics();
+    let get = |name: &str| metrics.get_counter(name).map_or(0, |c| c.get());
+    get("dir.lookups") + get("dir.batch_lookups")
+}
+
+/// Applies the mode's hot-path switches to a device engine.
+fn apply_mode(cfg: &Config, engine: &syd_core::SydEngine) {
+    engine.set_batched_resolve(!cfg.legacy);
+    engine.set_shared_encode(!cfg.legacy);
+}
+
+/// Mixes the cell coordinates into the base seed so every cell gets its
+/// own deterministic loss pattern.
+fn cell_seed(cfg: &Config, n: usize, loss: f64, salt: u64) -> u64 {
+    cfg.seed
+        .wrapping_mul(1_000_003)
+        .wrapping_add(n as u64 * 101 + (loss * 100.0) as u64 * 7 + salt)
+}
+
+/// Group invocation: one broadcast round over `n` members, cold cache
+/// every iteration (this is the path §6 times at seconds scale over
+/// 802.11b). The directory round-trip budget comes from the *server's*
+/// request counters, not wall clock.
+fn bench_group_invoke(cfg: &Config, n: usize, loss: f64) -> Cell {
+    let env = env_ideal();
+    let devs = devices(&env, n + 1);
+    let members: Vec<UserId> = devs[1..].iter().map(syd_core::DeviceRuntime::user).collect();
+    let svc = ServiceName::new("bench");
+    for d in &devs[1..] {
+        d.register_service(
+            &svc,
+            "echo",
+            Arc::new(|_ctx, args: &[Value]| Ok(Value::from(args.len() as u64))),
+        )
+        .expect("register echo");
+    }
+    let engine = devs[0].engine();
+    apply_mode(cfg, engine);
+    if loss > 0.0 {
+        engine.set_options(lossy_opts());
+        env.network().reconfigure(
+            NetConfig::ideal()
+                .with_loss(loss)
+                .with_seed(cell_seed(cfg, n, loss, 1)),
+        );
+    }
+    // A body representative of a link-firing broadcast: a small map would
+    // encode similarly; what matters is that it is identical per member.
+    let payload = vec![Value::str("x".repeat(256)), Value::from(7u64)];
+    let iters = if cfg.quick { 5 } else { 40 };
+    let dir0 = dir_round_trips(&env);
+    let bytes0 = env.network().stats().bytes_sent;
+    let mut cell = Cell {
+        bench: "group_invoke",
+        group_size: n,
+        loss_pct: loss,
+        iters,
+        ok: 0,
+        latencies_ms: Vec::with_capacity(iters),
+        dir_round_trips: 0.0,
+        wire_bytes: 0.0,
+    };
+    for _ in 0..iters {
+        engine.flush_cache();
+        let t = Instant::now();
+        let result = engine.invoke_group(&members, &svc, "echo", payload.clone());
+        cell.latencies_ms.push(ms(t.elapsed()));
+        if result.all_ok() {
+            cell.ok += 1;
+        }
+    }
+    cell.dir_round_trips = (dir_round_trips(&env) - dir0) as f64;
+    cell.wire_bytes = (env.network().stats().bytes_sent - bytes0) as f64;
+    cell
+}
+
+/// Cold group resolution alone: what does it cost to turn `n` user names
+/// into addresses?
+fn bench_directory_resolution(cfg: &Config, n: usize, loss: f64) -> Cell {
+    let env = env_ideal();
+    let devs = devices(&env, n + 1);
+    let members: Vec<UserId> = devs[1..].iter().map(syd_core::DeviceRuntime::user).collect();
+    let engine = devs[0].engine();
+    apply_mode(cfg, engine);
+    if loss > 0.0 {
+        engine.set_options(lossy_opts());
+        env.network().reconfigure(
+            NetConfig::ideal()
+                .with_loss(loss)
+                .with_seed(cell_seed(cfg, n, loss, 2)),
+        );
+    }
+    let iters = if cfg.quick { 5 } else { 40 };
+    let dir0 = dir_round_trips(&env);
+    let bytes0 = env.network().stats().bytes_sent;
+    let mut cell = Cell {
+        bench: "directory_resolution",
+        group_size: n,
+        loss_pct: loss,
+        iters,
+        ok: 0,
+        latencies_ms: Vec::with_capacity(iters),
+        dir_round_trips: 0.0,
+        wire_bytes: 0.0,
+    };
+    for _ in 0..iters {
+        engine.flush_cache();
+        let t = Instant::now();
+        let resolved = engine.resolve_many(&members);
+        cell.latencies_ms.push(ms(t.elapsed()));
+        if resolved.iter().all(|(_, r)| r.is_ok()) {
+            cell.ok += 1;
+        }
+    }
+    cell.dir_round_trips = (dir_round_trips(&env) - dir0) as f64;
+    cell.wire_bytes = (env.network().stats().bytes_sent - bytes0) as f64;
+    cell
+}
+
+/// The full §5 flow: find a common slot across everyone's calendar over a
+/// four-week window, then schedule the meeting (mark → commit → links).
+/// Legacy mode exchanges availability as ordinal lists and intersects by
+/// membership scan; optimized mode ships bitmaps and ANDs them.
+fn bench_schedule(cfg: &Config, n: usize, loss: f64) -> Cell {
+    const WINDOW_DAYS: u32 = 28;
+    let env = env_ideal();
+    let apps = calendar_rig(&env, n);
+    let users = users_of(&apps);
+    for app in &apps {
+        apply_mode(cfg, app.device().engine());
+    }
+    if loss > 0.0 {
+        for app in &apps {
+            app.device().engine().set_options(lossy_opts());
+        }
+        env.network().reconfigure(
+            NetConfig::ideal()
+                .with_loss(loss)
+                .with_seed(cell_seed(cfg, n, loss, 3)),
+        );
+    }
+    let iters = if cfg.quick {
+        3
+    } else if loss > 0.0 {
+        6
+    } else {
+        12
+    };
+    let dir0 = dir_round_trips(&env);
+    let bytes0 = env.network().stats().bytes_sent;
+    let mut cell = Cell {
+        bench: "schedule_meeting",
+        group_size: n,
+        loss_pct: loss,
+        iters,
+        ok: 0,
+        latencies_ms: Vec::with_capacity(iters),
+        dir_round_trips: 0.0,
+        wire_bytes: 0.0,
+    };
+    for iter in 0..iters {
+        // A fresh, never-reused window per iteration: every schedule runs
+        // against clean calendar space with a cold address cache.
+        let base = 1 + iter as u32 * (WINDOW_DAYS + 1);
+        let range = SlotRange::days(base, base + WINDOW_DAYS);
+        apps[0].device().engine().flush_cache();
+        let t = Instant::now();
+        let outcome = schedule_once(cfg, &apps[0], &users, range, iter);
+        cell.latencies_ms.push(ms(t.elapsed()));
+        if outcome.is_ok() {
+            cell.ok += 1;
+        }
+    }
+    cell.dir_round_trips = (dir_round_trips(&env) - dir0) as f64;
+    cell.wire_bytes = (env.network().stats().bytes_sent - bytes0) as f64;
+    cell
+}
+
+fn schedule_once(
+    cfg: &Config,
+    initiator: &CalendarApp,
+    users: &[UserId],
+    range: SlotRange,
+    iter: usize,
+) -> Result<(), SydError> {
+    let common = if cfg.legacy {
+        initiator.find_common_slots_via_lists(users, range)?
+    } else {
+        initiator.find_common_slots(users, range)?
+    };
+    let slot = *common
+        .first()
+        .ok_or_else(|| SydError::App("no common slot".into()))?;
+    initiator.schedule(MeetingSpec::plain(
+        format!("perf-{iter}"),
+        slot,
+        users.to_vec(),
+    ))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// schema validation (--check)
+// ---------------------------------------------------------------------------
+
+/// Validates an emitted document against the `syd-bench-perf/v1` schema;
+/// returns the number of result rows. CI gates on this, not on absolute
+/// numbers (wall clock varies with the runner).
+fn validate_file(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = Json::parse(&text).map_err(|e| e.to_string())?;
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema field is not {SCHEMA:?}"));
+    }
+    match doc.get("mode").and_then(Json::as_str) {
+        Some("legacy" | "optimized") => {}
+        other => return Err(format!("mode must be legacy|optimized, got {other:?}")),
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("missing results array")?;
+    if results.is_empty() {
+        return Err("results array is empty".into());
+    }
+    for (i, row) in results.iter().enumerate() {
+        row.get("bench")
+            .and_then(Json::as_str)
+            .ok_or(format!("results[{i}]: missing bench"))?;
+        for key in [
+            "group_size",
+            "loss_pct",
+            "iters",
+            "ok_rate",
+            "median_ms",
+            "p90_ms",
+            "dir_round_trips_per_op",
+            "wire_bytes_per_op",
+        ] {
+            row.get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("results[{i}]: missing numeric {key}"))?;
+        }
+    }
+    Ok(results.len())
+}

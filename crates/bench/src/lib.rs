@@ -5,6 +5,7 @@
 //! network unless the experiment is explicitly about transport effects,
 //! authentication off unless the experiment is about §5.4.
 
+pub mod json;
 pub mod stress;
 
 use std::sync::atomic::{AtomicU64, Ordering};

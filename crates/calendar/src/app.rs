@@ -21,7 +21,8 @@ use syd_core::{DeviceRuntime, EntityHandler, SubscriptionHandler};
 use syd_store::{Column, ColumnType, Predicate, Schema, Store};
 use syd_telemetry::{Counter, Histogram};
 use syd_types::{
-    MeetingId, Priority, ServiceName, SydError, SydResult, TimeSlot, UserId, Value,
+    MeetingId, Priority, ServiceName, SlotBitmap, SlotRange, SydError, SydResult, TimeSlot,
+    UserId, Value,
 };
 
 use crate::mailbox::Mailbox;
@@ -274,6 +275,33 @@ impl CalendarApp {
         Ok((start..end).filter(|o| !occupied.contains(o)).collect())
     }
 
+    /// Availability over `[start, end)` ordinals as a packed bitmap (set
+    /// bit = free). Same answer as [`CalendarApp::free_ordinals`] but one
+    /// bit per slot on the wire, whatever the calendar's density.
+    pub fn free_bitmap(&self, start: u64, end: u64) -> SydResult<SlotBitmap> {
+        let end = end.max(start);
+        let range = SlotRange::new(
+            TimeSlot::from_ordinal(start),
+            TimeSlot::from_ordinal(end),
+        );
+        let mut bm = SlotBitmap::all_free(range);
+        let occupied = self
+            .store
+            .query(T_SLOTS)
+            .filter(Predicate::Between(
+                "ordinal".into(),
+                Value::from(start),
+                Value::from(end.saturating_sub(1)),
+            ))
+            .column("ordinal")?;
+        for v in occupied {
+            if let Ok(o) = v.as_i64() {
+                bm.set_busy(TimeSlot::from_ordinal(o as u64));
+            }
+        }
+        Ok(bm)
+    }
+
     // ---- local meeting records -----------------------------------------------
 
     /// The locally stored record of a meeting.
@@ -506,6 +534,19 @@ impl CalendarApp {
                 Ok(Value::list(
                     app.free_ordinals(start, end)?.into_iter().map(Value::from),
                 ))
+            }),
+        )?;
+
+        // free_slots_bitmap(start, end) -> packed SlotBitmap bytes
+        let weak = Arc::downgrade(self);
+        self.device.register_service(
+            &svc,
+            "free_slots_bitmap",
+            Arc::new(move |_ctx, args: &[Value]| {
+                let app = weak.upgrade().ok_or(SydError::Shutdown)?;
+                let start = arg(args, 0)?.as_i64()? as u64;
+                let end = arg(args, 1)?.as_i64()? as u64;
+                Ok(Value::Bytes(app.free_bitmap(start, end)?.pack()))
             }),
         )?;
 

@@ -18,7 +18,7 @@ use syd_core::negotiate::Participant;
 use syd_store::Predicate;
 use syd_telemetry::{trace, EventKind};
 use syd_types::{
-    MeetingId, SlotRange, SydError, SydResult, TimeSlot, UserId, Value,
+    MeetingId, SlotBitmap, SlotRange, SydError, SydResult, TimeSlot, UserId, Value,
 };
 
 use crate::app::{calendar_service, CalendarApp, T_BACKLINKS};
@@ -46,7 +46,71 @@ impl CalendarApp {
     /// range and intersect the views. Fails if any participant cannot be
     /// reached — "ensure that all participants confirm, before the
     /// subsequent actions would be valid".
+    ///
+    /// Availability travels as a [`SlotBitmap`] — one bit per slot in the
+    /// window, whatever the calendars' density — and the views intersect
+    /// by bitwise AND. A peer that predates the bitmap method (it answers
+    /// [`SydError::NoSuchService`]) is re-queried with the classic
+    /// ordinal-list `free_slots` form, so mixed fleets keep working.
     pub fn find_common_slots(
+        &self,
+        participants: &[UserId],
+        range: SlotRange,
+    ) -> SydResult<Vec<TimeSlot>> {
+        let start = range.start.ordinal();
+        let end = range.end.ordinal();
+        // Local view first.
+        let mut common = self.free_bitmap(start, end)?;
+        let others: Vec<UserId> = participants
+            .iter()
+            .copied()
+            .filter(|&u| u != self.user())
+            .collect();
+        let result = self.device.engine().invoke_group(
+            &others,
+            &calendar_service(),
+            "free_slots_bitmap",
+            vec![Value::from(start), Value::from(end)],
+        );
+        for (user, outcome) in result.outcomes {
+            let theirs = match outcome {
+                Ok(v) => SlotBitmap::unpack(v.as_bytes()?)?,
+                Err(SydError::NoSuchService(_, _)) => {
+                    // Back-compat: ordinal list from an old peer.
+                    let free = self
+                        .device
+                        .engine()
+                        .invoke(
+                            user,
+                            &calendar_service(),
+                            "free_slots",
+                            vec![Value::from(start), Value::from(end)],
+                        )
+                        .map_err(|e| {
+                            SydError::App(format!("could not query {user}: {e}"))
+                        })?;
+                    let ords = free
+                        .as_list()?
+                        .iter()
+                        .filter_map(|v| v.as_i64().ok())
+                        .map(|n| TimeSlot::from_ordinal(n as u64));
+                    SlotBitmap::from_free_slots(range, ords)
+                }
+                Err(e) => {
+                    return Err(SydError::App(format!("could not query {user}: {e}")));
+                }
+            };
+            common.and_assign(&theirs);
+        }
+        Ok(common.to_slots())
+    }
+
+    /// The pre-bitmap form of [`CalendarApp::find_common_slots`]: every
+    /// peer returns its free ordinals as a list and the initiator
+    /// intersects by membership scan. Kept (and tested) as the
+    /// compatibility reference and for A/B benchmarking — both paths must
+    /// return identical slots in identical (ascending) order.
+    pub fn find_common_slots_via_lists(
         &self,
         participants: &[UserId],
         range: SlotRange,

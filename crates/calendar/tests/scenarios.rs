@@ -9,7 +9,7 @@ use syd_calendar::{
 };
 use syd_core::SydEnv;
 use syd_net::NetConfig;
-use syd_types::{MeetingId, Priority, SlotRange, TimeSlot, UserId};
+use syd_types::{MeetingId, Priority, SlotRange, TimeSlot, UserId, Value};
 
 fn rig(n: usize) -> (SydEnv, Vec<Arc<CalendarApp>>) {
     let env = SydEnv::new_insecure(NetConfig::ideal());
@@ -418,6 +418,52 @@ fn find_common_slots_intersects_views() {
         vec![TimeSlot::new(0, 8), TimeSlot::new(0, 12)],
         "9, 10, 11 are taken by someone"
     );
+}
+
+#[test]
+fn bitmap_and_list_intersections_agree() {
+    let (_env, apps) = rig(3);
+    let users: Vec<UserId> = apps.iter().map(|a| a.user()).collect();
+    // A scatter of engagements across a multi-day window (the window
+    // straddles word boundaries in the bitmap: 3 days of 24 slots).
+    apps[0].mark_busy(TimeSlot::new(1, 3)).unwrap();
+    apps[0].mark_busy(TimeSlot::new(2, 23)).unwrap();
+    apps[1].mark_busy(TimeSlot::new(1, 3)).unwrap();
+    apps[1].mark_busy(TimeSlot::new(3, 0)).unwrap();
+    apps[2].mark_busy(TimeSlot::new(2, 0)).unwrap();
+    let range = SlotRange::new(TimeSlot::new(1, 2), TimeSlot::new(3, 5));
+
+    let via_bitmaps = apps[0].find_common_slots(&users, range).unwrap();
+    let via_lists = apps[0].find_common_slots_via_lists(&users, range).unwrap();
+    assert_eq!(via_bitmaps, via_lists);
+    assert!(!via_bitmaps.contains(&TimeSlot::new(1, 3)));
+    assert!(!via_bitmaps.contains(&TimeSlot::new(2, 0)));
+    assert!(via_bitmaps.contains(&TimeSlot::new(1, 4)));
+    // Ascending, as schedulers downstream assume.
+    let mut sorted = via_bitmaps.clone();
+    sorted.sort();
+    assert_eq!(via_bitmaps, sorted);
+}
+
+#[test]
+fn free_slots_bitmap_service_answers_packed_bytes() {
+    use syd_types::SlotBitmap;
+    let (_env, apps) = rig(2);
+    apps[1].mark_busy(TimeSlot::new(0, 5)).unwrap();
+    let reply = apps[0]
+        .device()
+        .engine()
+        .invoke(
+            apps[1].user(),
+            &syd_calendar::app::calendar_service(),
+            "free_slots_bitmap",
+            vec![Value::from(0u64), Value::from(24u64)],
+        )
+        .unwrap();
+    let bm = SlotBitmap::unpack(reply.as_bytes().unwrap()).unwrap();
+    assert!(!bm.is_free(TimeSlot::new(0, 5)));
+    assert!(bm.is_free(TimeSlot::new(0, 6)));
+    assert_eq!(bm.count_free(), 23);
 }
 
 #[test]

@@ -16,6 +16,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use syd_net::{Network, Node, RequestHandler};
+use syd_telemetry::{Counter, Registry};
 use syd_types::{
     GroupId, NodeAddr, ServiceName, SydError, SydResult, UserId, Value,
 };
@@ -63,6 +64,30 @@ struct DirState {
     next_group: u64,
 }
 
+/// Preregistered round-trip counters for the lookup hot path. They count
+/// *served requests*, so a benchmark can verify "a cold group invoke over
+/// n members costs one directory round trip" from the server's own
+/// telemetry rather than from wall clock.
+struct DirMetrics {
+    /// `dir.lookups` — single `lookup` requests served.
+    lookups: Counter,
+    /// `dir.batch_lookups` — `lookup_many` requests served.
+    batch_lookups: Counter,
+    /// `dir.batch_lookup_users` — users resolved across all
+    /// `lookup_many` requests (batching efficiency = users / requests).
+    batch_lookup_users: Counter,
+}
+
+impl DirMetrics {
+    fn preregister(registry: &Registry) -> Self {
+        Self {
+            lookups: registry.counter("dir.lookups"),
+            batch_lookups: registry.counter("dir.batch_lookups"),
+            batch_lookup_users: registry.counter("dir.batch_lookup_users"),
+        }
+    }
+}
+
 /// The directory server: state plus the node serving `syd.dir`.
 pub struct DirectoryServer {
     node: Node,
@@ -75,8 +100,9 @@ impl DirectoryServer {
         let node = Node::spawn(net);
         let state = Arc::new(RwLock::new(DirState::default()));
         let handler_state = Arc::clone(&state);
+        let metrics = DirMetrics::preregister(node.metrics());
         node.set_handler(Arc::new(move |_from, req: Request| {
-            serve(&handler_state, &req)
+            serve(&handler_state, &metrics, &req)
         }) as Arc<dyn RequestHandler>);
         DirectoryServer { node, state }
     }
@@ -89,6 +115,13 @@ impl DirectoryServer {
     /// Number of registered users (diagnostics).
     pub fn user_count(&self) -> usize {
         self.state.read().users.len()
+    }
+
+    /// The directory node's metrics registry (`dir.lookups`,
+    /// `dir.batch_lookups`, `dir.batch_lookup_users`, plus the node's
+    /// own RPC metrics).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        self.node.metrics()
     }
 }
 
@@ -115,7 +148,20 @@ fn user_record_to_value(rec: &UserRecord) -> Value {
     ])
 }
 
-fn serve(state: &RwLock<DirState>, req: &Request) -> SydResult<Value> {
+/// Proxy-aware address resolution (§5.2): connected → device address,
+/// disconnected with a proxy → proxy address, otherwise the device
+/// address as-is (the caller will observe the disconnect).
+fn resolve_record(rec: &UserRecord) -> (NodeAddr, bool) {
+    if rec.connected {
+        (rec.addr, false)
+    } else if let Some(proxy) = rec.proxy {
+        (proxy, true)
+    } else {
+        (rec.addr, false)
+    }
+}
+
+fn serve(state: &RwLock<DirState>, metrics: &DirMetrics, req: &Request) -> SydResult<Value> {
     match req.method.as_str() {
         // register(user, name, addr) -> null
         "register" => {
@@ -158,23 +204,47 @@ fn serve(state: &RwLock<DirState>, req: &Request) -> SydResult<Value> {
         }
         // lookup(user) -> {addr, is_proxy}
         "lookup" => {
+            metrics.lookups.inc();
             let user = UserId::new(arg(req, 0)?.as_i64()? as u64);
             let s = state.read();
             let rec = s
                 .users
                 .get(&user)
                 .ok_or_else(|| SydError::NotRegistered(user.to_string()))?;
-            let (addr, is_proxy) = if rec.connected {
-                (rec.addr, false)
-            } else if let Some(proxy) = rec.proxy {
-                (proxy, true)
-            } else {
-                (rec.addr, false) // caller will observe the disconnect
-            };
+            let (addr, is_proxy) = resolve_record(rec);
             Ok(Value::map([
                 ("addr", Value::from(addr.raw())),
                 ("is_proxy", Value::Bool(is_proxy)),
             ]))
+        }
+        // lookup_many([user ids]) -> [{addr, is_proxy} | null, ...]
+        //
+        // One round trip resolves a whole group. The reply is aligned
+        // with the input: an unregistered user yields `null` in its slot
+        // instead of failing the batch, so one unknown member can never
+        // poison its siblings' resolutions.
+        "lookup_many" => {
+            metrics.batch_lookups.inc();
+            let users = arg(req, 0)?.as_list()?;
+            metrics.batch_lookup_users.add(users.len() as u64);
+            let s = state.read();
+            let entries = users
+                .iter()
+                .map(|u| {
+                    let user = UserId::new(u.as_i64()? as u64);
+                    Ok(match s.users.get(&user) {
+                        Some(rec) => {
+                            let (addr, is_proxy) = resolve_record(rec);
+                            Value::map([
+                                ("addr", Value::from(addr.raw())),
+                                ("is_proxy", Value::Bool(is_proxy)),
+                            ])
+                        }
+                        None => Value::Null,
+                    })
+                })
+                .collect::<SydResult<Vec<Value>>>()?;
+            Ok(Value::list(entries))
         }
         // lookup_name(name) -> user id
         "lookup_name" => {
@@ -360,6 +430,70 @@ impl DirectoryClient {
         let addr = NodeAddr::new(v.get("addr")?.as_i64()? as u64);
         let is_proxy = v.get("is_proxy")?.as_bool()?;
         Ok((addr, is_proxy))
+    }
+
+    /// [`DirectoryClient::lookup`] with explicit deadline/retry options —
+    /// the engine's lossy-network fallback passes its own (typically much
+    /// shorter) timeout so a retried lookup stays inside the call budget.
+    pub fn lookup_with(
+        &self,
+        user: UserId,
+        opts: syd_net::CallOptions,
+    ) -> SydResult<(NodeAddr, bool)> {
+        let v = self.node.call_with(
+            self.dir_addr,
+            &dir_service(),
+            "lookup",
+            vec![Value::from(user.raw())],
+            opts,
+        )?;
+        let addr = NodeAddr::new(v.get("addr")?.as_i64()? as u64);
+        let is_proxy = v.get("is_proxy")?.as_bool()?;
+        Ok((addr, is_proxy))
+    }
+
+    /// Resolves a whole group of users in one round trip. The result is
+    /// aligned with `users`: `None` marks a user the directory does not
+    /// know (the batch itself still succeeds).
+    pub fn lookup_many(&self, users: &[UserId]) -> SydResult<Vec<Option<(NodeAddr, bool)>>> {
+        self.lookup_many_with(users, syd_net::CallOptions::new().with_retries(4))
+    }
+
+    /// [`DirectoryClient::lookup_many`] with explicit deadline/retry
+    /// options — the engine passes its own (typically much shorter)
+    /// timeout so a lossy batch fails over quickly.
+    pub fn lookup_many_with(
+        &self,
+        users: &[UserId],
+        opts: syd_net::CallOptions,
+    ) -> SydResult<Vec<Option<(NodeAddr, bool)>>> {
+        let ids = Value::list(users.iter().map(|u| Value::from(u.raw())));
+        let v = self.node.call_with(
+            self.dir_addr,
+            &dir_service(),
+            "lookup_many",
+            vec![ids],
+            opts,
+        )?;
+        let entries = v.as_list()?;
+        if entries.len() != users.len() {
+            return Err(SydError::Protocol(format!(
+                "lookup_many returned {} entries for {} users",
+                entries.len(),
+                users.len()
+            )));
+        }
+        entries
+            .iter()
+            .map(|e| match e {
+                Value::Null => Ok(None),
+                found => {
+                    let addr = NodeAddr::new(found.get("addr")?.as_i64()? as u64);
+                    let is_proxy = found.get("is_proxy")?.as_bool()?;
+                    Ok(Some((addr, is_proxy)))
+                }
+            })
+            .collect()
     }
 
     /// Resolves a user name to a user id.
@@ -585,6 +719,43 @@ mod tests {
             client.list_users().unwrap(),
             vec![UserId::new(1), UserId::new(3), UserId::new(5)]
         );
+    }
+
+    #[test]
+    fn lookup_many_resolves_a_group_in_one_round_trip() {
+        let (_net, dir, client) = setup();
+        for (id, name) in [(1, "ann"), (2, "bob"), (3, "cal")] {
+            client.register(UserId::new(id), name, NodeAddr::new(id)).unwrap();
+        }
+        // Bob is disconnected behind a proxy; 404 is unknown.
+        client.register_proxy(UserId::new(2), NodeAddr::new(20)).unwrap();
+        client.set_connected(UserId::new(2), false).unwrap();
+
+        let users = [UserId::new(1), UserId::new(404), UserId::new(2), UserId::new(3)];
+        let got = client.lookup_many(&users).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                Some((NodeAddr::new(1), false)),
+                None, // unknown user: a hole, not a batch failure
+                Some((NodeAddr::new(20), true)),
+                Some((NodeAddr::new(3), false)),
+            ]
+        );
+        // The whole batch was one served request, and the per-user
+        // counter confirms all four rode in it.
+        assert_eq!(dir.metrics().get_counter("dir.batch_lookups").unwrap().get(), 1);
+        assert_eq!(
+            dir.metrics().get_counter("dir.batch_lookup_users").unwrap().get(),
+            4
+        );
+        assert_eq!(dir.metrics().get_counter("dir.lookups").unwrap().get(), 0);
+    }
+
+    #[test]
+    fn lookup_many_of_nothing_is_empty() {
+        let (_net, _dir, client) = setup();
+        assert_eq!(client.lookup_many(&[]).unwrap(), vec![]);
     }
 
     #[test]

@@ -12,13 +12,15 @@
 //! a group of `n` costs one round-trip of latency, not `n`.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use syd_net::{CallOptions, Node};
-use syd_telemetry::Histogram;
+use syd_net::{CallOptions, Node, PendingCall};
+use syd_telemetry::{Counter, Histogram};
 use syd_types::{NodeAddr, ServiceName, SydError, SydResult, UserId, Value};
+use syd_wire::Args;
 
 use crate::directory::DirectoryClient;
 use crate::qos::QosMonitor;
@@ -62,6 +64,21 @@ impl GroupResult {
     }
 }
 
+/// Hot-path tuning knobs, shared by every clone of an engine (a device's
+/// negotiator and applications all see the same settings). Both default
+/// to the optimised path; the legacy settings exist so the `perf`
+/// benchmark driver can A/B the pre-optimisation behaviour on the same
+/// harness.
+struct EngineTuning {
+    /// Resolve cold group members with one batched `lookup_many` round
+    /// trip (`true`) or with `n` overlapped single lookups (`false`).
+    batched_resolve: AtomicBool,
+    /// Pre-encode a group broadcast's argument body once and share it
+    /// across recipients (`true`) or deep-copy + re-encode per recipient
+    /// (`false`).
+    shared_encode: AtomicBool,
+}
+
 /// The invocation engine bound to one device's node.
 #[derive(Clone)]
 pub struct SydEngine {
@@ -70,23 +87,41 @@ pub struct SydEngine {
     /// Positive lookup cache: user -> address. Invalidated per-user when a
     /// call through it fails, so proxy switchovers are picked up.
     cache: Arc<Mutex<HashMap<UserId, NodeAddr>>>,
-    opts: CallOptions,
+    /// Call options behind a shared cell: [`SydEngine::set_options`]
+    /// retunes every clone of this engine at once (the negotiator and
+    /// applications hold clones), while [`SydEngine::with_options`]
+    /// detaches the new handle onto its own cell, builder style.
+    opts: Arc<Mutex<CallOptions>>,
+    tuning: Arc<EngineTuning>,
     qos: Option<Arc<QosMonitor>>,
     /// End-to-end invoke latency ("engine.invoke"), resolve included.
     invoke_hist: Histogram,
+    /// `engine.batch_resolves` — batched directory round trips issued.
+    batch_resolves: Counter,
+    /// `engine.resolve_fallbacks` — batched resolutions that fell back
+    /// to the per-user overlapped path.
+    resolve_fallbacks: Counter,
 }
 
 impl SydEngine {
     /// Builds an engine over `node`, resolving names with `directory`.
     pub fn new(node: Node, directory: DirectoryClient) -> SydEngine {
         let invoke_hist = node.metrics().histogram("engine.invoke");
+        let batch_resolves = node.metrics().counter("engine.batch_resolves");
+        let resolve_fallbacks = node.metrics().counter("engine.resolve_fallbacks");
         SydEngine {
             node,
             directory,
             cache: Arc::new(Mutex::new(HashMap::new())),
-            opts: CallOptions::default(),
+            opts: Arc::new(Mutex::new(CallOptions::default())),
+            tuning: Arc::new(EngineTuning {
+                batched_resolve: AtomicBool::new(true),
+                shared_encode: AtomicBool::new(true),
+            }),
             qos: None,
             invoke_hist,
+            batch_resolves,
+            resolve_fallbacks,
         }
     }
 
@@ -102,10 +137,52 @@ impl SydEngine {
         self.qos.as_ref()
     }
 
-    /// Replaces the default call options (builder style).
+    /// Replaces the default call options (builder style). The new handle
+    /// gets its own options cell — clones made *before* this call keep
+    /// their previous settings.
     pub fn with_options(mut self, opts: CallOptions) -> SydEngine {
-        self.opts = opts;
+        self.opts = Arc::new(Mutex::new(opts));
         self
+    }
+
+    /// Retunes the call options in place, visible to every clone of this
+    /// engine (a device's negotiator and applications included).
+    pub fn set_options(&self, opts: CallOptions) {
+        *self.opts.lock() = opts;
+    }
+
+    /// Current call options.
+    fn opts(&self) -> CallOptions {
+        *self.opts.lock()
+    }
+
+    /// Switches between batched (`true`, default) and per-user overlapped
+    /// (`false`) cold-group directory resolution. Shared across clones.
+    pub fn set_batched_resolve(&self, on: bool) {
+        self.tuning.batched_resolve.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether cold group resolution uses the batched `lookup_many` path.
+    pub fn batched_resolve(&self) -> bool {
+        self.tuning.batched_resolve.load(Ordering::Relaxed)
+    }
+
+    /// Switches between encode-once broadcast bodies (`true`, default)
+    /// and per-recipient deep copies (`false`). Shared across clones.
+    pub fn set_shared_encode(&self, on: bool) {
+        self.tuning.shared_encode.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether group broadcasts share one pre-encoded argument body.
+    pub fn shared_encode(&self) -> bool {
+        self.tuning.shared_encode.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached address, forcing the next resolution of each
+    /// user back through the directory (cold-start benchmarking, or
+    /// after bulk re-registration).
+    pub fn flush_cache(&self) {
+        self.cache.lock().clear();
     }
 
     /// The directory client this engine resolves through.
@@ -137,12 +214,85 @@ impl SydEngine {
         self.cache.lock().remove(&user);
     }
 
-    /// Resolves many users at once, overlapping the directory lookups for
-    /// cache misses so a cold group call costs one lookup round trip, not
-    /// `n`.
-    fn resolve_many(&self, users: &[UserId]) -> Vec<(UserId, SydResult<NodeAddr>)> {
+    /// Resolves many users at once. Cache hits are served locally; the
+    /// misses go to the directory in **one** batched `lookup_many` round
+    /// trip (default), so a cold group call costs a single directory
+    /// exchange regardless of group size. If the batch itself fails —
+    /// lossy network, or a directory predating the batched method — the
+    /// engine falls back to the legacy overlapped per-user path, which
+    /// degrades gracefully one member at a time.
+    pub fn resolve_many(&self, users: &[UserId]) -> Vec<(UserId, SydResult<NodeAddr>)> {
+        if self.batched_resolve() {
+            self.resolve_many_batched(users)
+        } else {
+            self.resolve_many_overlapped(users)
+        }
+    }
+
+    /// Batched resolution: one `lookup_many` round trip for all misses.
+    fn resolve_many_batched(&self, users: &[UserId]) -> Vec<(UserId, SydResult<NodeAddr>)> {
         let mut out: Vec<(UserId, Option<SydResult<NodeAddr>>)> = Vec::with_capacity(users.len());
-        let mut pending: Vec<(usize, syd_net::PendingCall)> = Vec::new();
+        let mut misses: Vec<(usize, UserId)> = Vec::new();
+        {
+            let cache = self.cache.lock();
+            for (i, &user) in users.iter().enumerate() {
+                if let Some(&addr) = cache.get(&user) {
+                    out.push((user, Some(Ok(addr))));
+                } else {
+                    out.push((user, None));
+                    misses.push((i, user));
+                }
+            }
+        }
+        if !misses.is_empty() {
+            let opts = self.opts();
+            let miss_users: Vec<UserId> = misses.iter().map(|&(_, u)| u).collect();
+            self.batch_resolves.inc();
+            // The batch is idempotent, so retry it through loss; keep the
+            // engine's own deadline so a drop fails over quickly.
+            let batch = self.directory.lookup_many_with(
+                &miss_users,
+                CallOptions::new()
+                    .with_timeout(opts.timeout)
+                    .with_retries(opts.retries.max(4)),
+            );
+            match batch {
+                Ok(entries) => {
+                    for (&(i, user), entry) in misses.iter().zip(entries) {
+                        let result = match entry {
+                            Some((addr, is_proxy)) => {
+                                // Proxy addresses are never cached (§5.2),
+                                // same as the single-user path.
+                                if !is_proxy {
+                                    self.cache.lock().insert(user, addr);
+                                }
+                                Ok(addr)
+                            }
+                            None => Err(SydError::NotRegistered(user.to_string())),
+                        };
+                        out[i].1 = Some(result);
+                    }
+                }
+                Err(_) => {
+                    // Whole batch lost: fall back to the overlapped
+                    // per-user path, which retries members independently.
+                    self.resolve_fallbacks.inc();
+                    return self.resolve_many_overlapped(users);
+                }
+            }
+        }
+        out.into_iter()
+            .map(|(user, r)| (user, r.expect("every slot filled")))
+            .collect()
+    }
+
+    /// Legacy resolution: overlapped single lookups for cache misses so a
+    /// cold group call costs one lookup round trip of *latency* — but
+    /// still `n` request/response exchanges on the wire.
+    fn resolve_many_overlapped(&self, users: &[UserId]) -> Vec<(UserId, SydResult<NodeAddr>)> {
+        let opts = self.opts();
+        let mut out: Vec<(UserId, Option<SydResult<NodeAddr>>)> = Vec::with_capacity(users.len());
+        let mut pending: Vec<(usize, PendingCall)> = Vec::new();
         {
             let cache = self.cache.lock();
             for &user in users {
@@ -170,7 +320,7 @@ impl SydEngine {
             }
         }
         for (i, call) in pending {
-            let result = call.wait(self.opts.timeout).and_then(|v| {
+            let result = call.wait(opts.timeout).and_then(|v| {
                 let addr = NodeAddr::new(v.get("addr")?.as_i64()? as u64);
                 let is_proxy = v.get("is_proxy")?.as_bool()?;
                 Ok((addr, is_proxy))
@@ -183,16 +333,23 @@ impl SydEngine {
                     Ok(addr)
                 }
                 // The overlapped fast path lost its message (lossy
-                // network): fall back to the retrying directory client
-                // so a single drop cannot fail the whole group member.
-                Err(err) if err.is_transient() => {
-                    self.directory.lookup(users[i]).map(|(addr, is_proxy)| {
+                // network): fall back to a retrying lookup bounded by the
+                // engine's own deadline, so a single drop cannot fail the
+                // whole group member.
+                Err(err) if err.is_transient() => self
+                    .directory
+                    .lookup_with(
+                        users[i],
+                        CallOptions::new()
+                            .with_timeout(opts.timeout)
+                            .with_retries(opts.retries.max(4)),
+                    )
+                    .map(|(addr, is_proxy)| {
                         if !is_proxy {
                             self.cache.lock().insert(users[i], addr);
                         }
                         addr
-                    })
-                }
+                    }),
                 Err(e) => Err(e),
             };
             out[i].1 = Some(result);
@@ -204,23 +361,25 @@ impl SydEngine {
 
     /// One blocking call to a resolved address, with the logical target
     /// user stamped on the request (proxy routing) and this engine's
-    /// deadline/retry options applied.
+    /// deadline/retry options applied. Takes [`Args`] so retry attempts
+    /// (and group broadcasts) clone a shared handle, not the values.
     fn call_at(
         &self,
         addr: NodeAddr,
         target: UserId,
         service: &ServiceName,
         method: &str,
-        args: Vec<Value>,
+        args: Args,
     ) -> SydResult<Value> {
+        let opts = self.opts();
         let mut attempts = 0;
         loop {
             let pending = self
                 .node
                 .call_async_to(addr, target, service, method, args.clone())?;
-            match pending.wait(self.opts.timeout) {
+            match pending.wait(opts.timeout) {
                 Ok(v) => return Ok(v),
-                Err(err) if err.is_transient() && attempts < self.opts.retries => attempts += 1,
+                Err(err) if err.is_transient() && attempts < opts.retries => attempts += 1,
                 Err(err) => return Err(err),
             }
         }
@@ -261,7 +420,7 @@ impl SydEngine {
             qos.admit(user, service, deadline)?;
         }
         let bounded = self.clone().with_options(
-            CallOptions::new().with_timeout(deadline).with_retries(self.opts.retries),
+            CallOptions::new().with_timeout(deadline).with_retries(self.opts().retries),
         );
         let started = std::time::Instant::now();
         let result = bounded.invoke_inner(user, service, method, args);
@@ -279,6 +438,7 @@ impl SydEngine {
         method: &str,
         args: Vec<Value>,
     ) -> SydResult<Value> {
+        let args = Args::from(args);
         let addr = self.resolve(user)?;
         match self.call_at(addr, user, service, method, args.clone()) {
             Ok(v) => Ok(v),
@@ -298,6 +458,11 @@ impl SydEngine {
 
     /// Invokes the same method on every user concurrently and collects
     /// per-user outcomes.
+    ///
+    /// The broadcast body is identical for every member, so by default it
+    /// is encoded **once** and the pre-encoded bytes are shared by every
+    /// outgoing request (and any retry) — a group of `n` pays one
+    /// serialisation, not `n`.
     pub fn invoke_group(
         &self,
         users: &[UserId],
@@ -305,45 +470,26 @@ impl SydEngine {
         method: &str,
         args: Vec<Value>,
     ) -> GroupResult {
-        // Fan out: resolve (overlapped) + send every request first.
+        let shared = self.shared_encode();
+        let args = Args::from(args);
+        if shared {
+            args.preencode();
+        }
+        // Fan out: resolve (one batched round trip) + send every request
+        // before collecting any response.
         let resolved = self.resolve_many(users);
         let mut pending = Vec::with_capacity(users.len());
         for (user, addr) in resolved {
+            // Legacy mode deep-copies the values per recipient, paying the
+            // per-member re-encode the shared handle exists to avoid.
+            let body = if shared { args.clone() } else { Args::from(args.to_vec()) };
             let sent = addr.and_then(|addr| {
                 self.node
-                    .call_async_to(addr, user, service, method, args.clone())
+                    .call_async_to(addr, user, service, method, body.clone())
             });
-            pending.push((user, sent));
+            pending.push((user, body, sent));
         }
-        // Collect.
-        let outcomes = pending
-            .into_iter()
-            .map(|(user, sent)| {
-                let outcome = match sent {
-                    Ok(call) => match call.wait(self.opts.timeout) {
-                        Ok(v) => Ok(v),
-                        Err(err) if err.is_transient() => {
-                            // One re-resolve retry, as in `invoke`.
-                            self.invalidate(user);
-                            match self.resolve(user) {
-                                Ok(addr) => self.call_at(
-                                    addr,
-                                    user,
-                                    service,
-                                    method,
-                                    args.clone(),
-                                ),
-                                Err(e) => Err(e),
-                            }
-                        }
-                        Err(err) => Err(err),
-                    },
-                    Err(err) => Err(err),
-                };
-                (user, outcome)
-            })
-            .collect();
-        GroupResult { outcomes }
+        self.collect_with_retry(pending, service, method)
     }
 
     /// Invokes a method on every member of a *named directory group* —
@@ -363,7 +509,7 @@ impl SydEngine {
 
     /// Like [`SydEngine::invoke_group`] but with per-user arguments — the
     /// negotiation protocol marks each participant's *own* entity, so every
-    /// request differs.
+    /// request differs (and nothing can be encode-shared).
     pub fn invoke_group_varied(
         &self,
         calls: &[(UserId, Vec<Value>)],
@@ -374,22 +520,46 @@ impl SydEngine {
         let resolved = self.resolve_many(&users);
         let mut pending = Vec::with_capacity(calls.len());
         for ((user, args), (_, addr)) in calls.iter().zip(resolved) {
+            let body = Args::from(args.as_slice());
             let sent = addr.and_then(|addr| {
                 self.node
-                    .call_async_to(addr, *user, service, method, args.clone())
+                    .call_async_to(addr, *user, service, method, body.clone())
             });
-            pending.push((*user, sent));
+            pending.push((*user, body, sent));
         }
+        self.collect_with_retry(pending, service, method)
+    }
+
+    /// Collects a fanned-out group round, giving every failed member the
+    /// same single re-resolve retry as [`SydEngine::invoke`]: transient
+    /// wait failures *and* transient/unreachable send failures invalidate
+    /// the cached address, re-resolve (the directory may now point at a
+    /// proxy) and try once more at the fresh address.
+    fn collect_with_retry(
+        &self,
+        pending: Vec<(UserId, Args, SydResult<PendingCall>)>,
+        service: &ServiceName,
+        method: &str,
+    ) -> GroupResult {
+        let timeout = self.opts().timeout;
         let outcomes = pending
             .into_iter()
-            .map(|(user, sent)| {
-                let outcome = match sent {
-                    Ok(call) => call.wait(self.opts.timeout),
+            .map(|(user, args, sent)| {
+                let first = match sent {
+                    Ok(call) => call.wait(timeout),
                     Err(err) => Err(err),
                 };
-                if outcome.is_err() {
-                    self.invalidate(user);
-                }
+                let outcome = match first {
+                    Ok(v) => Ok(v),
+                    Err(err) if err.is_transient() || matches!(err, SydError::Unreachable(_)) => {
+                        self.invalidate(user);
+                        match self.resolve(user) {
+                            Ok(addr) => self.call_at(addr, user, service, method, args),
+                            Err(e) => Err(e),
+                        }
+                    }
+                    Err(err) => Err(err),
+                };
                 (user, outcome)
             })
             .collect();
@@ -398,7 +568,7 @@ impl SydEngine {
 
     /// Timeout used for collection (diagnostic accessor).
     pub fn timeout(&self) -> Duration {
-        self.opts.timeout
+        self.opts().timeout
     }
 }
 
@@ -425,7 +595,7 @@ mod tests {
                     return Err(SydError::App("boom".into()));
                 }
                 let mut out = vec![Value::from(id)];
-                out.extend(req.args.clone());
+                out.extend(req.args.iter().cloned());
                 Ok(Value::list(out))
             }) as Arc<dyn RequestHandler>);
             dirc.register(user, &format!("user{id}"), server.addr()).unwrap();
@@ -516,5 +686,153 @@ mod tests {
             .invoke(UserId::new(1), &ServiceName::new("svc"), "boom", vec![])
             .unwrap_err();
         assert_eq!(err, SydError::App("boom".into()));
+    }
+
+    /// Reads a directory-server counter, defaulting to 0 if untouched.
+    fn dir_counter(dir: &DirectoryServer, name: &str) -> u64 {
+        dir.metrics().get_counter(name).map_or(0, |c| c.get())
+    }
+
+    #[test]
+    fn cold_group_invoke_uses_one_directory_round_trip() {
+        let (_net, dir, engine, _servers) = setup(8);
+        let users: Vec<UserId> = (1..=8).map(UserId::new).collect();
+        let before = dir_counter(&dir, "dir.batch_lookups");
+        let result = engine.invoke_group(&users, &ServiceName::new("svc"), "echo", vec![]);
+        assert!(result.all_ok());
+        // One batched exchange served the whole cold group; no single
+        // lookups at all (registration goes through "register", and the
+        // setup helper never resolves).
+        assert_eq!(dir_counter(&dir, "dir.batch_lookups") - before, 1);
+        assert_eq!(dir_counter(&dir, "dir.batch_lookup_users"), 8);
+        assert_eq!(dir_counter(&dir, "dir.lookups"), 0);
+        // Warm repeat: served fully from cache, zero directory traffic.
+        let result = engine.invoke_group(&users, &ServiceName::new("svc"), "echo", vec![]);
+        assert!(result.all_ok());
+        assert_eq!(dir_counter(&dir, "dir.batch_lookups") - before, 1);
+        assert_eq!(dir_counter(&dir, "dir.lookups"), 0);
+    }
+
+    #[test]
+    fn legacy_mode_resolves_per_user() {
+        let (_net, dir, engine, _servers) = setup(4);
+        engine.set_batched_resolve(false);
+        engine.set_shared_encode(false);
+        let users: Vec<UserId> = (1..=4).map(UserId::new).collect();
+        let result = engine.invoke_group(&users, &ServiceName::new("svc"), "echo", vec![]);
+        assert!(result.all_ok());
+        assert_eq!(dir_counter(&dir, "dir.batch_lookups"), 0);
+        assert_eq!(dir_counter(&dir, "dir.lookups"), 4);
+    }
+
+    #[test]
+    fn flush_cache_forces_reresolution() {
+        let (_net, dir, engine, _servers) = setup(2);
+        let users: Vec<UserId> = (1..=2).map(UserId::new).collect();
+        engine.invoke_group(&users, &ServiceName::new("svc"), "echo", vec![]);
+        engine.flush_cache();
+        engine.invoke_group(&users, &ServiceName::new("svc"), "echo", vec![]);
+        assert_eq!(dir_counter(&dir, "dir.batch_lookups"), 2);
+    }
+
+    /// Under message loss, a dropped lookup must not fail its sibling
+    /// group members — and whatever the loss, every successful resolution
+    /// must land in the cache so the next round is free. Exercised for
+    /// both the batched and the overlapped resolver.
+    fn resolve_many_survives_loss(batched: bool) {
+        let (net, _dir, engine, _servers) = setup(6);
+        engine.set_batched_resolve(batched);
+        engine.set_options(
+            CallOptions::new()
+                .with_timeout(Duration::from_millis(40))
+                .with_retries(10),
+        );
+        let users: Vec<UserId> = (1..=6).map(UserId::new).collect();
+        // The batched exchange is only a couple of messages, so a single
+        // seed may sail through loss-free; walk seeds (deterministically)
+        // until the loss model has actually dropped something.
+        for seed in 0..20 {
+            net.reconfigure(syd_net::NetConfig::ideal().with_loss(0.4).with_seed(seed));
+            engine.flush_cache();
+            let resolved = engine.resolve_many(&users);
+            for (user, r) in &resolved {
+                assert!(r.is_ok(), "user {user} failed (seed {seed}): {r:?}");
+            }
+            if net.stats().dropped_loss > 0 {
+                break;
+            }
+        }
+        assert!(net.stats().dropped_loss > 0, "loss model never fired");
+        // Cut the network entirely: resolution must now come from cache.
+        net.reconfigure(syd_net::NetConfig::ideal().with_loss(1.0).with_seed(8));
+        let resolved = engine.resolve_many(&users);
+        for (user, r) in &resolved {
+            assert!(r.is_ok(), "user {user} not cached: {r:?}");
+        }
+    }
+
+    #[test]
+    fn batched_resolve_survives_loss_and_populates_cache() {
+        resolve_many_survives_loss(true);
+    }
+
+    #[test]
+    fn overlapped_resolve_survives_loss_and_populates_cache() {
+        resolve_many_survives_loss(false);
+    }
+
+    #[test]
+    fn varied_group_retries_after_stale_cache_entry() {
+        let (net, _dir, engine, servers) = setup(2);
+        let svc = ServiceName::new("svc");
+        let users: Vec<UserId> = (1..=2).map(UserId::new).collect();
+        // Prime the cache for both users.
+        assert!(engine.invoke_group(&users, &svc, "echo", vec![]).all_ok());
+        // User 1 moves to a new node; the old one dies. The cached address
+        // is now stale, so the send fails Unreachable — the varied group
+        // call must re-resolve and retry, like `invoke` does.
+        let user = UserId::new(1);
+        let new_server = Node::spawn(&net);
+        new_server.set_handler(Arc::new(move |_from, _req: Request| {
+            Ok(Value::str("moved"))
+        }) as Arc<dyn RequestHandler>);
+        engine
+            .directory()
+            .register(user, "user1", new_server.addr())
+            .unwrap();
+        servers[0].shutdown();
+        let calls: Vec<(UserId, Vec<Value>)> = users
+            .iter()
+            .map(|&u| (u, vec![Value::from(u.raw())]))
+            .collect();
+        let result = engine.invoke_group_varied(&calls, &svc, "echo");
+        assert!(result.all_ok(), "outcomes: {:?}", result.outcomes);
+        assert_eq!(result.outcomes[0].1.as_ref().unwrap(), &Value::str("moved"));
+    }
+
+    #[test]
+    fn shared_encode_serialises_the_broadcast_body_once() {
+        use syd_wire::Encode;
+        let (net, _dir, engine, _servers) = setup(8);
+        let users: Vec<UserId> = (1..=8).map(UserId::new).collect();
+        // Warm the cache so both rounds below differ only in body bytes.
+        assert!(engine.invoke_group(&users, &ServiceName::new("svc"), "echo", vec![]).all_ok());
+        let payload = vec![Value::str("x".repeat(512))];
+        let body_len = {
+            let args = Args::from(payload.clone());
+            args.encoded_len() as u64
+        };
+        let before = net.stats().bytes_sent;
+        assert!(engine
+            .invoke_group(&users, &ServiceName::new("svc"), "echo", payload)
+            .all_ok());
+        let wire_bytes = net.stats().bytes_sent - before;
+        // Every recipient still receives the full body on the wire; the
+        // saving is CPU (one encode) and heap (one buffer), not bytes.
+        assert!(
+            wire_bytes >= 8 * body_len,
+            "expected >= {} broadcast bytes, saw {wire_bytes}",
+            8 * body_len
+        );
     }
 }

@@ -67,6 +67,13 @@ impl SydEnv {
         self.directory.addr()
     }
 
+    /// The running directory server — benchmarks and diagnostics read its
+    /// request counters (`dir.lookups`, `dir.batch_lookups`, …) to verify
+    /// round-trip budgets from the server's side, not wall clock.
+    pub fn directory(&self) -> &DirectoryServer {
+        &self.directory
+    }
+
     /// The deployment clock.
     pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock

@@ -174,7 +174,7 @@ mod tests {
             credentials,
             service: ServiceName::new(service),
             method: method.to_owned(),
-            args: vec![Value::I64(5)],
+            args: vec![Value::I64(5)].into(),
             trace: None,
         }
     }

@@ -300,29 +300,34 @@ impl Negotiator {
             let results = self
                 .engine
                 .invoke_group_varied(&commit_calls, &svc, "commit");
+            // A lost commit message would strand the entity lock; commits
+            // are idempotent, so every first-round failure gets one more
+            // chance — in a single batched round, so `k` stragglers cost
+            // one extra round trip rather than `k` sequential timeouts.
+            let mut failed: Vec<(UserId, Vec<Value>)> = Vec::new();
             for (i, (user, outcome)) in results.outcomes.into_iter().enumerate() {
                 match outcome {
                     Ok(_) => committed.push(user),
-                    Err(_) => {
-                        // A lost commit message would strand the entity
-                        // lock; commits are idempotent, so retry once
-                        // before giving up.
-                        let (u, args) = &commit_calls[i];
-                        match self.engine.invoke(*u, &svc, "commit", args.clone()) {
-                            Ok(_) => committed.push(user),
-                            Err(_) => {
-                                self.journal_record(
-                                    EventKind::Abort,
-                                    format!(
-                                        "session={session} user={} reason=commit-failed",
-                                        user.raw()
-                                    ),
-                                );
-                                if let Some(c) = &self.aborts {
-                                    c.inc();
-                                }
-                                aborted.push(user);
+                    Err(_) => failed.push(commit_calls[i].clone()),
+                }
+            }
+            if !failed.is_empty() {
+                let retry = self.engine.invoke_group_varied(&failed, &svc, "commit");
+                for (user, outcome) in retry.outcomes {
+                    match outcome {
+                        Ok(_) => committed.push(user),
+                        Err(_) => {
+                            self.journal_record(
+                                EventKind::Abort,
+                                format!(
+                                    "session={session} user={} reason=commit-failed",
+                                    user.raw()
+                                ),
+                            );
+                            if let Some(c) = &self.aborts {
+                                c.inc();
                             }
+                            aborted.push(user);
                         }
                     }
                 }

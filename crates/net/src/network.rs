@@ -423,7 +423,7 @@ mod tests {
             credentials: vec![],
             service: ServiceName::new("svc"),
             method: "m".into(),
-            args: vec![],
+            args: vec![].into(),
             trace: None,
         })
     }

@@ -15,7 +15,7 @@ use crossbeam_channel::Sender;
 use parking_lot::{Mutex, RwLock};
 use syd_telemetry::{trace, Counter, Histogram, Registry, SpanCtx};
 use syd_types::{NodeAddr, RequestId, ServiceName, SydError, SydResult, UserId, Value};
-use syd_wire::{EventMsg, Payload, Request, Response, TraceContext};
+use syd_wire::{Args, EventMsg, Payload, Request, Response, TraceContext};
 
 use crate::network::{Endpoint, Network};
 use crate::pool::WorkerPool;
@@ -180,7 +180,7 @@ impl Node {
         dst: NodeAddr,
         service: &ServiceName,
         method: &str,
-        args: Vec<Value>,
+        args: impl Into<Args>,
     ) -> SydResult<Value> {
         self.call_with(dst, service, method, args, CallOptions::default())
     }
@@ -191,9 +191,12 @@ impl Node {
         dst: NodeAddr,
         service: &ServiceName,
         method: &str,
-        args: Vec<Value>,
+        args: impl Into<Args>,
         opts: CallOptions,
     ) -> SydResult<Value> {
+        // Convert once: retry attempts clone the shared handle, they do
+        // not deep-copy (or re-encode) the argument values.
+        let args: Args = args.into();
         let started = Instant::now();
         let mut attempts = 0;
         loop {
@@ -224,20 +227,25 @@ impl Node {
         dst: NodeAddr,
         service: &ServiceName,
         method: &str,
-        args: Vec<Value>,
+        args: impl Into<Args>,
     ) -> SydResult<PendingCall> {
         self.call_async_to(dst, UserId::default(), service, method, args)
     }
 
     /// Like [`Node::call_async`] with an explicit logical target user —
     /// proxies hosting several users' replicas route requests by it.
+    ///
+    /// Accepts anything convertible to [`Args`]; a broadcaster passing
+    /// the same pre-encoded [`Args`] clone to every recipient pays the
+    /// body encoding cost once for the whole group (see
+    /// [`Args::preencode`]).
     pub fn call_async_to(
         &self,
         dst: NodeAddr,
         target: UserId,
         service: &ServiceName,
         method: &str,
-        args: Vec<Value>,
+        args: impl Into<Args>,
     ) -> SydResult<PendingCall> {
         let id = RequestId::new(self.shared.next_request.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = crossbeam_channel::bounded(1);
@@ -256,7 +264,7 @@ impl Node {
             credentials,
             service: service.clone(),
             method: method.to_owned(),
-            args,
+            args: args.into(),
             trace: Some(TraceContext {
                 trace_id: span.trace,
                 span_id: span.span,
@@ -380,7 +388,7 @@ mod tests {
 
     fn echo_handler() -> Arc<dyn RequestHandler> {
         Arc::new(|_from: NodeAddr, req: Request| -> SydResult<Value> {
-            Ok(Value::list(req.args))
+            Ok(Value::list(req.args.to_vec()))
         })
     }
 

@@ -13,12 +13,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitmap;
 pub mod error;
 pub mod id;
 pub mod priority;
 pub mod time;
 pub mod value;
 
+pub use bitmap::SlotBitmap;
 pub use error::{SydError, SydResult};
 pub use id::{DeviceId, GroupId, LinkId, MeetingId, NodeAddr, RequestId, ServiceName, UserId};
 pub use priority::Priority;

@@ -17,7 +17,7 @@
 use bytes::{Buf, BufMut};
 use syd_types::{
     Day, DeviceId, GroupId, LinkId, MeetingId, NodeAddr, Priority, RequestId, ServiceName,
-    SlotIndex, SlotRange, SydError, SydResult, TimeSlot, Timestamp, UserId, Value,
+    SlotBitmap, SlotIndex, SlotRange, SydError, SydResult, TimeSlot, Timestamp, UserId, Value,
 };
 
 /// Upper bound on a decoded collection length or string size (16 MiB).
@@ -493,6 +493,42 @@ impl Decode for SlotRange {
     }
 }
 
+impl Encode for SlotBitmap {
+    /// Varint window header (`start`, `len`) followed by one fixed
+    /// 8-byte little-endian word per 64 slots — the word count is fully
+    /// determined by `len`, so no second length prefix travels.
+    fn encode(&self, buf: &mut impl BufMut) {
+        put_varint(buf, self.start_ordinal());
+        put_varint(buf, u64::from(self.len()));
+        for w in self.words() {
+            buf.put_u64_le(*w);
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.start_ordinal())
+            + varint_len(u64::from(self.len()))
+            + self.words().len() * 8
+    }
+}
+
+impl Decode for SlotBitmap {
+    fn decode(r: &mut Reader<'_>) -> SydResult<Self> {
+        let start = r.varint()?;
+        let len = r.varint()?;
+        if len > MAX_LEN {
+            return Err(SydError::Codec(format!("slot bitmap of {len} slots")));
+        }
+        let len = len as u32;
+        let mut words = Vec::with_capacity((len as usize).div_ceil(64));
+        for _ in 0..(len as usize).div_ceil(64) {
+            let chunk = r.bytes(8)?;
+            words.push(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        SlotBitmap::from_raw_parts(start, len, words)
+            .map_err(|e| SydError::Codec(e.to_string()))
+    }
+}
+
 impl Encode for Day {
     fn encode(&self, buf: &mut impl BufMut) {
         put_varint(buf, u64::from(self.0));
@@ -746,6 +782,26 @@ mod tests {
         round_trip(Day::new(7));
         round_trip(SlotIndex::new(3));
         round_trip(vec![UserId::new(1), UserId::new(2)]);
+    }
+
+    #[test]
+    fn slot_bitmaps_round_trip() {
+        round_trip(SlotBitmap::empty(SlotRange::days(0, 0)));
+        round_trip(SlotBitmap::all_free(SlotRange::days(2, 9)));
+        let mut partial = SlotBitmap::empty(SlotRange::days(1, 4));
+        partial.set_free(TimeSlot::new(1, 0));
+        partial.set_free(TimeSlot::new(3, 23));
+        round_trip(partial);
+    }
+
+    #[test]
+    fn slot_bitmap_decode_rejects_phantom_bits() {
+        let bm = SlotBitmap::all_free(SlotRange::days(0, 1));
+        let mut bytes = encode_to_vec(&bm);
+        // Set a bit past the 24-slot window inside the single word.
+        let last = bytes.len() - 1;
+        bytes[last] |= 0x80;
+        assert!(decode_from_slice::<SlotBitmap>(&bytes).is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use bytes::BufMut;
 use syd_types::{NodeAddr, RequestId, ServiceName, SydError, SydResult, UserId, Value};
 
+use crate::args::Args;
 use crate::codec::{put_varint, varint_len, Decode, Encode, Reader};
 
 /// Wire format version tag.
@@ -82,8 +83,10 @@ pub struct Request {
     pub service: ServiceName,
     /// Target method, e.g. `"reserve_slot"`.
     pub method: String,
-    /// Positional arguments.
-    pub args: Vec<Value>,
+    /// Positional arguments. [`Args`] encodes exactly like `Vec<Value>`
+    /// but is cheap to clone and can carry a pre-encoded byte form shared
+    /// across an entire group broadcast.
+    pub args: Args,
     /// Optional distributed trace context, encoded as a trailing
     /// extension so trace-free requests keep the pre-trace byte format.
     pub trace: Option<TraceContext>,
@@ -125,7 +128,7 @@ impl Decode for Request {
         let credentials = Vec::<u8>::decode(r)?;
         let service = ServiceName::decode(r)?;
         let method = String::decode(r)?;
-        let args = Vec::<Value>::decode(r)?;
+        let args = Args::decode(r)?;
         // A request always ends its enclosing frame, so any bytes left
         // are the trailing trace extension; none means an old-format
         // (or deliberately untraced) request.
@@ -341,7 +344,7 @@ mod tests {
             credentials: vec![0xde, 0xad],
             service: ServiceName::new("calendar"),
             method: "find_free_slots".into(),
-            args: vec![Value::I64(1), Value::str("d1..d2")],
+            args: vec![Value::I64(1), Value::str("d1..d2")].into(),
             trace: None,
         }
     }
@@ -356,7 +359,9 @@ mod tests {
         req.credentials.encode(&mut buf);
         req.service.encode(&mut buf);
         req.method.encode(&mut buf);
-        req.args.encode(&mut buf);
+        // The legacy format carried a plain `Vec<Value>`; encoding the
+        // values through that path proves `Args` is byte-compatible.
+        req.args.to_vec().encode(&mut buf);
         buf
     }
 
@@ -579,7 +584,7 @@ mod proptests {
                             credentials,
                             service: ServiceName::new(service),
                             method,
-                            args,
+                            args: args.into(),
                             trace,
                         })
                     }
@@ -621,7 +626,7 @@ mod proptests {
                 credentials: vec![],
                 service: ServiceName::new("s"),
                 method: "m".into(),
-                args: vec![],
+                args: vec![].into(),
                 trace,
             };
             let bytes = encode_to_vec(&req);

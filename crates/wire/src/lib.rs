@@ -20,8 +20,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod codec;
 pub mod envelope;
 
+pub use args::Args;
 pub use codec::{decode_from_slice, encode_to_vec, Decode, Encode, Reader};
 pub use envelope::{Envelope, EventMsg, Payload, Request, Response, TraceContext};
