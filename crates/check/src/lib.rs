@@ -29,9 +29,8 @@
 pub mod event;
 pub mod replay;
 pub mod report;
+pub mod state;
 pub mod synth;
-
-use std::collections::BTreeSet;
 
 use syd_core::{DeviceRuntime, LinkStatus};
 use syd_types::Value;
@@ -39,6 +38,7 @@ use syd_types::Value;
 pub use event::{ConstraintKind, ProtoEvent};
 pub use replay::{audit_journals, AuditOptions};
 pub use report::{AuditReport, Rule, Violation};
+pub use state::{audit_states, DeviceState, HeldLock, LinkRecord, WaitingRecord};
 pub use synth::Mutation;
 
 /// Audits live devices with loss-tolerant checks: in-flight sessions and
@@ -62,140 +62,61 @@ where
     audit_with(devices, &AuditOptions::strict())
 }
 
-/// Audits live devices under explicit [`AuditOptions`]: replays every
-/// journal, then correlates the stories with each device's lock table,
-/// waiting-link queue, and link database.
+/// Audits live devices under explicit [`AuditOptions`]: snapshots each
+/// runtime's journal, lock table, waiting-link queue, and link database
+/// into a [`DeviceState`] and delegates to the pure
+/// [`state::audit_states`] oracle (which the `syd-model` checker also
+/// uses, so live runs and exhaustive model runs are judged identically).
 pub fn audit_with<'a, I>(devices: I, opts: &AuditOptions) -> AuditReport
 where
     I: IntoIterator<Item = &'a DeviceRuntime>,
 {
-    let devices: Vec<&DeviceRuntime> = devices.into_iter().collect();
-    let mut report = AuditReport::default();
-    let mut all_sessions = BTreeSet::new();
-    let mut cascaded: BTreeSet<String> = BTreeSet::new();
-
-    for device in &devices {
-        let events = device.journal().events();
-        let summary = replay::replay_device(device.name(), &events, opts, &mut report);
-
-        // Lock-leak detector: a lock still held although its journal
-        // story closed can never be released — commit and abort both
-        // release before returning, so a held lock with a closed story
-        // means the release was lost inside the device. In strict mode
-        // any held lock is a failure (the run quiesced first).
-        for (owner, key) in device.store().locks().held() {
-            if key.table != "syd.entity" {
-                continue;
-            }
-            let entity = match key.key.first().map(syd_store::key::OrdValue::value) {
-                Some(Value::Str(s)) => s.clone(),
-                _ => key.to_string(),
-            };
-            let story = (owner, entity.clone());
-            let closed_story = !summary.truncated
-                && summary.closed.contains(&story)
-                && !summary.open.contains(&story);
-            if opts.strict || closed_story {
-                report.violations.push(Violation {
-                    device: device.name().to_owned(),
-                    session: Some(owner),
-                    rule: Rule::LockLeak,
-                    message: if closed_story {
-                        format!(
-                            "lock on `{entity}` still held although its session story closed"
-                        )
-                    } else {
-                        format!("lock on `{entity}` still held after quiesce")
-                    },
-                    excerpt: report::session_excerpt(&events, owner, 12),
-                });
-            }
-        }
-
-        // Waiting-queue audit (§4.2 op. 3): every waiter exists exactly
-        // once, is still tentative, and waits on a link that exists.
-        if let (Ok(waiting), Ok(links)) = (device.links().waiting(), device.links().all()) {
-            let ids: BTreeSet<u64> = links.iter().map(|l| l.id.raw()).collect();
-            let mut seen = BTreeSet::new();
-            for entry in &waiting {
-                if !seen.insert(entry.link.raw()) {
-                    report.violations.push(waiting_violation(
-                        device,
-                        format!("link {} queued twice in the waiting table", entry.link),
-                    ));
-                }
-                if !ids.contains(&entry.link.raw()) {
-                    report.violations.push(waiting_violation(
-                        device,
-                        format!("waiting entry references deleted link {}", entry.link),
-                    ));
-                } else if let Some(link) = links.iter().find(|l| l.id == entry.link) {
-                    if link.status != LinkStatus::Tentative {
-                        report.violations.push(waiting_violation(
-                            device,
-                            format!(
-                                "link {} is permanent but still queued as a waiter",
-                                entry.link
-                            ),
-                        ));
-                    }
-                }
-                if !ids.contains(&entry.waits_on.raw()) {
-                    report.violations.push(waiting_violation(
-                        device,
-                        format!(
-                            "link {} waits on deleted link {} — promotion lost it",
-                            entry.link, entry.waits_on
-                        ),
-                    ));
-                }
-            }
-        }
-
-        cascaded.extend(summary.cascaded.iter().cloned());
-        all_sessions.extend(summary.sessions);
-    }
-
-    // Cascade-delete completeness (strict): once any device cascade-
-    // deleted a correlation group, no device may still hold a link of
-    // that group. On lossy networks an unreachable peer legitimately
-    // keeps its half until expiry, so this is strict-only.
-    if opts.strict {
-        for corr in &cascaded {
-            for device in &devices {
-                if let Ok(links) = device.links().by_corr(corr) {
-                    if !links.is_empty() {
-                        report.violations.push(Violation {
-                            device: device.name().to_owned(),
-                            session: None,
-                            rule: Rule::Cascade,
-                            message: format!(
-                                "cascade delete of corr `{corr}` left {} link(s) behind: {}",
-                                links.len(),
-                                links
-                                    .iter()
-                                    .map(|l| l.id.to_string())
-                                    .collect::<Vec<_>>()
-                                    .join(", ")
-                            ),
-                            excerpt: Vec::new(),
-                        });
-                    }
-                }
-            }
-        }
-    }
-
-    report.sessions = all_sessions.len();
-    report
+    let states: Vec<DeviceState> = devices.into_iter().map(snapshot_device).collect();
+    audit_states(&states, opts)
 }
 
-fn waiting_violation(device: &DeviceRuntime, message: String) -> Violation {
-    Violation {
+/// Reduces one live runtime to the plain snapshot the oracle audits.
+fn snapshot_device(device: &DeviceRuntime) -> DeviceState {
+    let locks = device
+        .store()
+        .locks()
+        .held()
+        .into_iter()
+        .filter(|(_, key)| key.table == "syd.entity")
+        .map(|(owner, key)| HeldLock {
+            session: owner,
+            entity: match key.key.first().map(syd_store::key::OrdValue::value) {
+                Some(Value::Str(s)) => s.clone(),
+                _ => key.to_string(),
+            },
+        })
+        .collect();
+    let links = device
+        .links()
+        .all()
+        .unwrap_or_default()
+        .into_iter()
+        .map(|l| LinkRecord {
+            id: l.id.raw(),
+            tentative: l.status == LinkStatus::Tentative,
+            corr: l.corr,
+        })
+        .collect();
+    let waiting = device
+        .links()
+        .waiting()
+        .unwrap_or_default()
+        .into_iter()
+        .map(|entry| WaitingRecord {
+            link: entry.link.raw(),
+            waits_on: entry.waits_on.raw(),
+        })
+        .collect();
+    DeviceState {
         device: device.name().to_owned(),
-        session: None,
-        rule: Rule::Waiting,
-        message,
-        excerpt: Vec::new(),
+        journal: device.journal().events(),
+        locks,
+        links,
+        waiting,
     }
 }

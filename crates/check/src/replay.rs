@@ -363,5 +363,6 @@ pub fn audit_journals(journals: &[(String, Vec<JournalEvent>)], opts: &AuditOpti
         all_sessions.extend(summary.sessions);
     }
     report.sessions = all_sessions.len();
+    report.normalize();
     report
 }

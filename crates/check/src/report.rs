@@ -5,7 +5,7 @@ use std::fmt;
 use syd_telemetry::JournalEvent;
 
 /// The invariant class a violation belongs to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// §4.3 per-session ordering: mark → lock → (change | abort) → unlock.
     Ordering,
@@ -36,7 +36,10 @@ impl fmt::Display for Rule {
 }
 
 /// One invariant violation, with enough journal context to debug it.
-#[derive(Clone, Debug)]
+///
+/// The derived ordering (device, then session, then rule, then message)
+/// is the canonical report order — see [`AuditReport::normalize`].
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Violation {
     /// Device (journal) the violation was observed on.
     pub device: String,
@@ -68,7 +71,9 @@ impl fmt::Display for Violation {
 /// Outcome of an audit pass.
 #[derive(Clone, Debug, Default)]
 pub struct AuditReport {
-    /// Every violation found, in discovery order.
+    /// Every violation found. The audit entry points normalize this to
+    /// canonical order (see [`AuditReport::normalize`]); reports built
+    /// by hand may hold violations in discovery order until normalized.
     pub violations: Vec<Violation>,
     /// Distinct negotiation sessions examined.
     pub sessions: usize,
@@ -92,12 +97,24 @@ impl AuditReport {
         assert!(self.ok(), "protocol invariants violated:\n{self}");
     }
 
-    /// Folds another report into this one.
+    /// Folds another report into this one. The merged violation list is
+    /// re-normalized, so merging the same reports in any order yields a
+    /// byte-identical result.
     pub fn merge(&mut self, other: AuditReport) {
         self.violations.extend(other.violations);
         self.sessions += other.sessions;
         self.events += other.events;
         self.truncated |= other.truncated;
+        self.normalize();
+    }
+
+    /// Stable-sorts violations into canonical (device, session, rule,
+    /// message) order and drops exact duplicates. CI diffs, counterexample
+    /// comparison in `syd-model`, and cross-platform runs all rely on
+    /// reports being byte-stable regardless of audit discovery order.
+    pub fn normalize(&mut self) {
+        self.violations.sort();
+        self.violations.dedup();
     }
 }
 
@@ -115,7 +132,12 @@ impl fmt::Display for AuditReport {
                 ""
             }
         )?;
-        for v in &self.violations {
+        // Render in canonical order with duplicates elided even when the
+        // report was never normalized (e.g. hand-built in tests).
+        let mut ordered: Vec<&Violation> = self.violations.iter().collect();
+        ordered.sort();
+        ordered.dedup();
+        for v in ordered {
             writeln!(f, "{v}")?;
         }
         Ok(())
@@ -207,6 +229,55 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("[lock-leak] device=dev1 session=9"), "{text}");
         assert!(text.contains("| #1"), "{text}");
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_dedupes() {
+        let violation = |device: &str, session| Violation {
+            device: device.into(),
+            session,
+            rule: Rule::Ordering,
+            message: "m".into(),
+            excerpt: vec![],
+        };
+        let part_a = AuditReport {
+            violations: vec![violation("dev2", Some(2)), violation("dev1", None)],
+            ..AuditReport::default()
+        };
+        let part_b = AuditReport {
+            violations: vec![violation("dev1", None), violation("dev1", Some(1))],
+            ..AuditReport::default()
+        };
+        let mut ab = AuditReport::default();
+        ab.merge(part_a.clone());
+        ab.merge(part_b.clone());
+        let mut ba = AuditReport::default();
+        ba.merge(part_b);
+        ba.merge(part_a);
+        assert_eq!(ab.violations, ba.violations);
+        assert_eq!(ab.to_string(), ba.to_string());
+        // The duplicate dev1/no-session violation collapses to one.
+        assert_eq!(ab.violations.len(), 3, "{ab}");
+    }
+
+    #[test]
+    fn render_sorts_and_dedupes_unnormalized_reports() {
+        let violation = |device: &str| Violation {
+            device: device.into(),
+            session: None,
+            rule: Rule::Waiting,
+            message: "lost".into(),
+            excerpt: vec![],
+        };
+        let report = AuditReport {
+            violations: vec![violation("z"), violation("a"), violation("z")],
+            ..AuditReport::default()
+        };
+        let text = report.to_string();
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("device=a"), "{text}");
+        assert!(lines[1].contains("device=z"), "{text}");
     }
 
     #[test]

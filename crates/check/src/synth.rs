@@ -437,6 +437,38 @@ mod tests {
         let j2 = generate(3, 5, 3, Mutation::None);
         assert_eq!(j1, j2);
     }
+
+    /// FNV-1a over every journal field the replay reads.
+    fn fnv(hash: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *hash ^= u64::from(b);
+            *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    #[test]
+    fn generate_is_seed_stable_across_platforms() {
+        // Regression pin: fixed seed → fixed event stream, byte for byte,
+        // on every platform. Model-checker counterexample replay and
+        // seeded stress runs cite seeds in bug reports; if this hash
+        // moves, every recorded seed silently means a different run. Only
+        // update the constant for a *deliberate* generator change.
+        let journals = generate(42, 10, 4, Mutation::None);
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for (name, events) in &journals {
+            fnv(&mut hash, name.as_bytes());
+            for e in events {
+                fnv(&mut hash, &e.seq.to_le_bytes());
+                fnv(&mut hash, &e.at_micros.to_le_bytes());
+                fnv(&mut hash, e.kind.to_string().as_bytes());
+                fnv(&mut hash, e.detail.as_bytes());
+            }
+        }
+        assert_eq!(
+            hash, 0xe238_e09a_34b4_0304,
+            "synth::generate event stream for seed 42 drifted (hash {hash:#x})"
+        );
+    }
 }
 
 #[cfg(test)]

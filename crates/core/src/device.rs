@@ -30,7 +30,7 @@ use crate::engine::SydEngine;
 use crate::events::EventHandler;
 use crate::links::LinksModule;
 use crate::listener::{InvokeCtx, Listener, ListenerHandler, ServiceMethod};
-use crate::negotiate::{link_service, Negotiator};
+use crate::negotiate::{fsm, link_service, Negotiator};
 
 /// How long a participant waits for an entity lock before voting no.
 const MARK_LOCK_WAIT: Duration = Duration::from_millis(200);
@@ -362,6 +362,7 @@ impl DeviceRuntime {
                         .acquire(session, &key, MARK_LOCK_WAIT)
                         .is_err()
                     {
+                        let vote = fsm::Vote::NoLockBusy;
                         inner.journal.record(
                             EventKind::Mark,
                             format!("session={session} entity={entity} vote=no reason=lock-busy"),
@@ -370,7 +371,7 @@ impl DeviceRuntime {
                         // the coordinator treats any non-true vote as a
                         // decline, but a greedy grab must not commit while
                         // another negotiation holds this lock.
-                        return Ok(Value::str("lock-busy"));
+                        return Ok(vote.wire_reply());
                     }
                 }
                 inner.journal.record(
@@ -379,37 +380,33 @@ impl DeviceRuntime {
                 );
                 inner.sessions.lock().insert(session, Instant::now());
                 let handler = inner.entity_handler.read().clone();
-                match handler {
-                    Some(h) => match h.prepare(entity, change) {
-                        Ok(()) => {
-                            inner.journal.record(
-                                EventKind::Mark,
-                                format!("session={session} entity={entity} vote=yes"),
-                            );
-                            Ok(Value::Bool(true))
-                        }
-                        Err(err) => {
-                            // Journal-before-release, as in commit.
-                            inner.journal.record(
-                                EventKind::Mark,
-                                format!(
-                                    "session={session} entity={entity} vote=no reason={err}"
-                                ),
-                            );
-                            inner.store.locks().release(session, &key);
-                            Ok(Value::Bool(false))
-                        }
-                    },
-                    // No entity handler: vote yes on lock alone (pure
-                    // mutual exclusion semantics).
-                    None => {
+                // No entity handler prepares trivially: pure mutual
+                // exclusion semantics, as in `fsm::participant_mark`.
+                let prepared = match handler {
+                    Some(h) => h.prepare(entity, change),
+                    None => Ok(()),
+                };
+                let vote = match &prepared {
+                    Ok(()) => {
                         inner.journal.record(
                             EventKind::Mark,
                             format!("session={session} entity={entity} vote=yes"),
                         );
-                        Ok(Value::Bool(true))
+                        fsm::Vote::Yes
                     }
+                    Err(err) => {
+                        // Journal-before-release, as in commit.
+                        inner.journal.record(
+                            EventKind::Mark,
+                            format!("session={session} entity={entity} vote=no reason={err}"),
+                        );
+                        fsm::Vote::NoPrepare
+                    }
+                };
+                if vote.releases_lock() {
+                    inner.store.locks().release(session, &key);
                 }
+                Ok(vote.wire_reply())
             }),
         );
 

@@ -44,6 +44,8 @@ use crate::engine::SydEngine;
 use crate::events::EventHandler;
 use crate::negotiate::{link_service, NegotiationOutcome, Negotiator, Participant};
 
+pub mod lifecycle;
+
 /// Logical constraint of a negotiation link (§4.3), generalized to k-of-n
 /// exactly as the paper notes ("can be extended to at least/exactly k out
 /// of n").
@@ -808,13 +810,10 @@ impl LinksModule {
             );
         }
         // Forward the cascade to peers we haven't visited.
-        let mut peers: Vec<UserId> = links
-            .iter()
-            .flat_map(|l| l.refs.iter().map(|r| r.user))
-            .filter(|u| !visited.contains(&u.raw()))
-            .collect();
-        peers.sort();
-        peers.dedup();
+        let peers = lifecycle::cascade_peers(
+            links.iter().flat_map(|l| l.refs.iter().map(|r| r.user)),
+            &visited,
+        );
         for peer in peers {
             visited.push(peer.raw());
             let result = self.engine.invoke(
@@ -846,13 +845,11 @@ impl LinksModule {
         mut visited: Vec<u64>,
         seed_refs: &[LinkRef],
     ) -> SydResult<Vec<UserId>> {
-        let mut peers: Vec<UserId> = seed_refs.iter().map(|r| r.user).collect();
+        let mut all_refs: Vec<UserId> = seed_refs.iter().map(|r| r.user).collect();
         for link in self.by_corr(corr)? {
-            peers.extend(link.refs.iter().map(|r| r.user));
+            all_refs.extend(link.refs.iter().map(|r| r.user));
         }
-        peers.retain(|u| !visited.contains(&u.raw()));
-        peers.sort();
-        peers.dedup();
+        let peers = lifecycle::cascade_peers(all_refs, &visited);
         let mut reached = Vec::new();
         for peer in peers {
             visited.push(peer.raw());
@@ -880,56 +877,41 @@ impl LinksModule {
     /// to permanent." Remaining waiters are re-anchored to the first
     /// promoted link so the queue survives.
     fn promote_waiters(&self, deleted: LinkId) -> SydResult<Vec<LinkId>> {
-        let waiting = self.store.select(
+        let rows = self.store.select(
             T_WAIT,
             &Predicate::Eq("waits_on".into(), Value::from(deleted.raw())),
         )?;
-        if waiting.is_empty() {
+        let mut waiting = Vec::with_capacity(rows.len());
+        for row in &rows {
+            waiting.push(WaitingEntry {
+                link: LinkId::new(row.values[0].as_i64()? as u64),
+                waits_on: deleted,
+                priority: Priority::new(row.values[2].as_i64().unwrap_or(0) as u8),
+                group: row.values[3].as_i64().unwrap_or(0) as u64,
+            });
+        }
+        let Some(plan) = lifecycle::promotion_plan(&waiting) else {
             return Ok(Vec::new());
-        }
-        // Highest-priority group wins.
-        let best_group = waiting
-            .iter()
-            .max_by_key(|row| {
-                (
-                    row.values[2].as_i64().unwrap_or(0),
-                    // Tie-break: lowest group id (FIFO-ish).
-                    -(row.values[3].as_i64().unwrap_or(0)),
-                )
-            })
-            .map(|row| row.values[3].clone())
-            .expect("non-empty waiting set");
-
-        let mut promoted = Vec::new();
-        let mut promoted_rows = Vec::new();
-        let mut remaining = Vec::new();
-        for row in &waiting {
-            let link_id = LinkId::new(row.values[0].as_i64()? as u64);
-            if row.values[3] == best_group {
-                promoted.push(link_id);
-                promoted_rows.push((
-                    link_id,
-                    row.values[2].as_i64().unwrap_or(0),
-                    row.values[3].as_i64().unwrap_or(0),
-                ));
-            } else {
-                remaining.push(link_id);
-            }
-        }
+        };
         // §4.2 op. 3 invariant: the chosen group's priority is the maximum
         // over the whole waiting set — a lower-priority promotion means the
         // queue ordering broke.
         debug_assert!(
             {
-                let best = promoted_rows.first().map_or(0, |&(_, p, _)| p);
-                waiting
+                let best = plan
+                    .promoted
                     .iter()
-                    .all(|row| row.values[2].as_i64().unwrap_or(0) <= best)
+                    .map(|e| e.priority)
+                    .max()
+                    .unwrap_or(Priority::MIN);
+                waiting.iter().all(|e| e.priority <= best)
             },
             "waiting-link promotion skipped a higher-priority waiter (anchor {deleted})"
         );
 
-        for &(link_id, priority, group) in &promoted_rows {
+        let mut promoted = Vec::with_capacity(plan.promoted.len());
+        for entry in &plan.promoted {
+            let link_id = entry.link;
             self.store.update(
                 T_LINK,
                 &Predicate::Eq("id".into(), Value::from(link_id.raw())),
@@ -943,8 +925,8 @@ impl LinksModule {
                 "link.promoted",
                 &Value::map([
                     ("id", Value::from(link_id.raw())),
-                    ("priority", Value::I64(priority)),
-                    ("group", Value::I64(group)),
+                    ("priority", Value::I64(i64::from(entry.priority.level()))),
+                    ("group", Value::I64(entry.group as i64)),
                 ]),
             );
             if let Some(link) = self.get(link_id)? {
@@ -957,13 +939,14 @@ impl LinksModule {
                     handler(&link);
                 }
             }
+            promoted.push(link_id);
         }
         // Re-anchor the rest of the queue onto the first promoted link.
         if let Some(&new_anchor) = promoted.first() {
-            for link_id in remaining {
+            for entry in &plan.remaining {
                 self.store.update(
                     T_WAIT,
-                    &Predicate::Eq("link_id".into(), Value::from(link_id.raw())),
+                    &Predicate::Eq("link_id".into(), Value::from(entry.link.raw())),
                     &[("waits_on".into(), Value::from(new_anchor.raw()))],
                 )?;
             }

@@ -39,6 +39,8 @@ use syd_types::{ServiceName, SydError, SydResult, UserId, Value};
 use crate::engine::SydEngine;
 use crate::links::Constraint;
 
+pub mod fsm;
+
 /// The kernel-internal service every device serves for negotiations.
 pub fn link_service() -> ServiceName {
     ServiceName::new("syd.link")
@@ -214,13 +216,13 @@ impl Negotiator {
         let mut declined = Vec::new();
         let mut contended = Vec::new();
         for (i, (user, outcome)) in votes.outcomes.iter().enumerate() {
-            match outcome {
-                Ok(Value::Bool(true)) => yes.push(i),
-                Ok(Value::Str(s)) if s == "lock-busy" => {
+            match fsm::classify_reply(outcome) {
+                fsm::ReplyClass::Yes => yes.push(i),
+                fsm::ReplyClass::DeclinedBusy => {
                     contended.push(*user);
                     declined.push(*user);
                 }
-                _ => declined.push(*user),
+                fsm::ReplyClass::Declined => declined.push(*user),
             }
         }
 
@@ -234,35 +236,22 @@ impl Negotiator {
             ),
         );
 
-        // Decide. A contended round never commits when the caller asked
-        // for contention safety: the locks we failed to get are held by
-        // another coordinator mid-negotiation, and committing our partial
-        // set would interleave two half-applied changes.
-        let yes_count = yes.len() as u32;
-        let (constraint_ok, commit_count) = match constraint {
-            Constraint::And => (yes_count == participants.len() as u32, yes_count),
-            Constraint::AtLeast(k) => (yes_count >= k, yes_count),
-            Constraint::Exactly(k) => (yes_count >= k, k.min(yes_count)),
-        };
-        let blocked = abort_on_contention && !contended.is_empty();
-        let satisfied = constraint_ok && !blocked;
-
-        let (to_commit, to_abort): (Vec<usize>, Vec<usize>) = if satisfied {
-            let commit: Vec<usize> = yes.iter().copied().take(commit_count as usize).collect();
-            let abort: Vec<usize> = yes.iter().copied().skip(commit_count as usize).collect();
-            (commit, abort)
-        } else {
-            (Vec::new(), yes.clone())
-        };
-        // Why the yes-voters in `to_abort` are being aborted — surfaced in
-        // the postmortem journal alongside each abort fan-out.
-        let abort_reason = if blocked {
-            "lock-contention"
-        } else if satisfied {
-            "xor-overflow"
-        } else {
-            "constraint-failed"
-        };
+        // Decide: the pure §4.3 core in [`fsm::decide`] evaluates the
+        // constraint and splits yes-voters into commit and abort sets (a
+        // contended round never commits when the caller asked for
+        // contention safety).
+        let fsm::Decision {
+            satisfied,
+            commit: to_commit,
+            abort: to_abort,
+            abort_reason,
+        } = fsm::decide(
+            constraint,
+            &yes,
+            participants.len(),
+            !contended.is_empty(),
+            abort_on_contention,
+        );
 
         // Phase 2: commit the chosen, abort the rest of the yes-voters.
         let commit_calls: Vec<(UserId, Vec<Value>)> = to_commit
@@ -382,17 +371,10 @@ impl Negotiator {
         // Re-evaluate the constraint over the *committed* set: a commit
         // RPC that failed (and exhausted its retry) moved a yes-voter into
         // `aborted`, and a constraint that held over the votes may no
-        // longer hold over what actually changed. Reporting `satisfied`
-        // from the vote count alone would claim an atomic group change
-        // that did not happen (caught by `syd-check`'s constraint
-        // arithmetic audit under lossy networks).
-        let final_ok = satisfied
-            && !committed.is_empty()
-            && match constraint {
-                Constraint::And => committed.len() == participants.len(),
-                Constraint::AtLeast(k) => committed.len() >= k as usize,
-                Constraint::Exactly(k) => committed.len() == k as usize,
-            };
+        // longer hold over what actually changed (caught by `syd-check`'s
+        // constraint arithmetic audit under lossy networks).
+        let final_ok =
+            fsm::outcome_satisfied(constraint, satisfied, committed.len(), participants.len());
         #[cfg(debug_assertions)]
         {
             // §4.3 conservation: every participant ends in exactly one of

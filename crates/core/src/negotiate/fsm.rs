@@ -1,0 +1,305 @@
+//! The pure §4.3 state-transition core.
+//!
+//! Every decision the negotiation protocol makes — how a participant
+//! answers a mark, which yes-voters a coordinator commits and which it
+//! aborts, whether the final outcome satisfies the constraint — lives
+//! here as side-effect-free functions over plain data. The runtime
+//! ([`super::Negotiator`] and the `mark`/`commit`/`abort` kernel services
+//! in [`crate::device`]) and the `syd-model` exhaustive model checker
+//! both call these functions, so the model can never drift from the
+//! implementation it claims to verify: there is only one implementation.
+
+use syd_types::{SydResult, Value};
+
+use crate::links::Constraint;
+
+/// A participant's answer to a mark request (§4.3 "Mark and Lock").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Vote {
+    /// Lock acquired and the entity handler prepared the change.
+    Yes,
+    /// The entity lock is held by another negotiation; nothing was
+    /// locked, nothing needs releasing. Transient: the coordinator may
+    /// retry after the other negotiation finishes.
+    NoLockBusy,
+    /// The lock was acquired but the entity handler refused the change;
+    /// the lock is released before the vote is sent. Durable.
+    NoPrepare,
+}
+
+impl Vote {
+    /// Whether the participant still holds the entity lock after this
+    /// vote (only a yes-voter carries its lock into phase 2).
+    pub fn holds_lock(self) -> bool {
+        self == Vote::Yes
+    }
+
+    /// Whether answering requires releasing a lock acquired during the
+    /// mark (a failed prepare unlocks before voting).
+    pub fn releases_lock(self) -> bool {
+        self == Vote::NoPrepare
+    }
+
+    /// Wire encoding of the vote, as returned by the `syd.link/mark`
+    /// service: `true`, `false`, or the distinguished `"lock-busy"`.
+    pub fn wire_reply(self) -> Value {
+        match self {
+            Vote::Yes => Value::Bool(true),
+            Vote::NoPrepare => Value::Bool(false),
+            Vote::NoLockBusy => Value::str("lock-busy"),
+        }
+    }
+}
+
+/// Coordinator-side classification of one mark reply. A transport error
+/// (lost request or lost reply) is indistinguishable from a decline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyClass {
+    /// The participant voted yes and holds its entity lock.
+    Yes,
+    /// The participant declined because of a transient lock conflict.
+    DeclinedBusy,
+    /// The participant declined durably, or the RPC failed.
+    Declined,
+}
+
+/// Classifies a mark RPC outcome the way [`super::Negotiator`] tallies
+/// votes — the inverse of [`Vote::wire_reply`] plus the lost-message
+/// case.
+pub fn classify_reply(reply: &SydResult<Value>) -> ReplyClass {
+    match reply {
+        Ok(Value::Bool(true)) => ReplyClass::Yes,
+        Ok(Value::Str(s)) if s == "lock-busy" => ReplyClass::DeclinedBusy,
+        _ => ReplyClass::Declined,
+    }
+}
+
+/// Participant-side mark transition over an abstract entity lock.
+///
+/// `holder` is the session currently holding the entity's lock (`None` =
+/// free); the lock is re-entrant for `session` itself, exactly like
+/// `syd-store`'s lock table. Returns the vote and the holder after the
+/// transition. `prepare_ok` is the entity handler's verdict (a device
+/// with no handler behaves as `prepare_ok = true`: pure mutual-exclusion
+/// semantics).
+pub fn participant_mark(
+    holder: Option<u64>,
+    session: u64,
+    prepare_ok: bool,
+) -> (Vote, Option<u64>) {
+    match holder {
+        Some(other) if other != session => (Vote::NoLockBusy, holder),
+        previous => {
+            if prepare_ok {
+                (Vote::Yes, Some(session))
+            } else if previous.is_some() {
+                // Re-entrant acquisition: releasing the mark's hold pops
+                // one level; the session still holds the lock underneath.
+                (Vote::NoPrepare, previous)
+            } else {
+                (Vote::NoPrepare, None)
+            }
+        }
+    }
+}
+
+/// Participant-side commit/abort transition: both release the entity
+/// lock if (and only if) `session` holds it. Commit and abort are
+/// idempotent — a duplicate delivery after release is a no-op.
+pub fn participant_release(holder: Option<u64>, session: u64) -> Option<u64> {
+    match holder {
+        Some(s) if s == session => None,
+        other => other,
+    }
+}
+
+/// The coordinator's phase-2 plan, computed from the mark votes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// The constraint held over the votes (and no contention block).
+    pub satisfied: bool,
+    /// Indices (into the participant list) to commit, in participant
+    /// order.
+    pub commit: Vec<usize>,
+    /// Yes-voter indices to abort (xor overflow, constraint failure, or
+    /// a contention block).
+    pub abort: Vec<usize>,
+    /// Why the yes-voters in `abort` are aborted — journaled with each
+    /// abort fan-out.
+    pub abort_reason: &'static str,
+}
+
+/// §4.3 coordinator decision: evaluates `constraint` over the yes-voter
+/// indices and splits them into commit and abort sets.
+///
+/// For `Constraint::Exactly(k)` with more than `k` yes votes, the first
+/// `k` yes-voters (in participant order) commit and the overflow aborts
+/// — see [`super::Negotiator::negotiate`] for why the strict paper
+/// reading is relaxed. When `abort_on_contention` is set and any decline
+/// was a transient lock conflict, nothing commits (committing under
+/// crossed locks is how two racing coordinators each end up holding part
+/// of the other's entity set).
+pub fn decide(
+    constraint: Constraint,
+    yes: &[usize],
+    participants: usize,
+    contended: bool,
+    abort_on_contention: bool,
+) -> Decision {
+    let yes_count = yes.len() as u32;
+    let (constraint_ok, commit_count) = match constraint {
+        Constraint::And => (yes_count == participants as u32, yes_count),
+        Constraint::AtLeast(k) => (yes_count >= k, yes_count),
+        Constraint::Exactly(k) => (yes_count >= k, k.min(yes_count)),
+    };
+    let blocked = abort_on_contention && contended;
+    let satisfied = constraint_ok && !blocked;
+    let (commit, abort) = if satisfied {
+        (
+            yes.iter().copied().take(commit_count as usize).collect(),
+            yes.iter().copied().skip(commit_count as usize).collect(),
+        )
+    } else {
+        (Vec::new(), yes.to_vec())
+    };
+    let abort_reason = if blocked {
+        "lock-contention"
+    } else if satisfied {
+        "xor-overflow"
+    } else {
+        "constraint-failed"
+    };
+    Decision {
+        satisfied,
+        commit,
+        abort,
+        abort_reason,
+    }
+}
+
+/// Re-evaluates the constraint over what *actually* committed: a commit
+/// RPC that failed (and exhausted its retry) moved a yes-voter out of
+/// the committed set, and a constraint that held over the votes may no
+/// longer hold over what changed. Reporting satisfaction from the vote
+/// count alone would claim an atomic group change that did not happen.
+pub fn outcome_satisfied(
+    constraint: Constraint,
+    provisionally_satisfied: bool,
+    committed: usize,
+    participants: usize,
+) -> bool {
+    provisionally_satisfied
+        && committed != 0
+        && match constraint {
+            Constraint::And => committed == participants,
+            Constraint::AtLeast(k) => committed >= k as usize,
+            Constraint::Exactly(k) => committed == k as usize,
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syd_types::SydError;
+
+    #[test]
+    fn vote_wire_round_trip() {
+        for vote in [Vote::Yes, Vote::NoPrepare, Vote::NoLockBusy] {
+            let class = classify_reply(&Ok(vote.wire_reply()));
+            match vote {
+                Vote::Yes => assert_eq!(class, ReplyClass::Yes),
+                Vote::NoLockBusy => assert_eq!(class, ReplyClass::DeclinedBusy),
+                Vote::NoPrepare => assert_eq!(class, ReplyClass::Declined),
+            }
+        }
+        // A lost message classifies as a durable decline.
+        assert_eq!(
+            classify_reply(&Err(SydError::Timeout(1.into()))),
+            ReplyClass::Declined
+        );
+    }
+
+    #[test]
+    fn mark_respects_foreign_lock() {
+        let (vote, holder) = participant_mark(Some(7), 9, true);
+        assert_eq!(vote, Vote::NoLockBusy);
+        assert_eq!(holder, Some(7));
+        assert!(!vote.holds_lock());
+        assert!(!vote.releases_lock());
+    }
+
+    #[test]
+    fn mark_acquires_free_lock() {
+        let (vote, holder) = participant_mark(None, 9, true);
+        assert_eq!(vote, Vote::Yes);
+        assert_eq!(holder, Some(9));
+        assert!(vote.holds_lock());
+    }
+
+    #[test]
+    fn mark_prepare_failure_releases() {
+        let (vote, holder) = participant_mark(None, 9, false);
+        assert_eq!(vote, Vote::NoPrepare);
+        assert_eq!(holder, None);
+        assert!(vote.releases_lock());
+        // Re-entrant: the session keeps its pre-existing hold.
+        let (vote, holder) = participant_mark(Some(9), 9, false);
+        assert_eq!(vote, Vote::NoPrepare);
+        assert_eq!(holder, Some(9));
+    }
+
+    #[test]
+    fn release_is_owner_only_and_idempotent() {
+        assert_eq!(participant_release(Some(9), 9), None);
+        assert_eq!(participant_release(Some(7), 9), Some(7));
+        assert_eq!(participant_release(None, 9), None);
+    }
+
+    #[test]
+    fn decide_and_all_or_nothing() {
+        let d = decide(Constraint::And, &[0, 1, 2], 3, false, false);
+        assert!(d.satisfied);
+        assert_eq!(d.commit, vec![0, 1, 2]);
+        assert!(d.abort.is_empty());
+
+        let d = decide(Constraint::And, &[0, 2], 3, false, false);
+        assert!(!d.satisfied);
+        assert!(d.commit.is_empty());
+        assert_eq!(d.abort, vec![0, 2]);
+        assert_eq!(d.abort_reason, "constraint-failed");
+    }
+
+    #[test]
+    fn decide_xor_overflow_commits_first_k() {
+        let d = decide(Constraint::Exactly(1), &[0, 1, 2], 3, false, false);
+        assert!(d.satisfied);
+        assert_eq!(d.commit, vec![0]);
+        assert_eq!(d.abort, vec![1, 2]);
+        assert_eq!(d.abort_reason, "xor-overflow");
+    }
+
+    #[test]
+    fn decide_contention_blocks_greedy_grab() {
+        let d = decide(Constraint::AtLeast(0), &[0, 1], 3, true, true);
+        assert!(!d.satisfied);
+        assert!(d.commit.is_empty());
+        assert_eq!(d.abort, vec![0, 1]);
+        assert_eq!(d.abort_reason, "lock-contention");
+        // Same votes without contention safety commit greedily.
+        let d = decide(Constraint::AtLeast(0), &[0, 1], 3, true, false);
+        assert!(d.satisfied);
+        assert_eq!(d.commit, vec![0, 1]);
+    }
+
+    #[test]
+    fn outcome_downgrades_on_failed_commits() {
+        assert!(outcome_satisfied(Constraint::And, true, 3, 3));
+        assert!(!outcome_satisfied(Constraint::And, true, 2, 3));
+        assert!(!outcome_satisfied(Constraint::AtLeast(2), true, 1, 3));
+        assert!(outcome_satisfied(Constraint::AtLeast(2), true, 2, 3));
+        assert!(!outcome_satisfied(Constraint::Exactly(1), true, 0, 3));
+        assert!(!outcome_satisfied(Constraint::Exactly(1), true, 2, 3));
+        // Never satisfied retroactively.
+        assert!(!outcome_satisfied(Constraint::And, false, 3, 3));
+    }
+}

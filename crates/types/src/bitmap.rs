@@ -5,7 +5,7 @@
 //! list of slot ordinals costs a varint per free slot — tens of bytes per
 //! mostly-free day — and intersecting `n` replies is an `O(n·m)`
 //! membership scan. A [`SlotBitmap`] packs the same window into one bit
-//! per slot (a whole [`SLOTS_PER_DAY`]-slot day fits comfortably in a
+//! per slot (a whole [`SLOTS_PER_DAY`](crate::time::SLOTS_PER_DAY)-slot day fits comfortably in a
 //! single 64-bit word), so a fortnight's availability is ~42 bytes on the
 //! wire regardless of density, and intersection is a bitwise AND.
 //!
