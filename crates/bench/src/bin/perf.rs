@@ -11,8 +11,14 @@
 //! cargo run --release -p syd-bench --bin perf                  # optimized paths
 //! cargo run --release -p syd-bench --bin perf -- --mode legacy # pre-optimisation A/B
 //! cargo run --release -p syd-bench --bin perf -- --quick       # CI smoke subset
+//! cargo run --release -p syd-bench --bin perf -- --transport both # sim vs loopback TCP
 //! cargo run --release -p syd-bench --bin perf -- --check BENCH_results.json
 //! ```
+//!
+//! `--transport tcp` reruns the matrix on the framed loopback-TCP
+//! backend (real sockets, kernel scheduling); loss cells are sim-only
+//! since deterministic drop injection lives in the sim router. TCP rows
+//! count framed socket bytes and must report `frame_errors: 0`.
 //!
 //! `--mode legacy` re-enables the per-user overlapped directory lookups,
 //! per-recipient body re-encoding and ordinal-list availability exchange
@@ -25,7 +31,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use syd_bench::json::Json;
-use syd_bench::{calendar_rig, devices, env_ideal, users_of};
+use syd_bench::{calendar_rig, devices, env_ideal, env_tcp, users_of};
 use syd_calendar::{CalendarApp, MeetingSpec};
 use syd_core::SydEnv;
 use syd_net::{CallOptions, NetConfig};
@@ -46,6 +52,8 @@ struct Config {
     legacy: bool,
     seed: u64,
     out: Option<String>,
+    /// Transport backends to run: `["sim"]`, `["tcp"]`, or both.
+    transports: Vec<&'static str>,
 }
 
 fn main() {
@@ -54,6 +62,7 @@ fn main() {
         legacy: false,
         seed: 42,
         out: None,
+        transports: vec!["sim"],
     };
     let mut check: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -68,6 +77,12 @@ fn main() {
             "--seed" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(seed) => cfg.seed = seed,
                 None => die("--seed needs an integer"),
+            },
+            "--transport" => match args.next().as_deref() {
+                Some("sim") => cfg.transports = vec!["sim"],
+                Some("tcp") => cfg.transports = vec!["tcp"],
+                Some("both") => cfg.transports = vec!["sim", "tcp"],
+                other => die(&format!("--transport sim|tcp|both, got {other:?}")),
             },
             "--out" => cfg.out = args.next().or_else(|| die("--out needs a path")),
             "--check" => check = args.next().or_else(|| die("--check needs a path")),
@@ -96,12 +111,19 @@ fn run(cfg: &Config) {
     let losses: &[f64] = if cfg.quick { &[0.0] } else { &[0.0, 0.1] };
 
     let mut results = Vec::new();
-    for &loss in losses {
-        for &n in sizes {
-            for bench in [bench_group_invoke, bench_directory_resolution, bench_schedule] {
-                let r = bench(cfg, n, loss);
-                print_result(&r);
-                results.push(r.into_json());
+    for &backend in &cfg.transports {
+        for &loss in losses {
+            if backend == "tcp" && loss > 0.0 {
+                // Deterministic loss injection is a sim-router concept;
+                // the kernel does not drop loopback TCP frames for us.
+                continue;
+            }
+            for &n in sizes {
+                for bench in [bench_group_invoke, bench_directory_resolution, bench_schedule] {
+                    let r = bench(cfg, backend, n, loss);
+                    print_result(&r);
+                    results.push(r.into_json());
+                }
             }
         }
     }
@@ -127,6 +149,7 @@ fn run(cfg: &Config) {
 /// what keeps the schema uniform and the CI validator simple.
 struct Cell {
     bench: &'static str,
+    transport: &'static str,
     group_size: usize,
     loss_pct: f64,
     iters: usize,
@@ -134,6 +157,7 @@ struct Cell {
     latencies_ms: Vec<f64>,
     dir_round_trips: f64,
     wire_bytes: f64,
+    frame_errors: f64,
 }
 
 impl Cell {
@@ -143,6 +167,7 @@ impl Cell {
         let per_op = |total: f64| total / self.iters.max(1) as f64;
         Json::Obj(vec![
             ("bench".into(), Json::Str(self.bench.into())),
+            ("transport".into(), Json::Str(self.transport.into())),
             ("group_size".into(), Json::Num(self.group_size as f64)),
             ("loss_pct".into(), Json::Num(self.loss_pct * 100.0)),
             ("iters".into(), Json::Num(self.iters as f64)),
@@ -160,6 +185,7 @@ impl Cell {
                 "wire_bytes_per_op".into(),
                 Json::Num(round3(per_op(self.wire_bytes))),
             ),
+            ("frame_errors".into(), Json::Num(self.frame_errors)),
         ])
     }
 }
@@ -168,8 +194,9 @@ fn print_result(cell: &Cell) {
     let mut lat = cell.latencies_ms.clone();
     lat.sort_by(f64::total_cmp);
     println!(
-        "{:>22} n={:<3} loss={:>3.0}%  median={:>8.3}ms  dir_rt/op={:>6.2}  bytes/op={:>9.0}  ok={}/{}",
+        "{:>22} [{:^3}] n={:<3} loss={:>3.0}%  median={:>8.3}ms  dir_rt/op={:>6.2}  bytes/op={:>9.0}  ok={}/{}",
         cell.bench,
+        cell.transport,
         cell.group_size,
         cell.loss_pct * 100.0,
         percentile(&lat, 50.0),
@@ -203,6 +230,38 @@ fn dir_round_trips(env: &SydEnv) -> u64 {
     get("dir.lookups") + get("dir.batch_lookups")
 }
 
+/// A deployment on the requested transport backend.
+fn make_env(backend: &str) -> SydEnv {
+    if backend == "tcp" {
+        env_tcp()
+    } else {
+        env_ideal()
+    }
+}
+
+/// Bytes the deployment has put on the wire so far. The sim router's
+/// payload accounting is kept for `sim` rows (schema continuity); `tcp`
+/// rows count framed bytes leaving real sockets.
+fn wire_bytes_now(env: &SydEnv, backend: &str) -> u64 {
+    if backend == "tcp" {
+        env.transport()
+            .metrics()
+            .get_counter("transport.bytes_out")
+            .map_or(0, |c| c.get())
+    } else {
+        env.network().stats().bytes_sent
+    }
+}
+
+/// Frames the transport failed to decode so far — must stay 0 in any
+/// clean run, on either backend.
+fn frame_errors_now(env: &SydEnv) -> u64 {
+    env.transport()
+        .metrics()
+        .get_counter("transport.frame_errors")
+        .map_or(0, |c| c.get())
+}
+
 /// Applies the mode's hot-path switches to a device engine.
 fn apply_mode(cfg: &Config, engine: &syd_core::SydEngine) {
     engine.set_batched_resolve(!cfg.legacy);
@@ -221,8 +280,8 @@ fn cell_seed(cfg: &Config, n: usize, loss: f64, salt: u64) -> u64 {
 /// every iteration (this is the path §6 times at seconds scale over
 /// 802.11b). The directory round-trip budget comes from the *server's*
 /// request counters, not wall clock.
-fn bench_group_invoke(cfg: &Config, n: usize, loss: f64) -> Cell {
-    let env = env_ideal();
+fn bench_group_invoke(cfg: &Config, backend: &'static str, n: usize, loss: f64) -> Cell {
+    let env = make_env(backend);
     let devs = devices(&env, n + 1);
     let members: Vec<UserId> = devs[1..].iter().map(syd_core::DeviceRuntime::user).collect();
     let svc = ServiceName::new("bench");
@@ -249,9 +308,11 @@ fn bench_group_invoke(cfg: &Config, n: usize, loss: f64) -> Cell {
     let payload = vec![Value::str("x".repeat(256)), Value::from(7u64)];
     let iters = if cfg.quick { 5 } else { 40 };
     let dir0 = dir_round_trips(&env);
-    let bytes0 = env.network().stats().bytes_sent;
+    let bytes0 = wire_bytes_now(&env, backend);
+    let errs0 = frame_errors_now(&env);
     let mut cell = Cell {
         bench: "group_invoke",
+        transport: backend,
         group_size: n,
         loss_pct: loss,
         iters,
@@ -259,6 +320,7 @@ fn bench_group_invoke(cfg: &Config, n: usize, loss: f64) -> Cell {
         latencies_ms: Vec::with_capacity(iters),
         dir_round_trips: 0.0,
         wire_bytes: 0.0,
+        frame_errors: 0.0,
     };
     for _ in 0..iters {
         engine.flush_cache();
@@ -270,14 +332,15 @@ fn bench_group_invoke(cfg: &Config, n: usize, loss: f64) -> Cell {
         }
     }
     cell.dir_round_trips = (dir_round_trips(&env) - dir0) as f64;
-    cell.wire_bytes = (env.network().stats().bytes_sent - bytes0) as f64;
+    cell.wire_bytes = (wire_bytes_now(&env, backend) - bytes0) as f64;
+    cell.frame_errors = (frame_errors_now(&env) - errs0) as f64;
     cell
 }
 
 /// Cold group resolution alone: what does it cost to turn `n` user names
 /// into addresses?
-fn bench_directory_resolution(cfg: &Config, n: usize, loss: f64) -> Cell {
-    let env = env_ideal();
+fn bench_directory_resolution(cfg: &Config, backend: &'static str, n: usize, loss: f64) -> Cell {
+    let env = make_env(backend);
     let devs = devices(&env, n + 1);
     let members: Vec<UserId> = devs[1..].iter().map(syd_core::DeviceRuntime::user).collect();
     let engine = devs[0].engine();
@@ -292,9 +355,11 @@ fn bench_directory_resolution(cfg: &Config, n: usize, loss: f64) -> Cell {
     }
     let iters = if cfg.quick { 5 } else { 40 };
     let dir0 = dir_round_trips(&env);
-    let bytes0 = env.network().stats().bytes_sent;
+    let bytes0 = wire_bytes_now(&env, backend);
+    let errs0 = frame_errors_now(&env);
     let mut cell = Cell {
         bench: "directory_resolution",
+        transport: backend,
         group_size: n,
         loss_pct: loss,
         iters,
@@ -302,6 +367,7 @@ fn bench_directory_resolution(cfg: &Config, n: usize, loss: f64) -> Cell {
         latencies_ms: Vec::with_capacity(iters),
         dir_round_trips: 0.0,
         wire_bytes: 0.0,
+        frame_errors: 0.0,
     };
     for _ in 0..iters {
         engine.flush_cache();
@@ -313,7 +379,8 @@ fn bench_directory_resolution(cfg: &Config, n: usize, loss: f64) -> Cell {
         }
     }
     cell.dir_round_trips = (dir_round_trips(&env) - dir0) as f64;
-    cell.wire_bytes = (env.network().stats().bytes_sent - bytes0) as f64;
+    cell.wire_bytes = (wire_bytes_now(&env, backend) - bytes0) as f64;
+    cell.frame_errors = (frame_errors_now(&env) - errs0) as f64;
     cell
 }
 
@@ -321,9 +388,9 @@ fn bench_directory_resolution(cfg: &Config, n: usize, loss: f64) -> Cell {
 /// four-week window, then schedule the meeting (mark → commit → links).
 /// Legacy mode exchanges availability as ordinal lists and intersects by
 /// membership scan; optimized mode ships bitmaps and ANDs them.
-fn bench_schedule(cfg: &Config, n: usize, loss: f64) -> Cell {
+fn bench_schedule(cfg: &Config, backend: &'static str, n: usize, loss: f64) -> Cell {
     const WINDOW_DAYS: u32 = 28;
-    let env = env_ideal();
+    let env = make_env(backend);
     let apps = calendar_rig(&env, n);
     let users = users_of(&apps);
     for app in &apps {
@@ -347,9 +414,11 @@ fn bench_schedule(cfg: &Config, n: usize, loss: f64) -> Cell {
         12
     };
     let dir0 = dir_round_trips(&env);
-    let bytes0 = env.network().stats().bytes_sent;
+    let bytes0 = wire_bytes_now(&env, backend);
+    let errs0 = frame_errors_now(&env);
     let mut cell = Cell {
         bench: "schedule_meeting",
+        transport: backend,
         group_size: n,
         loss_pct: loss,
         iters,
@@ -357,6 +426,7 @@ fn bench_schedule(cfg: &Config, n: usize, loss: f64) -> Cell {
         latencies_ms: Vec::with_capacity(iters),
         dir_round_trips: 0.0,
         wire_bytes: 0.0,
+        frame_errors: 0.0,
     };
     for iter in 0..iters {
         // A fresh, never-reused window per iteration: every schedule runs
@@ -372,7 +442,8 @@ fn bench_schedule(cfg: &Config, n: usize, loss: f64) -> Cell {
         }
     }
     cell.dir_round_trips = (dir_round_trips(&env) - dir0) as f64;
-    cell.wire_bytes = (env.network().stats().bytes_sent - bytes0) as f64;
+    cell.wire_bytes = (wire_bytes_now(&env, backend) - bytes0) as f64;
+    cell.frame_errors = (frame_errors_now(&env) - errs0) as f64;
     cell
 }
 
@@ -440,6 +511,18 @@ fn validate_file(path: &str) -> Result<usize, String> {
             row.get(key)
                 .and_then(Json::as_f64)
                 .ok_or(format!("results[{i}]: missing numeric {key}"))?;
+        }
+        // Optional fields from the `--transport` axis: when present they
+        // must be well-typed (pre-axis documents omit them).
+        if let Some(t) = row.get("transport") {
+            match t.as_str() {
+                Some("sim" | "tcp") => {}
+                other => return Err(format!("results[{i}]: bad transport {other:?}")),
+            }
+        }
+        if let Some(fe) = row.get("frame_errors") {
+            fe.as_f64()
+                .ok_or(format!("results[{i}]: frame_errors not numeric"))?;
         }
     }
     Ok(results.len())

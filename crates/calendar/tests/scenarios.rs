@@ -356,7 +356,7 @@ fn leaving_respects_quorums_and_musts() {
         .filter(|u| group.contains(u))
         .collect();
     assert_eq!(attending.len(), 2);
-    for app in apps[2..6].iter() {
+    for app in &apps[2..6] {
         if !attending.contains(&app.user())
             && app.slot_state(slot.ordinal()).unwrap().is_free()
         {

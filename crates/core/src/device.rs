@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use syd_crypto::Authenticator;
-use syd_net::{Network, Node};
+use syd_net::{Node, Transport};
 use syd_store::{LockKey, Store};
 use syd_telemetry::{EventKind, Journal, Registry};
 use syd_types::{Clock, NodeAddr, ServiceName, SydError, SydResult, UserId, Value};
@@ -68,7 +68,6 @@ struct DeviceInner {
     user: UserId,
     name: String,
     node: Node,
-    net: Network,
     store: Store,
     listener: Arc<Listener>,
     engine: SydEngine,
@@ -92,17 +91,18 @@ pub struct DeviceRuntime {
 }
 
 impl DeviceRuntime {
-    /// Assembles a device for `user` on `net`, registering it in the
-    /// directory. `auth` enables §5.4 request authentication when present.
+    /// Assembles a device for `user` on any transport backend (simulated
+    /// network or real TCP), registering it in the directory. `auth`
+    /// enables §5.4 request authentication when present.
     pub fn new(
-        net: &Network,
+        net: &dyn Transport,
         dir_addr: NodeAddr,
         user: UserId,
         name: &str,
         auth: Option<Arc<Authenticator>>,
         clock: Arc<dyn Clock>,
     ) -> SydResult<DeviceRuntime> {
-        let node = Node::spawn(net);
+        let node = Node::spawn_on(net)?;
         let directory = DirectoryClient::new(node.clone(), dir_addr);
         directory.register(user, name, node.addr())?;
 
@@ -157,7 +157,6 @@ impl DeviceRuntime {
             user,
             name: name.to_owned(),
             node,
-            net: net.clone(),
             store,
             listener,
             engine,
@@ -319,13 +318,13 @@ impl DeviceRuntime {
             .engine
             .directory()
             .set_connected(self.inner.user, false)?;
-        self.inner.net.set_connected(self.addr(), false);
+        self.inner.node.link().set_connected(false);
         Ok(())
     }
 
     /// Brings the device back: reconnects, then re-registers as connected.
     pub fn reconnect(&self) -> SydResult<()> {
-        self.inner.net.set_connected(self.addr(), true);
+        self.inner.node.link().set_connected(true);
         self.inner
             .engine
             .directory()
@@ -334,7 +333,7 @@ impl DeviceRuntime {
 
     /// True iff the device is currently connected.
     pub fn is_connected(&self) -> bool {
-        self.inner.net.is_connected(self.addr())
+        self.inner.node.link().is_connected()
     }
 
     // ---- kernel services -----------------------------------------------------
@@ -672,6 +671,7 @@ mod tests {
     use crate::directory::DirectoryServer;
     use crate::links::{Constraint, LinkSpec};
     use crate::negotiate::Participant;
+    use syd_net::Network;
     use syd_types::SystemClock;
 
     fn rig(n: usize) -> (Network, DirectoryServer, Vec<DeviceRuntime>) {

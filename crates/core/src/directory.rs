@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use syd_net::{Network, Node, RequestHandler};
+use syd_net::{Network, Node, RequestHandler, Transport};
 use syd_telemetry::{Counter, Registry};
 use syd_types::{
     GroupId, NodeAddr, ServiceName, SydError, SydResult, UserId, Value,
@@ -95,16 +95,22 @@ pub struct DirectoryServer {
 }
 
 impl DirectoryServer {
-    /// Starts a directory on `net`.
+    /// Starts a directory on the simulated `net`. Infallible convenience
+    /// for the single-process case; see [`DirectoryServer::start_on`].
     pub fn start(net: &Network) -> DirectoryServer {
-        let node = Node::spawn(net);
+        Self::start_on(net).expect("simulated transport cannot fail to listen")
+    }
+
+    /// Starts a directory on any transport backend (simulated or TCP).
+    pub fn start_on(transport: &dyn Transport) -> SydResult<DirectoryServer> {
+        let node = Node::spawn_on(transport)?;
         let state = Arc::new(RwLock::new(DirState::default()));
         let handler_state = Arc::clone(&state);
         let metrics = DirMetrics::preregister(node.metrics());
         node.set_handler(Arc::new(move |_from, req: Request| {
             serve(&handler_state, &metrics, &req)
         }) as Arc<dyn RequestHandler>);
-        DirectoryServer { node, state }
+        Ok(DirectoryServer { node, state })
     }
 
     /// Address other nodes use to reach the directory.

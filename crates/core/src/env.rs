@@ -1,16 +1,17 @@
-//! Deployment environment: network + directory + authenticator + clock.
+//! Deployment environment: transport + directory + authenticator + clock.
 //!
 //! `SydEnv` plays the role of the paper's deployment scripts: it stands up
-//! the simulated wireless LAN, starts the name server (SyDDirectory), holds
-//! the deployment's shared TEA key, and mints devices and proxies. It is
-//! the entry point every example and benchmark uses.
+//! the network substrate (the simulated wireless LAN by default, loopback
+//! TCP via [`SydEnv::new_on`]), starts the name server (SyDDirectory),
+//! holds the deployment's shared TEA key, and mints devices and proxies.
+//! It is the entry point every example and benchmark uses.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rand::RngCore;
 use syd_crypto::{Authenticator, Credentials};
-use syd_net::{NetConfig, Network, Node};
+use syd_net::{NetConfig, Network, Node, Transport};
 use syd_types::{Clock, NodeAddr, SydResult, SystemClock, UserId};
 
 use crate::device::DeviceRuntime;
@@ -19,7 +20,10 @@ use crate::proxy::ProxyHost;
 
 /// A running SyD deployment.
 pub struct SydEnv {
-    network: Network,
+    transport: Arc<dyn Transport>,
+    /// Set when the transport is the simulated network — fault models and
+    /// wire statistics ([`SydEnv::network`]) only exist there.
+    sim: Option<Network>,
     directory: DirectoryServer,
     auth: Option<Arc<Authenticator>>,
     clock: Arc<dyn Clock>,
@@ -42,12 +46,30 @@ impl SydEnv {
         let network = Network::new(cfg);
         let directory = DirectoryServer::start(&network);
         SydEnv {
-            network,
+            transport: Arc::new(network.clone()),
+            sim: Some(network),
             directory,
             auth,
             clock: Arc::new(SystemClock::new()),
             next_user: AtomicU64::new(1),
         }
+    }
+
+    /// Starts a deployment on an arbitrary transport backend — the same
+    /// environment the sim constructors build, but with the directory and
+    /// every subsequent device speaking through `transport` (e.g. a
+    /// [`syd_net::FramedTcpTransport`] on loopback). Pass `passphrase`
+    /// `Some(..)` for §5.4 authentication.
+    pub fn new_on(transport: Arc<dyn Transport>, passphrase: Option<&str>) -> SydResult<SydEnv> {
+        let directory = DirectoryServer::start_on(&*transport)?;
+        Ok(SydEnv {
+            transport,
+            sim: None,
+            directory,
+            auth: passphrase.map(|p| Arc::new(Authenticator::from_passphrase(p))),
+            clock: Arc::new(SystemClock::new()),
+            next_user: AtomicU64::new(1),
+        })
     }
 
     /// Replaces the deployment clock (tests use a
@@ -57,9 +79,22 @@ impl SydEnv {
         self
     }
 
+    /// The transport substrate devices are minted on.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
     /// The simulated network.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the deployment runs on a non-simulated transport (see
+    /// [`SydEnv::new_on`]) — fault injection and router statistics are
+    /// sim-only concepts; check [`syd_net::Transport::kind`] first.
     pub fn network(&self) -> &Network {
-        &self.network
+        self.sim
+            .as_ref()
+            .expect("SydEnv::network(): deployment runs on a real transport, not the sim")
     }
 
     /// The directory's address.
@@ -91,7 +126,7 @@ impl SydEnv {
     pub fn device(&self, name: &str, password: &str) -> SydResult<DeviceRuntime> {
         let user = UserId::new(self.next_user.fetch_add(1, Ordering::Relaxed));
         let device = DeviceRuntime::new(
-            &self.network,
+            &*self.transport,
             self.directory.addr(),
             user,
             name,
@@ -116,7 +151,7 @@ impl SydEnv {
     pub fn proxy(&self, name: &str, password: &str) -> SydResult<ProxyHost> {
         let user = UserId::new(self.next_user.fetch_add(1, Ordering::Relaxed));
         let proxy = ProxyHost::new(
-            &self.network,
+            &*self.transport,
             self.directory.addr(),
             user,
             name,
@@ -138,7 +173,8 @@ impl SydEnv {
     /// A fresh directory client on its own node (for tools/tests that are
     /// not devices).
     pub fn directory_client(&self) -> DirectoryClient {
-        DirectoryClient::new(Node::spawn(&self.network), self.directory.addr())
+        let node = Node::spawn_on(&*self.transport).expect("transport cannot open endpoint");
+        DirectoryClient::new(node, self.directory.addr())
     }
 }
 
@@ -184,6 +220,22 @@ mod tests {
             .invoke(b.user(), &ServiceName::new("syd.ping"), "ping", vec![])
             .unwrap();
         assert_eq!(out, Value::str("pong"));
+    }
+
+    #[test]
+    fn env_on_tcp_transport_round_trips() {
+        // The whole deployment — directory, devices, authenticated RPC —
+        // over real loopback sockets instead of the sim.
+        let transport: Arc<dyn Transport> = Arc::new(syd_net::FramedTcpTransport::loopback());
+        let env = SydEnv::new_on(transport, Some("deployment")).unwrap();
+        let a = env.device("alice", "pw-a").unwrap();
+        let b = env.device("bob", "pw-b").unwrap();
+        let out = a
+            .engine()
+            .invoke(b.user(), &ServiceName::new("syd.ping"), "ping", vec![])
+            .unwrap();
+        assert_eq!(out, Value::str("pong"));
+        assert_eq!(env.transport().kind(), "tcp");
     }
 
     #[test]

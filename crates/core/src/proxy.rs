@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use syd_crypto::Authenticator;
-use syd_net::{EventSink, Network, Node, RequestHandler};
+use syd_net::{EventSink, Node, RequestHandler, Transport};
 use syd_types::{Clock, NodeAddr, ServiceName, SydError, SydResult, UserId, Value};
 use syd_wire::{EventMsg, Request};
 
@@ -86,14 +86,14 @@ impl ProxyHost {
     /// Starts a proxy host node registered in the directory as user
     /// `user`/`name` (so it can make authenticated outgoing calls).
     pub fn new(
-        net: &Network,
+        net: &dyn Transport,
         dir_addr: NodeAddr,
         user: UserId,
         name: &str,
         auth: Option<Arc<Authenticator>>,
         clock: Arc<dyn Clock>,
     ) -> SydResult<ProxyHost> {
-        let node = Node::spawn(net);
+        let node = Node::spawn_on(net)?;
         let directory = DirectoryClient::new(node.clone(), dir_addr);
         directory.register(user, name, node.addr())?;
         let served = node.metrics().counter("proxy.served");

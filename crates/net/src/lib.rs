@@ -1,38 +1,42 @@
-//! Simulated network substrate for SyD.
+//! RPC layer for SyD over a pluggable transport.
 //!
 //! The paper's prototype ran on a wireless LAN of iPAQ handhelds, speaking
-//! raw TCP sockets (§3.1, §5.2). That hardware is replaced here by an
-//! in-process packet network with the properties that matter to the
-//! middleware above it:
+//! raw TCP sockets (§3.1, §5.2). The substrate lives in `syd-transport`
+//! (the simulated [`Network`] and the real [`FramedTcpTransport`]); this
+//! crate builds the RPC machinery on top of *either*, through the
+//! [`Transport`] adapter:
 //!
-//! * **Addressed endpoints** ([`Endpoint`]) registered on a shared
-//!   [`Network`], with messages encoded through the real wire codec on every
-//!   hop (so byte counts and codec behaviour are exercised end to end).
-//! * **Weak connectivity**: configurable latency and jitter, random loss,
-//!   explicit partitions, and per-endpoint disconnection — the mobility
-//!   conditions §5.1/§5.2 design for.
-//! * **A router thread** delivering messages in timestamp order from a
-//!   binary heap (the shared medium — one radio channel, like the LAN).
-//! * **An RPC layer** ([`Node`]) with correlation ids, deadlines, retries
-//!   and a grow-on-demand worker pool so nested invocations (cancel
-//!   cascades, negotiations) can never deadlock a dispatch thread.
+//! * **[`Node`]** — one addressed endpoint plus a driver thread that
+//!   demultiplexes incoming traffic (responses → pending-call table,
+//!   requests/events → worker pool), with correlation ids, deadlines and
+//!   transient-failure retries.
+//! * **[`WorkerPool`]** — grow-on-demand dispatch so nested invocations
+//!   (cancel cascades, negotiations) can never deadlock a dispatch thread.
+//!
+//! A dropped TCP connection and a simulated message loss surface as the
+//! same transient errors ([`syd_types::SydError::Disconnected`] /
+//! [`syd_types::SydError::Timeout`]), so retry policy and the invariant
+//! auditor behave identically on both backends.
 //!
 //! Everything above this crate (`syd-core`, the applications) sees only
 //! logical operations: `call`, `call_async`, `publish_event`, `serve`.
+//! The simulated network types are re-exported here (`syd_net::Network`,
+//! `syd_net::NetConfig`, …) so existing code keeps compiling unchanged.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod config;
-pub mod network;
 pub mod node;
 pub mod pool;
 pub mod rpc;
-pub mod stats;
 
-pub use config::{LatencyModel, NetConfig};
-pub use network::{Endpoint, Network};
+pub use syd_transport::config;
+pub use syd_transport::stats;
+
 pub use node::{EventSink, Node, RequestHandler};
 pub use pool::WorkerPool;
 pub use rpc::{CallOptions, PendingCall};
-pub use stats::NetStats;
+pub use syd_transport::{
+    Endpoint, FramedTcpTransport, LatencyModel, NetConfig, NetStats, Network, SimTransport,
+    StatsSnapshot, Transport, TransportEndpoint, TransportEvent,
+};

@@ -1,10 +1,12 @@
-//! A network node: endpoint + driver + RPC client + request dispatcher.
+//! A network node: transport endpoint + driver + RPC client + dispatcher.
 //!
 //! [`Node`] is what the SyD kernel builds a device on. It owns one
-//! [`Endpoint`], runs a driver thread that demultiplexes incoming traffic
-//! (responses → pending-call table, requests/events → worker pool), and
-//! exposes blocking [`Node::call`] / non-blocking [`Node::call_async`]
-//! semantics with deadlines and transient-failure retries.
+//! transport endpoint (any [`TransportEndpoint`] — simulated channel or
+//! real TCP socket), runs a driver thread that demultiplexes incoming
+//! traffic (responses → pending-call table, requests/events → worker
+//! pool), and exposes blocking [`Node::call`] / non-blocking
+//! [`Node::call_async`] semantics with deadlines and transient-failure
+//! retries.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -14,10 +16,10 @@ use std::time::Instant;
 use crossbeam_channel::Sender;
 use parking_lot::{Mutex, RwLock};
 use syd_telemetry::{trace, Counter, Histogram, Registry, SpanCtx};
+use syd_transport::{Network, Transport, TransportEndpoint, TransportEvent};
 use syd_types::{NodeAddr, RequestId, ServiceName, SydError, SydResult, UserId, Value};
 use syd_wire::{Args, EventMsg, Payload, Request, Response, TraceContext};
 
-use crate::network::{Endpoint, Network};
 use crate::pool::WorkerPool;
 use crate::rpc::{CallOptions, PendingCall};
 
@@ -82,7 +84,7 @@ impl NodeMetrics {
 
 struct NodeShared {
     addr: NodeAddr,
-    net: Network,
+    link: Arc<dyn TransportEndpoint>,
     pending: Mutex<HashMap<RequestId, Sender<SydResult<Value>>>>,
     next_request: AtomicU64,
     handler: RwLock<Option<Arc<dyn RequestHandler>>>,
@@ -93,22 +95,34 @@ struct NodeShared {
     metrics: NodeMetrics,
 }
 
-/// A live node on the simulated network. Cloning shares the node.
+/// A live node on a transport. Cloning shares the node.
 #[derive(Clone)]
 pub struct Node {
     shared: Arc<NodeShared>,
 }
 
 impl Node {
-    /// Registers a fresh endpoint on `net` and starts the driver thread.
+    /// Registers a fresh endpoint on the simulated `net` and starts the
+    /// driver thread. Convenience for the common single-process case;
+    /// equivalent to [`Node::spawn_on`] with a [`Network`].
     pub fn spawn(net: &Network) -> Node {
-        let endpoint = net.register();
-        let addr = endpoint.addr();
+        Node::spawn_on_endpoint(Arc::new(net.register()))
+    }
+
+    /// Opens a fresh endpoint on any [`Transport`] backend (simulated or
+    /// TCP) and starts the driver thread.
+    pub fn spawn_on(transport: &dyn Transport) -> SydResult<Node> {
+        Ok(Node::spawn_on_endpoint(transport.listen()?))
+    }
+
+    /// Builds a node around an already-open transport endpoint.
+    pub fn spawn_on_endpoint(link: Arc<dyn TransportEndpoint>) -> Node {
+        let addr = link.addr();
         let registry = Arc::new(Registry::new());
         let metrics = NodeMetrics::preregister(&registry);
         let shared = Arc::new(NodeShared {
             addr,
-            net: net.clone(),
+            link,
             pending: Mutex::new(HashMap::new()),
             next_request: AtomicU64::new(1),
             handler: RwLock::new(None),
@@ -121,7 +135,7 @@ impl Node {
         let driver_shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name(format!("node{}-driver", addr.raw()))
-            .spawn(move || driver_loop(endpoint, driver_shared))
+            .spawn(move || driver_loop(&driver_shared))
             .expect("spawn node driver");
         Node { shared }
     }
@@ -131,9 +145,10 @@ impl Node {
         self.shared.addr
     }
 
-    /// The network this node lives on.
-    pub fn network(&self) -> &Network {
-        &self.shared.net
+    /// The transport endpoint this node speaks through. Mobility and
+    /// fault hooks (`set_connected`, `kill_connections`) live here.
+    pub fn link(&self) -> &Arc<dyn TransportEndpoint> {
+        &self.shared.link
     }
 
     /// The worker pool dispatching this node's inbound requests.
@@ -271,7 +286,7 @@ impl Node {
                 hop: span.hop,
             }),
         };
-        let send_result = self.shared.net.send(syd_wire::Envelope::new(
+        let send_result = self.shared.link.send(syd_wire::Envelope::new(
             self.shared.addr,
             dst,
             Payload::Request(request),
@@ -287,7 +302,7 @@ impl Node {
     pub fn publish_event(&self, dst: NodeAddr, topic: &str, payload: Value) -> SydResult<()> {
         let (source, _) = *self.shared.identity.read();
         self.shared
-            .net
+            .link
             .send(syd_wire::Envelope::new(
                 self.shared.addr,
                 dst,
@@ -300,9 +315,9 @@ impl Node {
             .map(|_| ())
     }
 
-    /// Unregisters the endpoint and stops the driver and pool.
+    /// Closes the transport endpoint and stops the driver and pool.
     pub fn shutdown(&self) {
-        self.shared.net.unregister(self.shared.addr);
+        self.shared.link.close();
         self.shared.pool.shutdown();
         // Fail everything still pending.
         let mut pending = self.shared.pending.lock();
@@ -312,12 +327,21 @@ impl Node {
     }
 }
 
-fn driver_loop(endpoint: Endpoint, shared: Arc<NodeShared>) {
+fn driver_loop(shared: &Arc<NodeShared>) {
     loop {
-        let envelope = match endpoint.recv() {
-            Ok(env) => env,
-            Err(SydError::Codec(_)) => continue, // corrupt frame: drop it
-            Err(_) => return,                    // endpoint unregistered
+        let envelope = match shared.link.recv_event() {
+            Ok(TransportEvent::Message(env)) => env,
+            // Connection lifecycle is the transport's business (requests
+            // that a lost connection strands come back as synthesized
+            // error responses) and corrupt frames are dropped where they
+            // are counted — nothing to do for either here.
+            Ok(
+                TransportEvent::Connected(_)
+                | TransportEvent::Accepted(_)
+                | TransportEvent::Disconnected(_),
+            )
+            | Err(SydError::Codec(_)) => continue,
+            Err(_) => return, // endpoint closed
         };
         match envelope.payload {
             Payload::Response(resp) => {
@@ -329,7 +353,7 @@ fn driver_loop(endpoint: Endpoint, shared: Arc<NodeShared>) {
             Payload::Request(req) => {
                 let handler = shared.handler.read().clone();
                 let from = envelope.src;
-                let reply_shared = Arc::clone(&shared);
+                let reply_shared = Arc::clone(shared);
                 let job = move || {
                     reply_shared.metrics.requests_served.inc();
                     // Serve under the caller's trace context so nested
@@ -348,7 +372,7 @@ fn driver_loop(endpoint: Endpoint, shared: Arc<NodeShared>) {
                             req.method.clone(),
                         )),
                     };
-                    let _ = reply_shared.net.send(syd_wire::Envelope::new(
+                    let _ = reply_shared.link.send(syd_wire::Envelope::new(
                         reply_shared.addr,
                         from,
                         Payload::Response(Response {
@@ -359,7 +383,7 @@ fn driver_loop(endpoint: Endpoint, shared: Arc<NodeShared>) {
                 };
                 if !shared.pool.execute(job) {
                     // Pool shut down: best effort error response inline.
-                    let _ = shared.net.send(syd_wire::Envelope::new(
+                    let _ = shared.link.send(syd_wire::Envelope::new(
                         shared.addr,
                         envelope.src,
                         Payload::Response(Response {
@@ -382,9 +406,9 @@ fn driver_loop(endpoint: Endpoint, shared: Arc<NodeShared>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::NetConfig;
     use std::sync::atomic::AtomicU32;
     use std::time::Duration;
+    use syd_transport::NetConfig;
 
     fn echo_handler() -> Arc<dyn RequestHandler> {
         Arc::new(|_from: NodeAddr, req: Request| -> SydResult<Value> {
@@ -407,6 +431,21 @@ mod tests {
             )
             .unwrap();
         assert_eq!(result, Value::list([Value::I64(7), Value::str("x")]));
+    }
+
+    #[test]
+    fn spawn_on_trait_object_round_trips() {
+        // The same code path core uses: nodes built from `&dyn Transport`.
+        let net = Network::ideal();
+        let transport: &dyn Transport = &net;
+        let server = Node::spawn_on(transport).unwrap();
+        server.set_handler(echo_handler());
+        let client = Node::spawn_on(transport).unwrap();
+        let result = client
+            .call(server.addr(), &ServiceName::new("echo"), "m", vec![Value::I64(3)])
+            .unwrap();
+        assert_eq!(result, Value::list([Value::I64(3)]));
+        assert!(client.link().is_connected());
     }
 
     #[test]

@@ -151,6 +151,9 @@ mod tests {
     #[test]
     fn presets_are_sane() {
         assert!(LatencyModel::wireless_lan().base < LatencyModel::wan().base);
-        assert_eq!(LatencyModel::fixed(Duration::from_millis(9)).jitter, Duration::ZERO);
+        assert_eq!(
+            LatencyModel::fixed(Duration::from_millis(9)).jitter,
+            Duration::ZERO
+        );
     }
 }

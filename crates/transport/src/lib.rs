@@ -1,0 +1,196 @@
+//! Pluggable transport layer for SyD.
+//!
+//! The paper's prototype spoke raw TCP sockets between iPAQ handhelds
+//! (§3.1, §5.2); our earlier milestones replaced that hardware with a
+//! single in-process router thread. This crate makes the substrate a
+//! *subsystem*: everything above it (the RPC node, the SyD kernel, the
+//! applications) talks to a [`Transport`] adapter and never learns
+//! whether frames crossed a channel or a socket.
+//!
+//! Two backends implement the adapter:
+//!
+//! * [`SimTransport`] (an alias for [`Network`]) — the simulated
+//!   shared-medium network with latency/loss/partition fault models,
+//!   moved here from `syd-net` unchanged in behaviour.
+//! * [`FramedTcpTransport`] — length-prefixed `syd-wire` envelopes over
+//!   non-blocking TCP with a small poll loop, per-peer write queues and
+//!   reconnect-with-backoff.
+//!
+//! Both encode every [`Envelope`] with the same `syd-wire` codec, so the
+//! bytes a peer observes are identical regardless of backend (property
+//! tested in `tests/byte_identity.rs`), and both thread the same
+//! [`TransportMetrics`] counters through a `syd-telemetry` [`Registry`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod framing;
+pub mod sim;
+pub mod stats;
+pub mod tcp;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use syd_telemetry::{Counter, Registry};
+use syd_types::{NodeAddr, SydResult};
+use syd_wire::Envelope;
+
+pub use config::{LatencyModel, NetConfig};
+pub use sim::{Endpoint, Network, SimTransport};
+pub use stats::{NetStats, StatsSnapshot};
+pub use tcp::{node_addr_of, socket_addr_of, FramedTcpEndpoint, FramedTcpTransport};
+
+/// Something a transport endpoint can observe.
+///
+/// Lifecycle events ([`TransportEvent::Connected`] and friends) describe
+/// *connections*, which only the TCP backend materializes; the sim backend
+/// emits them synthetically where the analogue is meaningful (an explicit
+/// [`TransportEndpoint::connect`]). Consumers that only care about traffic
+/// can ignore everything but [`TransportEvent::Message`].
+#[derive(Debug)]
+pub enum TransportEvent {
+    /// An outbound connection to the peer was established.
+    Connected(NodeAddr),
+    /// An inbound connection from the peer was accepted.
+    Accepted(NodeAddr),
+    /// The connection to/from the peer was lost or closed.
+    Disconnected(NodeAddr),
+    /// A fully reassembled envelope arrived.
+    Message(Envelope),
+}
+
+/// A transport backend: a factory for addressed endpoints.
+///
+/// The two implementations are [`Network`] (simulated) and
+/// [`FramedTcpTransport`] (real sockets). `SydEnv`, device runtimes and
+/// directory servers take `&dyn Transport`, so the same application code
+/// runs on either.
+pub trait Transport: Send + Sync + 'static {
+    /// Short backend identifier: `"sim"` or `"tcp"`.
+    fn kind(&self) -> &'static str;
+
+    /// Opens a new listening endpoint with a fresh address.
+    fn listen(&self) -> SydResult<Arc<dyn TransportEndpoint>>;
+
+    /// The telemetry registry holding this backend's
+    /// [`TransportMetrics`] counters.
+    fn metrics(&self) -> &Arc<Registry>;
+}
+
+/// One addressed endpoint of a transport: the network-facing half of a
+/// device.
+///
+/// Endpoints are registered/bound by [`Transport::listen`] and speak in
+/// whole [`Envelope`]s; framing, connection management and reconnect
+/// policy are the backend's business.
+pub trait TransportEndpoint: Send + Sync + 'static {
+    /// This endpoint's address. For TCP the address encodes the socket
+    /// address (see [`node_addr_of`]); for the sim it is a small integer.
+    fn addr(&self) -> NodeAddr;
+
+    /// Eagerly establishes a connection to `peer` (sends connect lazily
+    /// otherwise). Emits [`TransportEvent::Connected`] once the peer is
+    /// reachable; idempotent when already connected.
+    fn connect(&self, peer: NodeAddr) -> SydResult<()>;
+
+    /// Sends an envelope to `env.dst`, returning the encoded byte count
+    /// accepted for transmission. Delivery is asynchronous and may still
+    /// fail; requests that provably cannot be delivered surface a
+    /// synthesized `Disconnected` error response (both backends).
+    fn send(&self, env: Envelope) -> SydResult<usize>;
+
+    /// Blocks until the next event (message or lifecycle) arrives.
+    /// Returns `Err(Shutdown)` once the endpoint is closed and drained,
+    /// and `Err(Codec(_))` for an undecodable frame (the connection
+    /// survives; callers should skip and continue).
+    fn recv_event(&self) -> SydResult<TransportEvent>;
+
+    /// Like [`TransportEndpoint::recv_event`] with a deadline; returns
+    /// `Err(Timeout)` when nothing arrived in time.
+    fn recv_event_timeout(&self, timeout: Duration) -> SydResult<TransportEvent>;
+
+    /// Mobility fault hook: while disconnected the endpoint refuses new
+    /// traffic (the paper's device going out of range). The TCP backend
+    /// also drops live connections and rejects new accepts.
+    fn set_connected(&self, connected: bool);
+
+    /// True while the endpoint is accepting traffic.
+    fn is_connected(&self) -> bool;
+
+    /// Fault-injection hook: abruptly severs every live connection (a
+    /// kill-the-socket fault) and returns how many were killed. The sim
+    /// has no connections and returns 0.
+    fn kill_connections(&self) -> usize;
+
+    /// Installs a frame tap: every complete envelope frame delivered to
+    /// this endpoint is mirrored (raw bytes, without length prefix) to
+    /// `tx` before decoding. Test instrumentation for byte-identity
+    /// checks across backends.
+    fn set_frame_tap(&self, tx: crossbeam_channel::Sender<Vec<u8>>);
+
+    /// Closes the endpoint: flushes in-flight frames (bounded grace),
+    /// severs connections, stops background threads. After close,
+    /// [`TransportEndpoint::recv_event`] drains buffered events and then
+    /// returns `Err(Shutdown)`. Idempotent.
+    fn close(&self);
+}
+
+/// Preregistered counters shared by every backend. All operations are
+/// relaxed atomics — statistics, not synchronization.
+#[derive(Clone)]
+pub struct TransportMetrics {
+    /// `transport.conns` — connections established (outbound + inbound).
+    pub conns: Counter,
+    /// `transport.accepts` — inbound connections accepted.
+    pub accepts: Counter,
+    /// `transport.reconnects` — re-established connections to a peer
+    /// that had already been connected before.
+    pub reconnects: Counter,
+    /// `transport.bytes_in` — payload bytes received (frame bodies).
+    pub bytes_in: Counter,
+    /// `transport.bytes_out` — payload bytes accepted for transmission.
+    pub bytes_out: Counter,
+    /// `transport.frames_in` — complete frames received.
+    pub frames_in: Counter,
+    /// `transport.frames_out` — frames accepted for transmission.
+    pub frames_out: Counter,
+    /// `transport.frame_errors` — frames that failed framing or envelope
+    /// decoding. Zero in every clean run.
+    pub frame_errors: Counter,
+}
+
+impl TransportMetrics {
+    /// Registers (or re-binds) the counters on `registry`.
+    pub fn preregister(registry: &Registry) -> Self {
+        Self {
+            conns: registry.counter("transport.conns"),
+            accepts: registry.counter("transport.accepts"),
+            reconnects: registry.counter("transport.reconnects"),
+            bytes_in: registry.counter("transport.bytes_in"),
+            bytes_out: registry.counter("transport.bytes_out"),
+            frames_in: registry.counter("transport.frames_in"),
+            frames_out: registry.counter("transport.frames_out"),
+            frame_errors: registry.counter("transport.frame_errors"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn metrics_preregister_is_idempotent() {
+        let registry = Registry::new();
+        let a = TransportMetrics::preregister(&registry);
+        let b = TransportMetrics::preregister(&registry);
+        a.bytes_out.add(10);
+        assert_eq!(b.bytes_out.get(), 10, "handles share one counter");
+        assert_eq!(
+            registry.get_counter("transport.bytes_out").unwrap().get(),
+            10
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! The shared-medium network and its router thread.
+//! The simulated shared-medium network and its router thread.
 //!
 //! All endpoints of one [`Network`] share a single router — deliberately so:
 //! the paper's devices shared one 802.11b channel. The router keeps a
@@ -9,6 +9,10 @@
 //! Messages are fully encoded with the `syd-wire` codec at send time and
 //! decoded by the receiving endpoint, so every hop exercises the real wire
 //! format and the stats counters see real byte counts.
+//!
+//! [`Network`] implements [`Transport`] (and [`Endpoint`] implements
+//! [`TransportEndpoint`]), making the simulator one backend among others;
+//! [`SimTransport`] is the backend-style name for the same type.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -20,11 +24,23 @@ use crossbeam_channel::{Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use syd_telemetry::Registry;
 use syd_types::{NodeAddr, SydError, SydResult};
 use syd_wire::{decode_from_slice, encode_to_vec, Envelope, Payload, Response};
 
 use crate::config::NetConfig;
 use crate::stats::{NetStats, StatsSnapshot};
+use crate::{Transport, TransportEndpoint, TransportEvent, TransportMetrics};
+
+/// Backend-style alias: the simulated network *is* the sim transport.
+pub type SimTransport = Network;
+
+/// What travels down an endpoint's channel: either a fully encoded frame
+/// or a synthetic lifecycle event.
+enum SimMsg {
+    Frame(Vec<u8>),
+    Control(TransportEvent),
+}
 
 /// An in-flight message.
 struct Scheduled {
@@ -54,8 +70,10 @@ impl Ord for Scheduled {
 }
 
 struct EndpointSlot {
-    tx: Sender<Vec<u8>>,
+    tx: Sender<SimMsg>,
     connected: bool,
+    /// Test instrumentation: mirror of every delivered frame body.
+    tap: Option<Sender<Vec<u8>>>,
 }
 
 struct RouterState {
@@ -72,6 +90,8 @@ struct Inner {
     state: Mutex<RouterState>,
     cv: Condvar,
     stats: NetStats,
+    registry: Arc<Registry>,
+    tmetrics: TransportMetrics,
     next_addr: AtomicU64,
     next_seq: AtomicU64,
 }
@@ -109,6 +129,8 @@ fn norm_pair(a: NodeAddr, b: NodeAddr) -> (NodeAddr, NodeAddr) {
 impl Network {
     /// Creates a network and starts its router thread.
     pub fn new(cfg: NetConfig) -> Self {
+        let registry = Arc::new(Registry::new());
+        let tmetrics = TransportMetrics::preregister(&registry);
         let inner = Arc::new(Inner {
             state: Mutex::new(RouterState {
                 heap: BinaryHeap::new(),
@@ -120,13 +142,15 @@ impl Network {
             }),
             cv: Condvar::new(),
             stats: NetStats::default(),
+            registry,
+            tmetrics,
             next_addr: AtomicU64::new(1),
             next_seq: AtomicU64::new(0),
         });
         let router_inner = Arc::clone(&inner);
         std::thread::Builder::new()
             .name("syd-net-router".into())
-            .spawn(move || router_loop(router_inner))
+            .spawn(move || router_loop(&router_inner))
             .expect("spawn router thread");
         let owner = Arc::new(OwnerToken {
             inner: Arc::clone(&inner),
@@ -144,22 +168,38 @@ impl Network {
 
     /// Registers a new endpoint and returns its handle.
     pub fn register(&self) -> Endpoint {
-        let addr = NodeAddr::new(self.inner.next_addr.fetch_add(1, Ordering::Relaxed));
+        loop {
+            let addr = NodeAddr::new(self.inner.next_addr.fetch_add(1, Ordering::Relaxed));
+            if let Ok(ep) = self.register_with_addr(addr) {
+                return ep;
+            }
+        }
+    }
+
+    /// Registers an endpoint at an explicit address (tests mirroring the
+    /// TCP backend's socket-derived addresses). Errors if taken.
+    pub fn register_with_addr(&self, addr: NodeAddr) -> SydResult<Endpoint> {
         let (tx, rx) = crossbeam_channel::unbounded();
         let mut state = self.inner.state.lock();
+        if state.endpoints.contains_key(&addr) {
+            return Err(SydError::Protocol(format!(
+                "sim: address {addr:?} already registered"
+            )));
+        }
         state.endpoints.insert(
             addr,
             EndpointSlot {
                 tx,
                 connected: true,
+                tap: None,
             },
         );
         drop(state);
-        Endpoint {
+        Ok(Endpoint {
             addr,
             rx,
             net: self.clone(),
-        }
+        })
     }
 
     /// Removes an endpoint; all further traffic to it counts as unreachable.
@@ -235,6 +275,8 @@ impl Network {
             return Err(SydError::Shutdown);
         }
         self.inner.stats.on_sent(size);
+        self.inner.tmetrics.frames_out.inc();
+        self.inner.tmetrics.bytes_out.add(size as u64);
 
         let Some(slot) = state.endpoints.get(&env.dst) else {
             self.inner.stats.on_dropped_unreachable();
@@ -292,6 +334,20 @@ impl Network {
     }
 }
 
+impl Transport for Network {
+    fn kind(&self) -> &'static str {
+        "sim"
+    }
+
+    fn listen(&self) -> SydResult<Arc<dyn TransportEndpoint>> {
+        Ok(Arc::new(self.register()))
+    }
+
+    fn metrics(&self) -> &Arc<Registry> {
+        &self.inner.registry
+    }
+}
+
 fn sample_latency(state: &mut RouterState) -> Duration {
     let model = state.cfg.latency;
     if model.jitter.is_zero() {
@@ -301,7 +357,7 @@ fn sample_latency(state: &mut RouterState) -> Duration {
     model.base + Duration::from_micros(jitter_micros)
 }
 
-fn router_loop(inner: Arc<Inner>) {
+fn router_loop(inner: &Arc<Inner>) {
     let mut state = inner.state.lock();
     loop {
         if state.shutdown {
@@ -314,7 +370,7 @@ fn router_loop(inner: Arc<Inner>) {
                 break;
             }
             let msg = state.heap.pop().expect("peeked").0;
-            deliver(&inner, &mut state, msg);
+            deliver(inner, &mut state, msg);
         }
         match state.heap.peek() {
             Some(Reverse(head)) => {
@@ -341,7 +397,12 @@ fn deliver(inner: &Inner, state: &mut RouterState, msg: Scheduled) {
         None => inner.stats.on_dropped_unreachable(),
         Some(slot) if !slot.connected => inner.stats.on_dropped_disconnected(),
         Some(slot) => {
-            if slot.tx.send(msg.bytes).is_ok() {
+            inner.tmetrics.frames_in.inc();
+            inner.tmetrics.bytes_in.add(msg.bytes.len() as u64);
+            if let Some(tap) = &slot.tap {
+                let _ = tap.send(msg.bytes.clone());
+            }
+            if slot.tx.send(SimMsg::Frame(msg.bytes)).is_ok() {
                 inner.stats.on_delivered();
             } else {
                 inner.stats.on_dropped_unreachable();
@@ -353,7 +414,7 @@ fn deliver(inner: &Inner, state: &mut RouterState, msg: Scheduled) {
 /// A registered endpoint: the network-facing half of a device.
 pub struct Endpoint {
     addr: NodeAddr,
-    rx: Receiver<Vec<u8>>,
+    rx: Receiver<SimMsg>,
     net: Network,
 }
 
@@ -373,16 +434,100 @@ impl Endpoint {
         self.net.send(Envelope::new(self.addr, dst, payload))
     }
 
-    /// Blocks until a message arrives (or the endpoint is unregistered).
-    pub fn recv(&self) -> SydResult<Envelope> {
-        let bytes = self.rx.recv().map_err(|_| SydError::Shutdown)?;
-        decode_from_slice(&bytes)
+    fn decode(&self, bytes: &[u8]) -> SydResult<Envelope> {
+        let decoded = decode_from_slice(bytes);
+        if decoded.is_err() {
+            self.net.inner.tmetrics.frame_errors.inc();
+        }
+        decoded
     }
 
-    /// Blocks up to `timeout` for a message.
+    /// Blocks until a message arrives (or the endpoint is unregistered).
+    /// Synthetic lifecycle events are skipped; use
+    /// [`TransportEndpoint::recv_event`] to observe them.
+    pub fn recv(&self) -> SydResult<Envelope> {
+        loop {
+            match self.rx.recv().map_err(|_| SydError::Shutdown)? {
+                SimMsg::Frame(bytes) => return self.decode(&bytes),
+                SimMsg::Control(_) => {}
+            }
+        }
+    }
+
+    /// Blocks up to `timeout` for a message (lifecycle events skipped).
     pub fn recv_timeout(&self, timeout: Duration) -> SydResult<Envelope> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(left) {
+                Ok(SimMsg::Frame(bytes)) => return self.decode(&bytes),
+                Ok(SimMsg::Control(_)) => {}
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                    return Err(SydError::Timeout(syd_types::RequestId::new(0)))
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    return Err(SydError::Shutdown)
+                }
+            }
+        }
+    }
+
+    /// Non-blocking receive (lifecycle events skipped).
+    pub fn try_recv(&self) -> Option<SydResult<Envelope>> {
+        loop {
+            match self.rx.try_recv() {
+                Ok(SimMsg::Frame(bytes)) => return Some(self.decode(&bytes)),
+                Ok(SimMsg::Control(_)) => {}
+                Err(crossbeam_channel::TryRecvError::Empty) => return None,
+                Err(crossbeam_channel::TryRecvError::Disconnected) => {
+                    return Some(Err(SydError::Shutdown))
+                }
+            }
+        }
+    }
+
+    fn event_of(&self, msg: SimMsg) -> SydResult<TransportEvent> {
+        match msg {
+            SimMsg::Frame(bytes) => self.decode(&bytes).map(TransportEvent::Message),
+            SimMsg::Control(ev) => Ok(ev),
+        }
+    }
+}
+
+impl TransportEndpoint for Endpoint {
+    fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    fn connect(&self, peer: NodeAddr) -> SydResult<()> {
+        // The sim has no connections; validate reachability and emit the
+        // synthetic lifecycle event the TCP backend would produce.
+        let state = self.net.inner.state.lock();
+        if !state.endpoints.contains_key(&peer) {
+            return Err(SydError::Unreachable(peer));
+        }
+        let Some(own) = state.endpoints.get(&self.addr) else {
+            return Err(SydError::Shutdown);
+        };
+        self.net.inner.tmetrics.conns.inc();
+        let _ = own
+            .tx
+            .send(SimMsg::Control(TransportEvent::Connected(peer)));
+        Ok(())
+    }
+
+    fn send(&self, env: Envelope) -> SydResult<usize> {
+        self.net.send(env)
+    }
+
+    fn recv_event(&self) -> SydResult<TransportEvent> {
+        let msg = self.rx.recv().map_err(|_| SydError::Shutdown)?;
+        self.event_of(msg)
+    }
+
+    fn recv_event_timeout(&self, timeout: Duration) -> SydResult<TransportEvent> {
         match self.rx.recv_timeout(timeout) {
-            Ok(bytes) => decode_from_slice(&bytes),
+            Ok(msg) => self.event_of(msg),
             Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
                 Err(SydError::Timeout(syd_types::RequestId::new(0)))
             }
@@ -390,305 +535,26 @@ impl Endpoint {
         }
     }
 
-    /// Non-blocking receive.
-    pub fn try_recv(&self) -> Option<SydResult<Envelope>> {
-        match self.rx.try_recv() {
-            Ok(bytes) => Some(decode_from_slice(&bytes)),
-            Err(crossbeam_channel::TryRecvError::Empty) => None,
-            Err(crossbeam_channel::TryRecvError::Disconnected) => Some(Err(SydError::Shutdown)),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::LatencyModel;
-    use syd_types::{RequestId, ServiceName, UserId, Value};
-    use syd_wire::{EventMsg, Request};
-
-    fn event(topic: &str) -> Payload {
-        Payload::Event(EventMsg {
-            topic: topic.into(),
-            source: UserId::new(1),
-            payload: Value::Null,
-        })
+    fn set_connected(&self, connected: bool) {
+        self.net.set_connected(self.addr, connected);
     }
 
-    fn request(id: u64) -> Payload {
-        Payload::Request(Request {
-            id: RequestId::new(id),
-            caller: UserId::new(1),
-            target: UserId::default(),
-            credentials: vec![],
-            service: ServiceName::new("svc"),
-            method: "m".into(),
-            args: vec![].into(),
-            trace: None,
-        })
+    fn is_connected(&self) -> bool {
+        self.net.is_connected(self.addr)
     }
 
-    #[test]
-    fn point_to_point_delivery() {
-        let net = Network::ideal();
-        let a = net.register();
-        let b = net.register();
-        a.send(b.addr(), event("hello")).unwrap();
-        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
-        assert_eq!(env.src, a.addr());
-        assert_eq!(env.dst, b.addr());
-        match env.payload {
-            Payload::Event(ev) => assert_eq!(ev.topic, "hello"),
-            other => panic!("unexpected payload {other:?}"),
-        }
-        // The router increments `delivered` after handing the bytes to
-        // the endpoint, so the receiver can get here first — wait for
-        // the counter rather than racing it.
-        let deadline = std::time::Instant::now() + Duration::from_secs(1);
-        while net.stats().delivered < 1 {
-            assert!(std::time::Instant::now() < deadline, "delivery uncounted");
-            std::thread::yield_now();
-        }
-        let stats = net.stats();
-        assert_eq!(stats.sent, 1);
-        assert_eq!(stats.delivered, 1);
-        assert!(stats.bytes_sent > 0);
+    fn kill_connections(&self) -> usize {
+        0 // the sim keeps no connections to kill
     }
 
-    #[test]
-    fn fifo_order_preserved_with_fixed_latency() {
-        let net = Network::new(
-            NetConfig::ideal().with_latency(LatencyModel::fixed(Duration::from_millis(1))),
-        );
-        let a = net.register();
-        let b = net.register();
-        for i in 0..50 {
-            a.send(b.addr(), event(&format!("e{i}"))).unwrap();
-        }
-        for i in 0..50 {
-            let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
-            match env.payload {
-                Payload::Event(ev) => assert_eq!(ev.topic, format!("e{i}")),
-                other => panic!("unexpected payload {other:?}"),
-            }
+    fn set_frame_tap(&self, tx: Sender<Vec<u8>>) {
+        let mut state = self.net.inner.state.lock();
+        if let Some(slot) = state.endpoints.get_mut(&self.addr) {
+            slot.tap = Some(tx);
         }
     }
 
-    #[test]
-    fn unreachable_destination_is_an_error() {
-        let net = Network::ideal();
-        let a = net.register();
-        let err = a.send(NodeAddr::new(9999), event("x")).unwrap_err();
-        assert_eq!(err, SydError::Unreachable(NodeAddr::new(9999)));
-        assert_eq!(net.stats().dropped_unreachable, 1);
-    }
-
-    #[test]
-    fn unregister_makes_endpoint_unreachable() {
-        let net = Network::ideal();
-        let a = net.register();
-        let b = net.register();
-        net.unregister(b.addr());
-        assert!(a.send(b.addr(), event("x")).is_err());
-    }
-
-    #[test]
-    fn total_loss_drops_everything() {
-        let net = Network::new(NetConfig::ideal().with_loss(1.0));
-        let a = net.register();
-        let b = net.register();
-        a.send(b.addr(), event("x")).unwrap();
-        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
-        assert_eq!(net.stats().dropped_loss, 1);
-        assert_eq!(net.stats().delivered, 0);
-    }
-
-    #[test]
-    fn partition_blocks_both_directions() {
-        let net = Network::ideal();
-        let a = net.register();
-        let b = net.register();
-        net.set_partitioned(a.addr(), b.addr(), true);
-        a.send(b.addr(), event("ab")).unwrap();
-        b.send(a.addr(), event("ba")).unwrap();
-        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
-        assert!(a.recv_timeout(Duration::from_millis(50)).is_err());
-        assert_eq!(net.stats().dropped_partition, 2);
-
-        net.heal_partitions();
-        a.send(b.addr(), event("after")).unwrap();
-        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
-    }
-
-    #[test]
-    fn disconnected_request_fails_fast_with_error_response() {
-        let net = Network::ideal();
-        let a = net.register();
-        let b = net.register();
-        net.set_connected(b.addr(), false);
-        a.send(b.addr(), request(42)).unwrap();
-        let env = a.recv_timeout(Duration::from_secs(1)).unwrap();
-        match env.payload {
-            Payload::Response(resp) => {
-                assert_eq!(resp.id, RequestId::new(42));
-                assert_eq!(resp.result, Err(SydError::Disconnected(b.addr())));
-            }
-            other => panic!("unexpected payload {other:?}"),
-        }
-    }
-
-    #[test]
-    fn disconnected_event_is_silently_dropped() {
-        let net = Network::ideal();
-        let a = net.register();
-        let b = net.register();
-        net.set_connected(b.addr(), false);
-        a.send(b.addr(), event("x")).unwrap();
-        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
-        assert_eq!(net.stats().dropped_disconnected, 1);
-    }
-
-    #[test]
-    fn reconnect_restores_delivery() {
-        let net = Network::ideal();
-        let a = net.register();
-        let b = net.register();
-        net.set_connected(b.addr(), false);
-        assert!(!net.is_connected(b.addr()));
-        net.set_connected(b.addr(), true);
-        assert!(net.is_connected(b.addr()));
-        a.send(b.addr(), event("back")).unwrap();
-        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
-    }
-
-    #[test]
-    fn latency_delays_delivery() {
-        let net = Network::new(
-            NetConfig::ideal().with_latency(LatencyModel::fixed(Duration::from_millis(30))),
-        );
-        let a = net.register();
-        let b = net.register();
-        let start = Instant::now();
-        a.send(b.addr(), event("slow")).unwrap();
-        b.recv_timeout(Duration::from_secs(1)).unwrap();
-        assert!(
-            start.elapsed() >= Duration::from_millis(25),
-            "delivered too early: {:?}",
-            start.elapsed()
-        );
-    }
-
-    #[test]
-    fn same_seed_same_loss_pattern() {
-        let run = |seed: u64| -> Vec<bool> {
-            let net = Network::new(NetConfig::ideal().with_loss(0.5).with_seed(seed));
-            let a = net.register();
-            let b = net.register();
-            (0..40)
-                .map(|_| {
-                    a.send(b.addr(), event("x")).unwrap();
-                    b.recv_timeout(Duration::from_millis(20)).is_ok()
-                })
-                .collect()
-        };
-        assert_eq!(run(7), run(7));
-    }
-
-    #[test]
-    fn send_after_shutdown_errors() {
-        let net = Network::ideal();
-        let a = net.register();
-        let b = net.register();
-        net.shutdown();
-        assert_eq!(a.send(b.addr(), event("x")).unwrap_err(), SydError::Shutdown);
-    }
-
-    #[test]
-    fn stats_delta_counts_one_exchange() {
-        let net = Network::ideal();
-        let a = net.register();
-        let b = net.register();
-        let before = net.stats();
-        a.send(b.addr(), event("one")).unwrap();
-        b.recv_timeout(Duration::from_secs(1)).unwrap();
-        // The router increments `delivered` after handing the bytes to the
-        // endpoint, so wait for the counter rather than racing it.
-        let deadline = std::time::Instant::now() + Duration::from_secs(1);
-        while net.stats().delivered < before.delivered + 1
-            && std::time::Instant::now() < deadline
-        {
-            std::thread::yield_now();
-        }
-        let delta = before.delta(&net.stats());
-        assert_eq!(delta.sent, 1);
-        assert_eq!(delta.delivered, 1);
-    }
-}
-
-#[cfg(test)]
-mod reconfigure_tests {
-    use super::*;
-    use syd_types::{UserId, Value};
-    use syd_wire::EventMsg;
-
-    fn event() -> Payload {
-        Payload::Event(EventMsg {
-            topic: "t".into(),
-            source: UserId::new(1),
-            payload: Value::Null,
-        })
-    }
-
-    #[test]
-    fn reconfigure_changes_behaviour_at_runtime() {
-        let net = Network::ideal();
-        let a = net.register();
-        let b = net.register();
-        a.send(b.addr(), event()).unwrap();
-        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
-
-        // Switch to total loss: traffic stops.
-        net.reconfigure(NetConfig::ideal().with_loss(1.0));
-        a.send(b.addr(), event()).unwrap();
-        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
-
-        // And back.
-        net.reconfigure(NetConfig::ideal());
-        a.send(b.addr(), event()).unwrap();
-        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
-    }
-
-    #[test]
-    fn try_recv_is_nonblocking() {
-        let net = Network::ideal();
-        let a = net.register();
-        let b = net.register();
-        assert!(b.try_recv().is_none());
-        a.send(b.addr(), event()).unwrap();
-        let deadline = std::time::Instant::now() + Duration::from_secs(1);
-        loop {
-            match b.try_recv() {
-                Some(Ok(env)) => {
-                    assert_eq!(env.src, a.addr());
-                    break;
-                }
-                Some(Err(e)) => panic!("decode error: {e}"),
-                None => assert!(std::time::Instant::now() < deadline, "never arrived"),
-            }
-        }
-    }
-
-    #[test]
-    fn many_endpoints_share_one_router() {
-        let net = Network::ideal();
-        let endpoints: Vec<Endpoint> = (0..32).map(|_| net.register()).collect();
-        // All-to-one burst.
-        for ep in &endpoints[1..] {
-            ep.send(endpoints[0].addr(), event()).unwrap();
-        }
-        for _ in 1..32 {
-            endpoints[0].recv_timeout(Duration::from_secs(1)).unwrap();
-        }
-        assert_eq!(net.stats().delivered, 31);
+    fn close(&self) {
+        self.net.unregister(self.addr);
     }
 }

@@ -1,0 +1,49 @@
+//! Thread hygiene: closed endpoints must leave no poll threads behind.
+//! Lives in its own integration binary so the count isn't perturbed by
+//! sibling tests running concurrently.
+
+use std::time::{Duration, Instant};
+
+use syd_transport::{Transport, TransportEvent};
+
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").map_or(1, Iterator::count)
+}
+
+#[test]
+fn closed_endpoints_leak_no_threads() {
+    let baseline = thread_count();
+
+    for _ in 0..3 {
+        let tcp = syd_transport::FramedTcpTransport::loopback();
+        let a = tcp.listen().unwrap();
+        let b = tcp.listen().unwrap();
+        b.connect(a.addr()).unwrap();
+        // Wait for the handshake so there is a real connection to tear down.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match b.recv_event_timeout(deadline.saturating_duration_since(Instant::now())) {
+                Ok(TransportEvent::Connected(_)) => break,
+                Ok(_) => {}
+                Err(err) => panic!("waiting for Connected: {err}"),
+            }
+        }
+        a.close();
+        b.close();
+    }
+
+    // close() joins the poll threads, so the count must return to (or
+    // below) the baseline promptly.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let now = thread_count();
+        if now <= baseline {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "thread leak: {baseline} before, {now} after"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

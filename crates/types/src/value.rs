@@ -324,7 +324,7 @@ mod tests {
     #[test]
     fn accessors_match_variants() {
         assert!(Value::Null.is_null());
-        assert_eq!(Value::Bool(true).as_bool().unwrap(), true);
+        assert!(Value::Bool(true).as_bool().unwrap());
         assert_eq!(Value::I64(-3).as_i64().unwrap(), -3);
         assert_eq!(Value::F64(1.5).as_f64().unwrap(), 1.5);
         assert_eq!(Value::I64(2).as_f64().unwrap(), 2.0);

@@ -1,0 +1,62 @@
+//! `sydd` — a SyD fleet host: one OS process carrying the directory
+//! server and a calendar-equipped device, reachable over loopback TCP.
+//!
+//! Used by the `two_process_fleet` example (and the CI transport job) to
+//! exercise the framed TCP backend across real process boundaries:
+//!
+//! ```text
+//! $ sydd
+//! READY <directory-addr-raw> <host-user-raw>
+//! ```
+//!
+//! The daemon then blocks until its peer writes a line to stdin (or
+//! closes it), runs the protocol invariant audit over its device, prints
+//! `AUDIT_OK` (or `AUDIT_FAIL <reason>`) and exits. Exit status 0 means
+//! the audit was clean.
+
+use std::io::{BufRead, Write as _};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use syd::calendar::CalendarApp;
+use syd::kernel::SydEnv;
+use syd::net::Transport;
+use syd::transport::FramedTcpTransport;
+
+fn main() {
+    let transport: Arc<dyn Transport> = Arc::new(FramedTcpTransport::loopback());
+    let env = match SydEnv::new_on(Arc::clone(&transport), None) {
+        Ok(env) => env,
+        Err(err) => {
+            eprintln!("sydd: cannot start deployment: {err}");
+            std::process::exit(2);
+        }
+    };
+    let host = env
+        .device("andy", "pw-andy")
+        .expect("sydd: cannot mint host device");
+    let calendar = CalendarApp::install(&host).expect("sydd: cannot install calendar");
+
+    // Hand the rendezvous coordinates to the peer process.
+    println!("READY {} {}", env.dir_addr().raw(), calendar.user().raw());
+    std::io::stdout().flush().expect("sydd: stdout");
+
+    // Serve until the peer signals shutdown (any line, or EOF).
+    let mut line = String::new();
+    let _ = std::io::stdin().lock().read_line(&mut line);
+
+    // Quiesce: let in-flight negotiation steps release their locks, then
+    // sweep stale sessions and audit.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while host.store().locks().held_count() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    host.sweep_stale_sessions(Duration::ZERO);
+    let report = syd::check::audit([&host]);
+    if report.ok() {
+        println!("AUDIT_OK");
+    } else {
+        println!("AUDIT_FAIL\n{report}");
+        std::process::exit(1);
+    }
+}

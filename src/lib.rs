@@ -11,7 +11,8 @@
 //! |---|---|---|
 //! | [`types`] | `syd-types` | ids, values, time, errors |
 //! | [`wire`] | `syd-wire` | binary codec + message envelopes |
-//! | [`net`] | `syd-net` | simulated network, RPC, worker pools |
+//! | [`transport`] | `syd-transport` | pluggable transport: simulated router + framed loopback/LAN TCP |
+//! | [`net`] | `syd-net` | RPC nodes, worker pools, deadlines/retries |
 //! | [`store`] | `syd-store` | embedded relational store with triggers |
 //! | [`crypto`] | `syd-crypto` | TEA cipher + request authentication |
 //! | [`kernel`] | `syd-core` | SyD kernel: directory, listener, engine, events, links, negotiation, proxies |
@@ -50,5 +51,6 @@ pub use syd_crypto as crypto;
 pub use syd_fleet as fleet;
 pub use syd_net as net;
 pub use syd_store as store;
+pub use syd_transport as transport;
 pub use syd_types as types;
 pub use syd_wire as wire;

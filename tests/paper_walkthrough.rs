@@ -123,8 +123,7 @@ fn cancel_meeting_follows_section_4_4() {
                     .all(|row| {
                         row.values[8]
                             .as_str()
-                            .map(|corr| !corr.contains(&m1.meeting.raw().to_string()))
-                            .unwrap_or(true)
+                            .map_or(true, |corr| !corr.contains(&m1.meeting.raw().to_string()))
                     })
             })
         },
