@@ -2,6 +2,8 @@
 //! creation, cascade deletion, waiting-link promotion (priority-ordered vs
 //! FIFO ablation) and expiry scans.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use syd_bench::{devices, env_ideal};
 use syd_core::links::{Constraint, LinkRef, LinkSpec};
@@ -22,7 +24,7 @@ fn bench_links(c: &mut Criterion) {
                 .links()
                 .add_local(LinkSpec::subscription("bench-entity", vec![]))
                 .unwrap()
-        })
+        });
     });
 
     // Negotiated creation with peers (op 2, full: offer round + back
@@ -43,7 +45,7 @@ fn bench_links(c: &mut Criterion) {
                     .unwrap();
                 // Tear down so state doesn't accumulate.
                 devs[0].links().delete(link.id, true).unwrap();
-            })
+            });
         });
     }
 
@@ -66,7 +68,7 @@ fn bench_links(c: &mut Criterion) {
                 },
                 |link| devs[0].links().delete(link.id, true).unwrap(),
                 criterion::BatchSize::SmallInput,
-            )
+            );
         });
     }
 
@@ -114,7 +116,7 @@ fn bench_links(c: &mut Criterion) {
                             }
                         },
                         criterion::BatchSize::SmallInput,
-                    )
+                    );
                 },
             );
         }
@@ -137,7 +139,7 @@ fn bench_links(c: &mut Criterion) {
             b.iter(|| {
                 let expired = dev.links().expire_scan().unwrap();
                 assert!(expired.is_empty());
-            })
+            });
         });
     }
 
@@ -159,7 +161,7 @@ fn bench_links(c: &mut Criterion) {
         b.iter(|| {
             let out = devs[0].links().invoke_coupled(&svc, "src", vec![]).unwrap();
             assert_eq!(out.len(), 1);
-        })
+        });
     });
 
     group.finish();

@@ -2,6 +2,8 @@
 //! "current practice" calendar, participant-count and calendar-density
 //! sweeps, and quorum scheduling.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -26,7 +28,7 @@ fn bench_meetings(c: &mut Criterion) {
                     .unwrap();
                 assert_eq!(outcome.status, MeetingStatus::Confirmed);
                 apps[0].cancel(outcome.meeting).unwrap();
-            })
+            });
         });
     }
 
@@ -45,7 +47,7 @@ fn bench_meetings(c: &mut Criterion) {
                     apps[0]
                         .find_common_slots(&users, syd_types::SlotRange::days(0, 7))
                         .unwrap()
-                })
+                });
             },
         );
     }
@@ -70,7 +72,7 @@ fn bench_meetings(c: &mut Criterion) {
                     let outcome = apps[0].schedule(spec).unwrap();
                     assert_eq!(outcome.status, MeetingStatus::Confirmed);
                     apps[0].cancel(outcome.meeting).unwrap();
-                })
+                });
             },
         );
     }
@@ -106,7 +108,7 @@ fn bench_meetings(c: &mut Criterion) {
                     }
                 }
                 baselines[0].cancel(proposal, &participants, slot).unwrap();
-            })
+            });
         });
     }
 

@@ -1,6 +1,8 @@
 //! E6 (§5.4): TEA cipher throughput, credential sealing/verification, and
 //! the per-request cost of authentication.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -19,7 +21,7 @@ fn bench_security(c: &mut Criterion) {
         b.iter(|| {
             key.encrypt_block(&mut block);
             block
-        })
+        });
     });
 
     // CBC over realistic payload sizes.
@@ -27,11 +29,11 @@ fn bench_security(c: &mut Criterion) {
         let plaintext = vec![0xA5u8; size];
         group.throughput(Throughput::Bytes(size as u64));
         group.bench_with_input(BenchmarkId::new("cbc_encrypt", size), &size, |b, _| {
-            b.iter(|| cbc_encrypt(&key, [7; 8], &plaintext))
+            b.iter(|| cbc_encrypt(&key, [7; 8], &plaintext));
         });
         let blob = cbc_encrypt(&key, [7; 8], &plaintext);
         group.bench_with_input(BenchmarkId::new("cbc_decrypt", size), &size, |b, _| {
-            b.iter(|| cbc_decrypt(&key, &blob).unwrap())
+            b.iter(|| cbc_decrypt(&key, &blob).unwrap());
         });
     }
     group.throughput(Throughput::Elements(1));
@@ -41,11 +43,11 @@ fn bench_security(c: &mut Criterion) {
     auth.table().authorize(UserId::new(7), "password");
     let creds = Credentials::new(UserId::new(7), "password");
     group.bench_function("seal_credentials", |b| {
-        b.iter(|| auth.seal(&creds, [3; 8]))
+        b.iter(|| auth.seal(&creds, [3; 8]));
     });
     let blob = auth.seal(&creds, [3; 8]);
     group.bench_function("verify_credentials", |b| {
-        b.iter(|| auth.verify(&blob).unwrap())
+        b.iter(|| auth.verify(&blob).unwrap());
     });
 
     // Per-request overhead: the same remote echo with and without §5.4
@@ -57,7 +59,9 @@ fn bench_security(c: &mut Criterion) {
 
     let insecure = env_ideal();
     let devs = devices(&insecure, 2);
-    devs[1].register_service(&svc, "echo", Arc::new(echo)).unwrap();
+    devs[1]
+        .register_service(&svc, "echo", Arc::new(echo))
+        .unwrap();
     let target = devs[1].user();
     group.bench_function("request_no_auth", |b| {
         b.iter(|| {
@@ -65,12 +69,14 @@ fn bench_security(c: &mut Criterion) {
                 .engine()
                 .invoke(target, &svc, "echo", vec![Value::I64(1)])
                 .unwrap()
-        })
+        });
     });
 
     let secure = env_secure();
     let sdevs = devices(&secure, 2);
-    sdevs[1].register_service(&svc, "echo", Arc::new(echo)).unwrap();
+    sdevs[1]
+        .register_service(&svc, "echo", Arc::new(echo))
+        .unwrap();
     let starget = sdevs[1].user();
     group.bench_function("request_with_auth", |b| {
         b.iter(|| {
@@ -78,7 +84,7 @@ fn bench_security(c: &mut Criterion) {
                 .engine()
                 .invoke(starget, &svc, "echo", vec![Value::I64(1)])
                 .unwrap()
-        })
+        });
     });
 
     group.finish();

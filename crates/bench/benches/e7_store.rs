@@ -2,6 +2,8 @@
 //! trigger overhead (store-level Oracle-style vs middleware events, the
 //! §5.3 ablation), transactions, and snapshots.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use syd_core::EventHandler;
 use syd_store::{Column, ColumnType, Predicate, Schema, Store, Trigger, TriggerEvent};
@@ -52,15 +54,18 @@ fn bench_store(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             store
-                .insert("slots", vec![Value::I64(i), Value::str("free"), Value::I64(0)])
+                .insert(
+                    "slots",
+                    vec![Value::I64(i), Value::str("free"), Value::I64(0)],
+                )
                 .unwrap()
-        })
+        });
     });
 
     // Point lookup by primary key.
     let store = filled_store(10_000, false);
     group.bench_function("get_by_key_10k", |b| {
-        b.iter(|| store.get_by_key("slots", &[Value::I64(5000)]).unwrap())
+        b.iter(|| store.get_by_key("slots", &[Value::I64(5000)]).unwrap());
     });
 
     // Scan vs index on a selective predicate.
@@ -71,7 +76,7 @@ fn bench_store(c: &mut Criterion) {
                 store
                     .select("slots", &Predicate::Eq("status".into(), Value::str("free")))
                     .unwrap()
-            })
+            });
         });
     }
 
@@ -86,7 +91,7 @@ fn bench_store(c: &mut Criterion) {
                     &Predicate::Between("ordinal".into(), Value::I64(4000), Value::I64(4099)),
                 )
                 .unwrap()
-        })
+        });
     });
 
     // Update one row by key.
@@ -100,7 +105,7 @@ fn bench_store(c: &mut Criterion) {
                     &[("status".into(), Value::str("flip"))],
                 )
                 .unwrap()
-        })
+        });
     });
 
     // A1 ablation: per-insert overhead of (a) no trigger, (b) a
@@ -143,7 +148,10 @@ fn bench_store(c: &mut Criterion) {
         group.bench_function(format!("insert_{label}"), |b| {
             b.iter(|| {
                 store
-                    .insert("slots", vec![Value::I64(777_777), Value::str("x"), Value::I64(0)])
+                    .insert(
+                        "slots",
+                        vec![Value::I64(777_777), Value::str("x"), Value::I64(0)],
+                    )
                     .unwrap();
                 store
                     .delete(
@@ -151,7 +159,7 @@ fn bench_store(c: &mut Criterion) {
                         &Predicate::Eq("ordinal".into(), Value::I64(777_777)),
                     )
                     .unwrap()
-            })
+            });
         });
     }
 
@@ -167,7 +175,7 @@ fn bench_store(c: &mut Criterion) {
             )
             .unwrap();
             txn.commit();
-        })
+        });
     });
     group.bench_function("txn_update10_rollback", |b| {
         b.iter(|| {
@@ -179,18 +187,18 @@ fn bench_store(c: &mut Criterion) {
             )
             .unwrap();
             txn.rollback().unwrap();
-        })
+        });
     });
 
     // Snapshot encode/decode for a device-sized database.
     for rows in [100i64, 1000, 10_000] {
         let store = filled_store(rows, true);
         group.bench_with_input(BenchmarkId::new("snapshot_encode", rows), &rows, |b, _| {
-            b.iter(|| store.snapshot())
+            b.iter(|| store.snapshot());
         });
         let bytes = store.snapshot();
         group.bench_with_input(BenchmarkId::new("snapshot_decode", rows), &rows, |b, _| {
-            b.iter(|| Store::from_snapshot(&bytes).unwrap())
+            b.iter(|| Store::from_snapshot(&bytes).unwrap());
         });
     }
 

@@ -1,6 +1,8 @@
 //! E8: the network/RPC substrate — codec costs, round trips under
 //! different latency models, loss-retry behaviour, and fan-out capacity.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -41,10 +43,10 @@ fn bench_net(c: &mut Criterion) {
         let bytes = encode_to_vec(&env);
         group.throughput(Throughput::Bytes(bytes.len() as u64));
         group.bench_with_input(BenchmarkId::new("encode", args), &env, |b, env| {
-            b.iter(|| encode_to_vec(env))
+            b.iter(|| encode_to_vec(env));
         });
         group.bench_with_input(BenchmarkId::new("decode", args), &bytes, |b, bytes| {
-            b.iter(|| decode_from_slice::<Envelope>(bytes).unwrap())
+            b.iter(|| decode_from_slice::<Envelope>(bytes).unwrap());
         });
     }
     group.throughput(Throughput::Elements(1));
@@ -60,14 +62,12 @@ fn bench_net(c: &mut Criterion) {
             client
                 .call(server.addr(), &svc, "m", vec![Value::I64(1)])
                 .unwrap()
-        })
+        });
     });
 
     // Round trip under the paper's wireless-LAN latency (sanity anchor:
     // should sit near 2×(2–5 ms)).
-    let lan = Network::new(
-        NetConfig::ideal().with_latency(LatencyModel::wireless_lan()),
-    );
+    let lan = Network::new(NetConfig::ideal().with_latency(LatencyModel::wireless_lan()));
     let lan_server = Node::spawn(&lan);
     lan_server.set_handler(echo_handler());
     let lan_client = Node::spawn(&lan);
@@ -77,7 +77,7 @@ fn bench_net(c: &mut Criterion) {
             lan_client
                 .call(lan_server.addr(), &svc, "m", vec![Value::I64(1)])
                 .unwrap()
-        })
+        });
     });
 
     // Retry behaviour under loss: expected extra round trips.
@@ -93,7 +93,7 @@ fn bench_net(c: &mut Criterion) {
             lossy_client
                 .call_with(lossy_server.addr(), &svc, "m", vec![Value::I64(1)], opts)
                 .unwrap()
-        })
+        });
     });
     group.sample_size(100);
 
@@ -110,7 +110,7 @@ fn bench_net(c: &mut Criterion) {
             for call in calls {
                 call.wait(Duration::from_secs(2)).unwrap();
             }
-        })
+        });
     });
 
     group.finish();

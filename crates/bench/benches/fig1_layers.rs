@@ -8,6 +8,8 @@
 //!          (engine → directory-resolved address → wire codec → router →
 //!          listener → store).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -34,10 +36,7 @@ fn slot_store() -> Store {
         .unwrap();
     for ordinal in 0..100 {
         store
-            .insert(
-                "slots",
-                vec![Value::I64(ordinal), Value::str("free")],
-            )
+            .insert("slots", vec![Value::I64(ordinal), Value::str("free")])
             .unwrap();
     }
     store
@@ -53,7 +52,7 @@ fn bench_layers(c: &mut Criterion) {
             store
                 .select("slots", &Predicate::Eq("ordinal".into(), Value::I64(42)))
                 .unwrap()
-        })
+        });
     });
 
     // Layer 2: through the listener (local dispatch, no network).
@@ -67,7 +66,10 @@ fn bench_layers(c: &mut Criterion) {
             let ordinal = args[0].as_i64()?;
             Ok(Value::from(
                 dispatch_store
-                    .select("slots", &Predicate::Eq("ordinal".into(), Value::I64(ordinal)))?
+                    .select(
+                        "slots",
+                        &Predicate::Eq("ordinal".into(), Value::I64(ordinal)),
+                    )?
                     .len() as u64,
             ))
         }),
@@ -79,11 +81,11 @@ fn bench_layers(c: &mut Criterion) {
         credentials: vec![],
         service: svc.clone(),
         method: "select".into(),
-        args: vec![Value::I64(42)],
+        args: vec![Value::I64(42)].into(),
         trace: None,
     };
     group.bench_function("L2_listener_dispatch", |b| {
-        b.iter(|| listener.dispatch(NodeAddr::new(1), &request).unwrap())
+        b.iter(|| listener.dispatch(NodeAddr::new(1), &request).unwrap());
     });
 
     // Layer 3: full remote invocation (engine + wire + router + listener).
@@ -114,7 +116,7 @@ fn bench_layers(c: &mut Criterion) {
                 .engine()
                 .invoke(target, &svc, "select", vec![Value::I64(42)])
                 .unwrap()
-        })
+        });
     });
 
     group.finish();

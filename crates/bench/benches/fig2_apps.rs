@@ -2,6 +2,8 @@
 //! applications — one representative end-to-end operation per app through
 //! the full stack.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -27,7 +29,7 @@ fn bench_apps(c: &mut Criterion) {
                 .schedule(MeetingSpec::plain("bench", slot, attendees.clone()))
                 .unwrap();
             apps[0].cancel(outcome.meeting).unwrap();
-        })
+        });
     });
 
     // Fleet: a position report propagating over a subscription link,
@@ -41,7 +43,7 @@ fn bench_apps(c: &mut Criterion) {
             x += 1.0;
             vehicles[0].move_to(Position { x, y: 0.0 }).unwrap();
             dispatcher.poll_positions(&fleet_users)
-        })
+        });
     });
 
     // Bidding: one full round over 8 players.
@@ -55,7 +57,7 @@ fn bench_apps(c: &mut Criterion) {
         .collect();
     let bid_users: Vec<UserId> = players.iter().map(|p| p.user()).collect();
     group.bench_function("bidding_round_8players", |b| {
-        b.iter(|| host.run_round(&bid_users, "toaster", 500).unwrap())
+        b.iter(|| host.run_round(&bid_users, "toaster", 500).unwrap());
     });
 
     group.finish();

@@ -2,6 +2,8 @@
 //! invocation through the listener, and group invocation/aggregation as
 //! the group grows.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -28,10 +30,10 @@ fn bench_kernel(c: &mut Criterion) {
     let dirc = env.directory_client();
     let target_user = devs[1].user();
     group.bench_function("directory_lookup", |b| {
-        b.iter(|| dirc.lookup(target_user).unwrap())
+        b.iter(|| dirc.lookup(target_user).unwrap());
     });
     group.bench_function("directory_describe", |b| {
-        b.iter(|| dirc.describe(target_user).unwrap())
+        b.iter(|| dirc.describe(target_user).unwrap());
     });
 
     // Single invocation (engine + listener, cached resolution).
@@ -41,28 +43,24 @@ fn bench_kernel(c: &mut Criterion) {
                 .engine()
                 .invoke(target_user, &svc, "echo", vec![Value::I64(1)])
                 .unwrap()
-        })
+        });
     });
 
     // Group invocation and aggregation vs group size.
     for n in [2usize, 4, 8, 16, 32] {
-        let users: Vec<UserId> = devs[1..=n].iter().map(|d| d.user()).collect();
-        group.bench_with_input(
-            BenchmarkId::new("group_invoke", n),
-            &users,
-            |b, users| {
-                b.iter(|| {
-                    let result = caller.engine().invoke_group(
-                        users,
-                        &svc,
-                        "echo",
-                        vec![Value::I64(7)],
-                    );
-                    assert!(result.all_ok());
-                    result.aggregate()
-                })
-            },
-        );
+        let users: Vec<UserId> = devs[1..=n]
+            .iter()
+            .map(syd_core::device::DeviceRuntime::user)
+            .collect();
+        group.bench_with_input(BenchmarkId::new("group_invoke", n), &users, |b, users| {
+            b.iter(|| {
+                let result = caller
+                    .engine()
+                    .invoke_group(users, &svc, "echo", vec![Value::I64(7)]);
+                assert!(result.all_ok());
+                result.aggregate()
+            });
+        });
     }
 
     group.finish();

@@ -2,6 +2,8 @@
 //! negotiation-or over three objects, plus constraint and group-size
 //! sweeps.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -52,15 +54,15 @@ fn bench_negotiation(c: &mut Criterion) {
     // The figure's exact case: negotiation-or, three objects, A activates.
     let parts3 = participants(&devs, 3, "fig4-entity");
     group.bench_function("or_3_objects_figure4", |b| {
-        b.iter(|| coordinator.negotiator().negotiate_or(1, &parts3).unwrap())
+        b.iter(|| coordinator.negotiator().negotiate_or(1, &parts3).unwrap());
     });
 
     // Constraint comparison at n = 3.
     group.bench_function("and_3_objects", |b| {
-        b.iter(|| coordinator.negotiator().negotiate_and(&parts3).unwrap())
+        b.iter(|| coordinator.negotiator().negotiate_and(&parts3).unwrap());
     });
     group.bench_function("xor_3_objects", |b| {
-        b.iter(|| coordinator.negotiator().negotiate_xor(1, &parts3).unwrap())
+        b.iter(|| coordinator.negotiator().negotiate_xor(1, &parts3).unwrap());
     });
 
     // Group-size sweep for negotiation-and (the calendar's workhorse).
@@ -70,7 +72,7 @@ fn bench_negotiation(c: &mut Criterion) {
             b.iter(|| {
                 let outcome = coordinator.negotiator().negotiate_and(parts).unwrap();
                 assert!(outcome.satisfied);
-            })
+            });
         });
     }
 
@@ -79,12 +81,9 @@ fn bench_negotiation(c: &mut Criterion) {
     for k in [1u32, 4, 8, 12, 16] {
         group.bench_with_input(BenchmarkId::new("at_least_k_of_16", k), &k, |b, &k| {
             b.iter(|| {
-                let outcome = coordinator
-                    .negotiator()
-                    .negotiate_or(k, &parts16)
-                    .unwrap();
+                let outcome = coordinator.negotiator().negotiate_or(k, &parts16).unwrap();
                 assert!(outcome.satisfied);
-            })
+            });
         });
     }
 

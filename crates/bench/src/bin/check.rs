@@ -26,10 +26,12 @@ fn main() {
     let mut cfg = StressConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut val = |what: &str| args.next().unwrap_or_else(|| {
-            eprintln!("{what} needs a value");
-            usage()
-        });
+        let mut val = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage()
+            })
+        };
         match arg.as_str() {
             "--sessions" => cfg.sessions = val("--sessions").parse().unwrap_or_else(|_| usage()),
             "--devices" => cfg.devices = val("--devices").parse().unwrap_or_else(|_| usage()),
@@ -38,7 +40,9 @@ fn main() {
             "--loss" => cfg.loss = val("--loss").parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--no-partition" => cfg.partition = false,
-            "--inject" => cfg.inject = Some(Fault::parse(&val("--inject")).unwrap_or_else(|| usage())),
+            "--inject" => {
+                cfg.inject = Some(Fault::parse(&val("--inject")).unwrap_or_else(|| usage()))
+            }
             _ => usage(),
         }
     }

@@ -8,6 +8,9 @@
 //! cargo run --release -p syd-bench --bin experiments
 //! ```
 
+// Experiment driver: a rig that cannot build has no numbers to report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -20,6 +23,7 @@ use syd_core::{DeviceRuntime, EntityHandler, SydEnv};
 use syd_net::stats::StatsSnapshot;
 use syd_net::NetConfig;
 use syd_store::{Column, ColumnType, Schema, Store};
+use syd_telemetry::names;
 use syd_types::{ServiceName, SydResult, TimeSlot, UserId, Value};
 
 fn main() {
@@ -62,8 +66,7 @@ fn e1_baseline_vs_syd() {
         let benv = env_ideal();
         let baselines: Vec<Arc<BaselineCalendar>> = (0..n)
             .map(|i| {
-                BaselineCalendar::install(&benv.device(&format!("b{i}"), "pw").unwrap())
-                    .unwrap()
+                BaselineCalendar::install(&benv.device(&format!("b{i}"), "pw").unwrap()).unwrap()
             })
             .collect();
         let participants: Vec<UserId> = baselines[1..].iter().map(|b| b.user()).collect();
@@ -92,8 +95,7 @@ fn e1_baseline_vs_syd() {
 
         println!(
             "{:>6} | {:>12} {:>12} | {:>14} {:>14} | {:>12}",
-            n, syd.sent, syd.bytes_sent, base.sent, base.bytes_sent,
-            "setup"
+            n, syd.sent, syd.bytes_sent, base.sent, base.bytes_sent, "setup"
         );
     }
     // Maintenance traffic: after one schedule change, what does it cost
@@ -119,8 +121,7 @@ fn e1_baseline_vs_syd() {
         let before = env.network().stats();
         apps[n - 1].free_personal(slot).unwrap();
         let deadline = Instant::now() + Duration::from_secs(5);
-        while apps[0].meeting(outcome.meeting).unwrap().unwrap().status
-            != MeetingStatus::Confirmed
+        while apps[0].meeting(outcome.meeting).unwrap().unwrap().status != MeetingStatus::Confirmed
         {
             assert!(Instant::now() < deadline, "never converged");
             std::thread::sleep(Duration::from_millis(1));
@@ -182,11 +183,12 @@ fn f4_negotiation_outcomes() {
             for round in 0..100 {
                 let parts: Vec<Participant> = devs
                     .iter()
-                    .map(|d| {
-                        Participant::new(d.user(), format!("e{round}"), Value::str("x"))
-                    })
+                    .map(|d| Participant::new(d.user(), format!("e{round}"), Value::str("x")))
                     .collect();
-                let outcome = coordinator.negotiator().negotiate(constraint, &parts).unwrap();
+                let outcome = coordinator
+                    .negotiator()
+                    .negotiate(constraint, &parts)
+                    .unwrap();
                 if outcome.satisfied {
                     ok += 1;
                 }
@@ -209,7 +211,10 @@ fn f4_negotiation_outcomes() {
 /// polling).
 fn e3_convergence() {
     println!("== E3: tentative→confirmed convergence after the blocker clears ==");
-    println!("{:>6} | {:>16} | {:>12}", "group", "convergence (ms)", "messages");
+    println!(
+        "{:>6} | {:>16} | {:>12}",
+        "group", "convergence (ms)", "messages"
+    );
     for n in [2usize, 4, 8] {
         let env = env_ideal();
         let apps = calendar_rig(&env, n + 1);
@@ -350,7 +355,7 @@ fn e8_rpc_reliability() {
         let node = apps[0].device().node();
         let calls = node
             .metrics()
-            .get_histogram("rpc.call")
+            .get_histogram(names::RPC_CALL)
             .map_or(0, |h| h.count());
         println!(
             "{:>7}% | {:>8} {:>8} {:>8} | {:>10}",
@@ -371,7 +376,10 @@ fn e8_rpc_reliability() {
 
     if let Some(device) = dump_device {
         println!("-- telemetry dump (initiator device, lossless run) --");
-        print!("{}", syd_telemetry::metrics_table(&device.metrics().snapshot()));
+        print!(
+            "{}",
+            syd_telemetry::metrics_table(&device.metrics().snapshot())
+        );
         let journal = device.journal().dump();
         let lines: Vec<&str> = journal.lines().collect();
         println!("-- journal ({} events, first 10) --", lines.len());
@@ -386,7 +394,10 @@ fn e8_rpc_reliability() {
 /// particular user's information" vs a copy of every member's folder.
 fn e1_storage_footprint() {
     println!("== E1b: storage footprint (rows held per device) ==");
-    println!("{:>6} | {:>10} | {:>14}", "group", "syd rows", "baseline rows");
+    println!(
+        "{:>6} | {:>10} | {:>14}",
+        "group", "syd rows", "baseline rows"
+    );
     for n in [2usize, 4, 8, 16] {
         // SyD: each device stores its own occupied slots only. One
         // meeting = 1 slot row per device.

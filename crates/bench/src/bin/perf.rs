@@ -27,6 +27,9 @@
 //! seed-deterministic; wall-clock latencies vary with the host, but
 //! message/byte/round-trip counts must not.
 
+// Benchmark driver: a rig that cannot build has no numbers to report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -35,6 +38,7 @@ use syd_bench::{calendar_rig, devices, env_ideal, env_tcp, users_of};
 use syd_calendar::{CalendarApp, MeetingSpec};
 use syd_core::SydEnv;
 use syd_net::{CallOptions, NetConfig};
+use syd_telemetry::names;
 use syd_types::{ServiceName, SlotRange, SydError, UserId, Value};
 
 /// Schema identifier stamped into every emitted document.
@@ -106,7 +110,10 @@ fn die(msg: &str) -> ! {
 
 fn run(cfg: &Config) {
     let mode = if cfg.legacy { "legacy" } else { "optimized" };
-    println!("SyD perf driver — mode={mode} seed={} quick={}", cfg.seed, cfg.quick);
+    println!(
+        "SyD perf driver — mode={mode} seed={} quick={}",
+        cfg.seed, cfg.quick
+    );
     let sizes: &[usize] = if cfg.quick { &[2, 8] } else { &[2, 8, 32] };
     let losses: &[f64] = if cfg.quick { &[0.0] } else { &[0.0, 0.1] };
 
@@ -119,7 +126,11 @@ fn run(cfg: &Config) {
                 continue;
             }
             for &n in sizes {
-                for bench in [bench_group_invoke, bench_directory_resolution, bench_schedule] {
+                for bench in [
+                    bench_group_invoke,
+                    bench_directory_resolution,
+                    bench_schedule,
+                ] {
                     let r = bench(cfg, backend, n, loss);
                     print_result(&r);
                     results.push(r.into_json());
@@ -135,7 +146,11 @@ fn run(cfg: &Config) {
         ("quick".into(), Json::Bool(cfg.quick)),
         ("results".into(), Json::Arr(results)),
     ]);
-    let default_out = if cfg.legacy { "BENCH_baseline.json" } else { "BENCH_results.json" };
+    let default_out = if cfg.legacy {
+        "BENCH_baseline.json"
+    } else {
+        "BENCH_results.json"
+    };
     let out = cfg.out.as_deref().unwrap_or(default_out);
     std::fs::write(out, doc.pretty()).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
     println!("\nwrote {out}");
@@ -175,7 +190,10 @@ impl Cell {
                 "ok_rate".into(),
                 Json::Num(self.ok as f64 / self.iters.max(1) as f64),
             ),
-            ("median_ms".into(), Json::Num(round3(percentile(&lat, 50.0)))),
+            (
+                "median_ms".into(),
+                Json::Num(round3(percentile(&lat, 50.0))),
+            ),
             ("p90_ms".into(), Json::Num(round3(percentile(&lat, 90.0)))),
             (
                 "dir_round_trips_per_op".into(),
@@ -246,7 +264,7 @@ fn wire_bytes_now(env: &SydEnv, backend: &str) -> u64 {
     if backend == "tcp" {
         env.transport()
             .metrics()
-            .get_counter("transport.bytes_out")
+            .get_counter(names::TRANSPORT_BYTES_OUT)
             .map_or(0, |c| c.get())
     } else {
         env.network().stats().bytes_sent
@@ -258,7 +276,7 @@ fn wire_bytes_now(env: &SydEnv, backend: &str) -> u64 {
 fn frame_errors_now(env: &SydEnv) -> u64 {
     env.transport()
         .metrics()
-        .get_counter("transport.frame_errors")
+        .get_counter(names::TRANSPORT_FRAME_ERRORS)
         .map_or(0, |c| c.get())
 }
 
@@ -283,7 +301,10 @@ fn cell_seed(cfg: &Config, n: usize, loss: f64, salt: u64) -> u64 {
 fn bench_group_invoke(cfg: &Config, backend: &'static str, n: usize, loss: f64) -> Cell {
     let env = make_env(backend);
     let devs = devices(&env, n + 1);
-    let members: Vec<UserId> = devs[1..].iter().map(syd_core::DeviceRuntime::user).collect();
+    let members: Vec<UserId> = devs[1..]
+        .iter()
+        .map(syd_core::DeviceRuntime::user)
+        .collect();
     let svc = ServiceName::new("bench");
     for d in &devs[1..] {
         d.register_service(
@@ -342,7 +363,10 @@ fn bench_group_invoke(cfg: &Config, backend: &'static str, n: usize, loss: f64) 
 fn bench_directory_resolution(cfg: &Config, backend: &'static str, n: usize, loss: f64) -> Cell {
     let env = make_env(backend);
     let devs = devices(&env, n + 1);
-    let members: Vec<UserId> = devs[1..].iter().map(syd_core::DeviceRuntime::user).collect();
+    let members: Vec<UserId> = devs[1..]
+        .iter()
+        .map(syd_core::DeviceRuntime::user)
+        .collect();
     let engine = devs[0].engine();
     apply_mode(cfg, engine);
     if loss > 0.0 {

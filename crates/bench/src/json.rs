@@ -241,8 +241,8 @@ fn parse_str(bytes: &[u8], pos: &mut usize) -> SydResult<String> {
             }
             Some(_) => {
                 // Consume one UTF-8 scalar, not one byte.
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| err(*pos, "invalid utf-8"))?;
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err(*pos, "invalid utf-8"))?;
                 let c = rest.chars().next().expect("non-empty");
                 out.push(c);
                 *pos += c.len_utf8();
@@ -300,6 +300,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> SydResult<Json> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 

@@ -5,6 +5,10 @@
 //! network unless the experiment is explicitly about transport effects,
 //! authentication off unless the experiment is about §5.4.
 
+// Measurement harness, not middleware: a rig that cannot build has no
+// meaningful numbers to report, so panicking on setup is the contract.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod json;
 pub mod stress;
 
@@ -30,11 +34,8 @@ pub fn env_secure() -> SydEnv {
 /// tcp` axis of the perf driver: identical protocol traffic, real
 /// sockets and kernel scheduling instead of the in-process router.
 pub fn env_tcp() -> SydEnv {
-    SydEnv::new_on(
-        Arc::new(syd_net::FramedTcpTransport::loopback()),
-        None,
-    )
-    .expect("loopback TCP deployment")
+    SydEnv::new_on(Arc::new(syd_net::FramedTcpTransport::loopback()), None)
+        .expect("loopback TCP deployment")
 }
 
 /// `n` bare devices.
@@ -82,9 +83,7 @@ pub fn prefill_density(apps: &[Arc<CalendarApp>], horizon: u64, density_pct: u64
     for (i, app) in apps.iter().enumerate() {
         for ordinal in 0..horizon {
             // Cheap deterministic hash spread.
-            let h = ordinal
-                .wrapping_mul(2654435761)
-                .wrapping_add(i as u64 * 97);
+            let h = ordinal.wrapping_mul(2654435761).wrapping_add(i as u64 * 97);
             if h % 100 < density_pct {
                 let _ = app.mark_busy(TimeSlot::from_ordinal(ordinal));
             }

@@ -148,7 +148,11 @@ impl EntityHandler for FlakyHandler {
 }
 
 /// One pre-generated negotiation: constraint + participant assignments.
-fn plan_session(rng: &mut Rng, devices: &[DeviceRuntime], entities: usize) -> (Constraint, Vec<Participant>) {
+fn plan_session(
+    rng: &mut Rng,
+    devices: &[DeviceRuntime],
+    entities: usize,
+) -> (Constraint, Vec<Participant>) {
     let n = 2 + rng.below(devices.len() as u64 - 1) as usize;
     let constraint = match rng.below(3) {
         0 => Constraint::And,
@@ -232,8 +236,7 @@ pub fn run(cfg: &StressConfig) -> StressOutcome {
                 let net = env.network();
                 while !stop.load(Ordering::Relaxed) {
                     let a = prng.below(devices.len() as u64) as usize;
-                    let b = (a + 1 + prng.below(devices.len() as u64 - 1) as usize)
-                        % devices.len();
+                    let b = (a + 1 + prng.below(devices.len() as u64 - 1) as usize) % devices.len();
                     net.set_partitioned(devices[a].addr(), devices[b].addr(), true);
                     std::thread::sleep(Duration::from_millis(2 + prng.below(6)));
                     net.heal_partitions();

@@ -217,10 +217,8 @@ impl Host {
                 )?;
             }
             None => {
-                self.store.insert(
-                    T_SCORES,
-                    vec![Value::from(player.raw()), Value::I64(1)],
-                )?;
+                self.store
+                    .insert(T_SCORES, vec![Value::from(player.raw()), Value::I64(1)])?;
             }
         }
         Ok(())
@@ -249,6 +247,7 @@ impl Host {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use syd_core::SydEnv;
@@ -275,8 +274,7 @@ mod tests {
 
     #[test]
     fn closest_without_going_over_wins() {
-        let (_env, host, players) =
-            rig(vec![fixed(500), fixed(899), fixed(950)]);
+        let (_env, host, players) = rig(vec![fixed(500), fixed(899), fixed(950)]);
         let users: Vec<UserId> = players.iter().map(|p| p.user()).collect();
         let result = host.run_round(&users, "toaster", 900).unwrap();
         // 950 went over; 899 beats 500.
@@ -304,8 +302,7 @@ mod tests {
         ]);
         let users: Vec<UserId> = players.iter().map(|p| p.user()).collect();
         // Player 2 walks out of the mall.
-        env.network()
-            .set_connected(players[2].device.addr(), false);
+        env.network().set_connected(players[2].device.addr(), false);
         let result = host.run_round(&users, "radio", 500).unwrap();
         assert_eq!(result.winner, Some(players[1].user()));
         assert_eq!(result.bids[0].1, None);

@@ -19,16 +19,15 @@ use parking_lot::Mutex;
 use syd_core::links::{FireResult, LinkKind, LinkSpec, LinkStatus};
 use syd_core::{DeviceRuntime, EntityHandler, SubscriptionHandler};
 use syd_store::{Column, ColumnType, Predicate, Schema, Store};
+use syd_telemetry::names;
 use syd_telemetry::{Counter, Histogram};
 use syd_types::{
-    MeetingId, Priority, ServiceName, SlotBitmap, SlotRange, SydError, SydResult, TimeSlot,
-    UserId, Value,
+    MeetingId, Priority, ServiceName, SlotBitmap, SlotRange, SydError, SydResult, TimeSlot, UserId,
+    Value,
 };
 
 use crate::mailbox::Mailbox;
-use crate::model::{
-    parse_slot_entity, slot_entity, Meeting, MeetingStatus, SlotState,
-};
+use crate::model::{parse_slot_entity, slot_entity, Meeting, MeetingStatus, SlotState};
 
 /// The calendar application's service name.
 pub fn calendar_service() -> ServiceName {
@@ -100,9 +99,9 @@ impl CalendarApp {
         let mailbox = Mailbox::install(device)?;
         let registry = device.metrics();
         let metrics = CalendarMetrics {
-            schedule: registry.histogram("calendar.schedule"),
-            reconcile: registry.histogram("calendar.reconcile"),
-            cancels: registry.counter("calendar.cancels"),
+            schedule: registry.histogram(names::CALENDAR_SCHEDULE),
+            reconcile: registry.histogram(names::CALENDAR_RECONCILE),
+            cancels: registry.counter(names::CALENDAR_CANCELS),
         };
         let app = Arc::new(CalendarApp {
             device: device.clone(),
@@ -121,20 +120,18 @@ impl CalendarApp {
         // is fired immediately — it notifies the waiting meeting's
         // initiator that this slot has opened up.
         let weak = Arc::downgrade(&app);
-        device
-            .links()
-            .set_promotion_handler(Arc::new(move |link| {
-                let Some(app) = weak.upgrade() else { return };
-                let link = link.clone();
-                // Fire outside the deletion call stack.
-                std::thread::spawn(move || {
-                    let _ = app.device.links().fire_link(
-                        &link,
-                        &Value::str("promoted"),
-                        app.device.negotiator(),
-                    );
-                });
-            }));
+        device.links().set_promotion_handler(Arc::new(move |link| {
+            let Some(app) = weak.upgrade() else { return };
+            let link = link.clone();
+            // Fire outside the deletion call stack.
+            std::thread::spawn(move || {
+                let _ = app.device.links().fire_link(
+                    &link,
+                    &Value::str("promoted"),
+                    app.device.negotiator(),
+                );
+            });
+        }));
 
         app.register_services()?;
         app.install_delegation()?;
@@ -280,10 +277,7 @@ impl CalendarApp {
     /// bit per slot on the wire, whatever the calendar's density.
     pub fn free_bitmap(&self, start: u64, end: u64) -> SydResult<SlotBitmap> {
         let end = end.max(start);
-        let range = SlotRange::new(
-            TimeSlot::from_ordinal(start),
-            TimeSlot::from_ordinal(end),
-        );
+        let range = SlotRange::new(TimeSlot::from_ordinal(start), TimeSlot::from_ordinal(end));
         let mut bm = SlotBitmap::all_free(range);
         let occupied = self
             .store
@@ -306,7 +300,10 @@ impl CalendarApp {
 
     /// The locally stored record of a meeting.
     pub fn meeting(&self, id: MeetingId) -> SydResult<Option<Meeting>> {
-        match self.store.get_by_key(T_MEETINGS, &[Value::from(id.raw())])? {
+        match self
+            .store
+            .get_by_key(T_MEETINGS, &[Value::from(id.raw())])?
+        {
             None => Ok(None),
             Some(row) => Ok(Some(Meeting::from_value(&row.values[1])?)),
         }
@@ -315,7 +312,11 @@ impl CalendarApp {
     pub(crate) fn put_meeting(&self, meeting: &Meeting) -> SydResult<()> {
         let key = Value::from(meeting.id.raw());
         let data = meeting.to_value();
-        if self.store.get_by_key(T_MEETINGS, std::slice::from_ref(&key))?.is_some() {
+        if self
+            .store
+            .get_by_key(T_MEETINGS, std::slice::from_ref(&key))?
+            .is_some()
+        {
             self.store.update(
                 T_MEETINGS,
                 &Predicate::Eq("id".into(), key),
@@ -386,8 +387,7 @@ impl EntityHandler for SlotEntityHandler {
         match change_field(change, "action")?.as_str()? {
             "reserve" => {
                 let meeting = MeetingId::new(change_field(change, "meeting")?.as_i64()? as u64);
-                let priority =
-                    Priority::new(change_field(change, "priority")?.as_i64()? as u8);
+                let priority = Priority::new(change_field(change, "priority")?.as_i64()? as u8);
                 match app.slot_state(ordinal)? {
                     SlotState::Free => Ok(()),
                     SlotState::Busy => Err(SydError::App(format!(
@@ -417,8 +417,7 @@ impl EntityHandler for SlotEntityHandler {
         match change_field(change, "action")?.as_str()? {
             "reserve" => {
                 let meeting = MeetingId::new(change_field(change, "meeting")?.as_i64()? as u64);
-                let priority =
-                    Priority::new(change_field(change, "priority")?.as_i64()? as u8);
+                let priority = Priority::new(change_field(change, "priority")?.as_i64()? as u8);
                 // A different current occupant means we are bumping it.
                 let bumped = match app.slot_state(ordinal)? {
                     SlotState::Tentative(m) | SlotState::Reserved(m) if m != meeting => Some(m),
@@ -587,9 +586,7 @@ impl CalendarApp {
             Arc::new(move |_ctx, args: &[Value]| {
                 let app = weak.upgrade().ok_or(SydError::Shutdown)?;
                 let id = MeetingId::new(arg(args, 0)?.as_i64()? as u64);
-                Ok(app
-                    .meeting(id)?
-                    .map_or(Value::Null, |m| m.to_value()))
+                Ok(app.meeting(id)?.map_or(Value::Null, |m| m.to_value()))
             }),
         )?;
 
@@ -676,7 +673,9 @@ impl CalendarApp {
                 let app = weak.upgrade().ok_or(SydError::Shutdown)?;
                 let meeting = MeetingId::new(arg(args, 0)?.as_i64()? as u64);
                 let new_ordinal = arg(args, 1)?.as_i64()? as u64;
-                Ok(Value::Bool(app.handle_change_request(meeting, new_ordinal)?))
+                Ok(Value::Bool(
+                    app.handle_change_request(meeting, new_ordinal)?,
+                ))
             }),
         )?;
 
@@ -746,11 +745,7 @@ impl CalendarApp {
     /// Installs a tentative *availability link* at this (unavailable)
     /// participant: a subscription link back to the meeting's initiator,
     /// waiting (§4.2 op. 3) on the link of whatever occupies the slot.
-    pub(crate) fn queue_availability_local(
-        &self,
-        ordinal: u64,
-        rec: &Meeting,
-    ) -> SydResult<()> {
+    pub(crate) fn queue_availability_local(&self, ordinal: u64, rec: &Meeting) -> SydResult<()> {
         self.put_meeting(rec)?;
         let entity = slot_entity(ordinal);
         let avail_corr = format!("avail:{}:{}", rec.id.raw(), self.user().raw());
@@ -775,16 +770,9 @@ impl CalendarApp {
             Some(m) => {
                 let occ_corr = self.meeting(m)?.map(|r| r.corr);
                 occ_corr.and_then(|corr| {
-                    self.device
-                        .links()
-                        .by_corr(&corr)
-                        .ok()
-                        .and_then(|links| {
-                            links
-                                .into_iter()
-                                .find(|l| l.entity == entity)
-                                .map(|l| l.id)
-                        })
+                    self.device.links().by_corr(&corr).ok().and_then(|links| {
+                        links.into_iter().find(|l| l.entity == entity).map(|l| l.id)
+                    })
                 })
             }
             None => None,

@@ -17,14 +17,10 @@ use syd_core::links::{Constraint, LinkKind, LinkRef, LinkSpec};
 use syd_core::negotiate::Participant;
 use syd_store::Predicate;
 use syd_telemetry::{trace, EventKind};
-use syd_types::{
-    MeetingId, SlotBitmap, SlotRange, SydError, SydResult, TimeSlot, UserId, Value,
-};
+use syd_types::{MeetingId, SlotBitmap, SlotRange, SydError, SydResult, TimeSlot, UserId, Value};
 
 use crate::app::{calendar_service, CalendarApp, T_BACKLINKS};
-use crate::model::{
-    slot_entity, Meeting, MeetingSpec, MeetingStatus, ScheduleOutcome,
-};
+use crate::model::{slot_entity, Meeting, MeetingSpec, MeetingStatus, ScheduleOutcome};
 
 /// How far ahead (in slots) auto-rescheduling searches for a new time.
 const RESCHEDULE_HORIZON: u64 = 7 * 24;
@@ -86,9 +82,7 @@ impl CalendarApp {
                             "free_slots",
                             vec![Value::from(start), Value::from(end)],
                         )
-                        .map_err(|e| {
-                            SydError::App(format!("could not query {user}: {e}"))
-                        })?;
+                        .map_err(|e| SydError::App(format!("could not query {user}: {e}")))?;
                     let ords = free
                         .as_list()?
                         .iter()
@@ -131,9 +125,8 @@ impl CalendarApp {
             vec![Value::from(start), Value::from(end)],
         );
         for (user, outcome) in result.outcomes {
-            let free = outcome.map_err(|e| {
-                SydError::App(format!("could not query {user}: {e}"))
-            })?;
+            let free =
+                outcome.map_err(|e| SydError::App(format!("could not query {user}: {e}")))?;
             let theirs: Vec<u64> = free
                 .as_list()?
                 .iter()
@@ -165,7 +158,11 @@ impl CalendarApp {
         let id = self.alloc_meeting();
         self.device.journal().record(
             EventKind::SpanBegin,
-            format!("calendar.schedule meeting={} slot={}", id.raw(), spec.slot.ordinal()),
+            format!(
+                "calendar.schedule meeting={} slot={}",
+                id.raw(),
+                spec.slot.ordinal()
+            ),
         );
         let result = self.schedule_inner(id, spec);
         self.metrics.schedule.record_duration(started.elapsed());
@@ -221,7 +218,9 @@ impl CalendarApp {
         )?;
 
         let status = self.reconcile(id)?;
-        let rec = self.meeting(id)?.expect("record just written");
+        let rec = self
+            .meeting(id)?
+            .ok_or_else(|| SydError::App(format!("meeting {id:?} vanished after write")))?;
         Ok(ScheduleOutcome {
             meeting: id,
             status,
@@ -315,8 +314,8 @@ impl CalendarApp {
             .copied()
             .filter(|u| holders.contains(u))
             .collect();
-        let satisfied = rec.constraints_satisfied_by(&reserved)
-            && reserved.contains(&rec.initiator);
+        let satisfied =
+            rec.constraints_satisfied_by(&reserved) && reserved.contains(&rec.initiator);
         let previous = rec.status;
         rec.reserved = reserved;
         rec.status = if satisfied {
@@ -365,7 +364,12 @@ impl CalendarApp {
             if self
                 .device
                 .engine()
-                .invoke(user, &syd_core::negotiate::link_service(), "install_link", vec![back.to_value()])
+                .invoke(
+                    user,
+                    &syd_core::negotiate::link_service(),
+                    "install_link",
+                    vec![back.to_value()],
+                )
                 .is_ok()
             {
                 self.mark_backlink(id, user)?;
@@ -571,11 +575,7 @@ impl CalendarApp {
     /// Initiator side of a change request: negotiation-and over every
     /// current holder at the new slot; only if all can move does the
     /// meeting move.
-    pub(crate) fn handle_change_request(
-        &self,
-        id: MeetingId,
-        new_ordinal: u64,
-    ) -> SydResult<bool> {
+    pub(crate) fn handle_change_request(&self, id: MeetingId, new_ordinal: u64) -> SydResult<bool> {
         let guard = self.reconcile_guard(id);
         let _g = guard.lock();
         let Some(mut rec) = self.meeting(id)? else {

@@ -68,14 +68,10 @@ impl CommitteeCalendar {
 
     /// Schedules a committee meeting at the earliest common slot in
     /// `range`.
-    pub fn schedule_earliest(
-        &self,
-        title: &str,
-        range: SlotRange,
-    ) -> SydResult<ScheduleOutcome> {
-        let slot = self.find_earliest_meeting_time(range)?.ok_or_else(|| {
-            SydError::App(format!("{}: no common slot in {range}", self.name))
-        })?;
+    pub fn schedule_earliest(&self, title: &str, range: SlotRange) -> SydResult<ScheduleOutcome> {
+        let slot = self
+            .find_earliest_meeting_time(range)?
+            .ok_or_else(|| SydError::App(format!("{}: no common slot in {range}", self.name)))?;
         let others: Vec<UserId> = self
             .members
             .iter()
@@ -122,6 +118,7 @@ impl CommitteeCalendar {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use syd_core::SydEnv;

@@ -186,10 +186,9 @@ impl BaselineCalendar {
                 &Predicate::Eq("user".into(), Value::from(user.raw())),
             )?;
             for v in folder.as_list()? {
-                let _ = self.store.insert(
-                    T_REPLICAS,
-                    vec![Value::from(user.raw()), v.clone()],
-                );
+                let _ = self
+                    .store
+                    .insert(T_REPLICAS, vec![Value::from(user.raw()), v.clone()]);
             }
         }
         Ok(())
@@ -211,9 +210,7 @@ impl BaselineCalendar {
             .filter_map(|row| {
                 let user = row.values[0].as_i64().ok()? as u64;
                 let ordinal = row.values[1].as_i64().ok()? as u64;
-                users
-                    .contains(&UserId::new(user))
-                    .then_some(ordinal)
+                users.contains(&UserId::new(user)).then_some(ordinal)
             })
             .collect();
         Ok((start..end)
@@ -233,11 +230,7 @@ impl BaselineCalendar {
     /// Proposes a meeting: e-mails an invite to every participant. The
     /// humans must [`BaselineCalendar::accept`]; once every RSVP is in,
     /// the initiator commits.
-    pub fn propose(
-        &self,
-        slot: TimeSlot,
-        participants: &[UserId],
-    ) -> SydResult<u64> {
+    pub fn propose(&self, slot: TimeSlot, participants: &[UserId]) -> SydResult<u64> {
         let id = (self.user().raw() << 24) | self.next_proposal.fetch_add(1, Ordering::Relaxed);
         self.proposals.lock().push(Proposal {
             id,
@@ -352,9 +345,7 @@ impl BaselineCalendar {
             let Some(p) = proposals.iter().find(|p| p.id == proposal) else {
                 return Ok(());
             };
-            if p.status != ProposalStatus::Pending
-                || p.accepted.len() != p.participants.len()
-            {
+            if p.status != ProposalStatus::Pending || p.accepted.len() != p.participants.len() {
                 return Ok(());
             }
             (p.slot, p.participants.clone())
@@ -504,11 +495,12 @@ impl BaselineCalendar {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
+    use std::time::Duration;
     use syd_core::SydEnv;
     use syd_net::NetConfig;
-    use std::time::Duration;
 
     fn rig(n: usize) -> (SydEnv, Vec<Arc<BaselineCalendar>>) {
         let env = SydEnv::new_insecure(NetConfig::ideal());
@@ -601,10 +593,7 @@ mod tests {
         let (_env, apps) = rig(2);
         let users = vec![apps[1].user()];
         apps[0].refresh_replicas(&users, 0, 48).unwrap();
-        assert_eq!(
-            apps[0].replica_free_slots(&users, 0, 48).unwrap().len(),
-            48
-        );
+        assert_eq!(apps[0].replica_free_slots(&users, 0, 48).unwrap().len(), 48);
         // Bob books a slot; Alice's replica doesn't know.
         apps[1].mark_busy(TimeSlot::new(0, 5)).unwrap();
         assert_eq!(
@@ -613,10 +602,7 @@ mod tests {
             "stale replica still shows the slot free"
         );
         apps[0].refresh_replicas(&users, 0, 48).unwrap();
-        assert_eq!(
-            apps[0].replica_free_slots(&users, 0, 48).unwrap().len(),
-            47
-        );
+        assert_eq!(apps[0].replica_free_slots(&users, 0, 48).unwrap().len(), 47);
         assert_eq!(apps[0].replica_rows().unwrap(), 1);
         assert_eq!(apps[0].stats.polls.load(Ordering::Relaxed), 2);
     }

@@ -58,9 +58,9 @@ impl CalendarApp {
                 if ctx.authenticated && ctx.caller != delegate {
                     return Err(SydError::AuthFailed(ctx.caller));
                 }
-                let grant = app.delegation_for(delegate)?.ok_or_else(|| {
-                    SydError::App(format!("{delegate} holds no delegation"))
-                })?;
+                let grant = app
+                    .delegation_for(delegate)?
+                    .ok_or_else(|| SydError::App(format!("{delegate} holds no delegation")))?;
                 if let Some(expires) = grant.expires {
                     if app.device.clock().now() > expires {
                         return Err(SydError::App("delegation expired".into()));
@@ -159,6 +159,7 @@ impl CalendarApp {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::model::MeetingStatus;
@@ -171,9 +172,7 @@ mod tests {
     fn rig() -> (SydEnv, Vec<Arc<CalendarApp>>) {
         let env = SydEnv::new_insecure(NetConfig::ideal());
         let apps = (0..3)
-            .map(|i| {
-                CalendarApp::install(&env.device(&format!("u{i}"), "").unwrap()).unwrap()
-            })
+            .map(|i| CalendarApp::install(&env.device(&format!("u{i}"), "").unwrap()).unwrap())
             .collect();
         (env, apps)
     }

@@ -46,11 +46,11 @@ pub mod proxy_support;
 
 pub use app::CalendarApp;
 pub use appobj::CommitteeCalendar;
-pub use delegation::Delegation;
 pub use baseline::{BaselineCalendar, BaselineStats};
+pub use delegation::Delegation;
 pub use mailbox::{Mail, Mailbox};
-pub use proxy_support::host_calendar_on_proxy;
 pub use model::{
     slot_entity, GroupSpec, Meeting, MeetingId, MeetingSpec, MeetingStatus, ScheduleOutcome,
     SlotState,
 };
+pub use proxy_support::host_calendar_on_proxy;

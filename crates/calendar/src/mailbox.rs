@@ -73,11 +73,7 @@ impl Mailbox {
                     .first()
                     .ok_or_else(|| syd_types::SydError::Protocol("deliver needs subject".into()))?
                     .as_str()?;
-                let body = args
-                    .get(1)
-                    .map(|v| v.as_str())
-                    .transpose()?
-                    .unwrap_or("");
+                let body = args.get(1).map(|v| v.as_str()).transpose()?.unwrap_or("");
                 mailbox.deliver_local(ctx.caller, subject, body)?;
                 Ok(Value::Null)
             }),
@@ -147,6 +143,7 @@ impl Mailbox {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use syd_core::SydEnv;
@@ -160,7 +157,8 @@ mod tests {
         let ma = Mailbox::install(&a).unwrap();
         let mb = Mailbox::install(&b).unwrap();
 
-        ma.send(b.user(), "meeting confirmed", "day 3 14:00").unwrap();
+        ma.send(b.user(), "meeting confirmed", "day 3 14:00")
+            .unwrap();
         ma.send(b.user(), "meeting cancelled", "sorry").unwrap();
 
         let inbox = mb.inbox().unwrap();

@@ -221,9 +221,10 @@ impl Meeting {
     /// True iff the reserved set satisfies musts + every group quorum.
     pub fn constraints_satisfied_by(&self, reserved: &[UserId]) -> bool {
         self.musts.iter().all(|m| reserved.contains(m))
-            && self.groups.iter().all(|g| {
-                g.members.iter().filter(|m| reserved.contains(m)).count() >= g.k as usize
-            })
+            && self
+                .groups
+                .iter()
+                .all(|g| g.members.iter().filter(|m| reserved.contains(m)).count() >= g.k as usize)
     }
 
     /// True iff the current reserved set satisfies the constraints.
@@ -316,6 +317,7 @@ pub struct ScheduleOutcome {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 
@@ -400,9 +402,6 @@ mod tests {
     fn missing_lists_unreserved_participants() {
         let m = meeting();
         assert_eq!(m.missing(), vec![u(3), u(4), u(5)]);
-        assert_eq!(
-            m.all_participants(),
-            vec![u(1), u(2), u(3), u(4), u(5)]
-        );
+        assert_eq!(m.all_participants(), vec![u(1), u(2), u(3), u(4), u(5)]);
     }
 }

@@ -100,17 +100,17 @@ fn meeting_info_method() -> ProxyMethod {
 
 /// Hosts `user`'s calendar read path on `proxy` and starts replication
 /// from `app`'s primary store. Call once per hosted calendar user.
-pub fn host_calendar_on_proxy(
-    proxy: &ProxyHost,
-    app: &CalendarApp,
-) -> SydResult<()> {
+pub fn host_calendar_on_proxy(proxy: &ProxyHost, app: &CalendarApp) -> SydResult<()> {
     let user: UserId = app.user();
     let svc = calendar_service();
     proxy.host_user(user, |store| {
         replica_schema(store)?;
         Ok(vec![
             ((svc.clone(), "free_slots".to_owned()), free_slots_method()),
-            ((svc.clone(), "slot_status".to_owned()), slot_status_method()),
+            (
+                (svc.clone(), "slot_status".to_owned()),
+                slot_status_method(),
+            ),
             (
                 (svc.clone(), "meeting_info".to_owned()),
                 meeting_info_method(),
@@ -122,6 +122,7 @@ pub fn host_calendar_on_proxy(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::model::{MeetingSpec, MeetingStatus};

@@ -1,12 +1,12 @@
 //! End-to-end calendar scenarios — the narrative walkthroughs of §4.4 and
 //! §5, executed against live devices on the simulated network.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use syd_calendar::{
-    CalendarApp, GroupSpec, MeetingSpec, MeetingStatus, SlotState,
-};
+use syd_calendar::{CalendarApp, GroupSpec, MeetingSpec, MeetingStatus, SlotState};
 use syd_core::SydEnv;
 use syd_net::NetConfig;
 use syd_types::{MeetingId, Priority, SlotRange, TimeSlot, UserId, Value};
@@ -88,9 +88,7 @@ fn meeting_is_tentative_while_someone_is_busy_and_confirms_when_freed() {
         "automatic confirmation",
     );
     wait_for(
-        || {
-            apps[2].slot_state(slot.ordinal()).unwrap().meeting() == Some(outcome.meeting)
-        },
+        || apps[2].slot_state(slot.ordinal()).unwrap().meeting() == Some(outcome.meeting),
         "C's reservation",
     );
 }
@@ -169,10 +167,7 @@ fn higher_priority_meeting_bumps_and_victim_reschedules() {
     let others: Vec<UserId> = apps[1..].iter().map(|a| a.user()).collect();
 
     let low = apps[0]
-        .schedule(
-            MeetingSpec::plain("low", slot, others.clone())
-                .with_priority(Priority::new(50)),
-        )
+        .schedule(MeetingSpec::plain("low", slot, others.clone()).with_priority(Priority::new(50)))
         .unwrap();
     assert_eq!(low.status, MeetingStatus::Confirmed);
 
@@ -194,11 +189,9 @@ fn higher_priority_meeting_bumps_and_victim_reschedules() {
     // The bumped meeting automatically lands on another common slot.
     wait_for(
         || {
-            apps[0]
-                .meeting(low.meeting)
-                .unwrap()
-                .is_some_and(|m| m.ordinal != slot.ordinal()
-                    && m.status == MeetingStatus::Confirmed)
+            apps[0].meeting(low.meeting).unwrap().is_some_and(|m| {
+                m.ordinal != slot.ordinal() && m.status == MeetingStatus::Confirmed
+            })
         },
         "automatic rescheduling of the bumped meeting",
     );
@@ -357,9 +350,7 @@ fn leaving_respects_quorums_and_musts() {
         .collect();
     assert_eq!(attending.len(), 2);
     for app in &apps[2..6] {
-        if !attending.contains(&app.user())
-            && app.slot_state(slot.ordinal()).unwrap().is_free()
-        {
+        if !attending.contains(&app.user()) && app.slot_state(slot.ordinal()).unwrap().is_free() {
             app.mark_busy(slot).unwrap();
         }
     }
@@ -478,10 +469,12 @@ fn concurrent_initiators_cannot_double_book_a_slot() {
     let users0 = users.clone();
     let users1 = users.clone();
     let t0 = std::thread::spawn(move || {
-        a0.schedule(MeetingSpec::plain("race-A", slot, users0)).unwrap()
+        a0.schedule(MeetingSpec::plain("race-A", slot, users0))
+            .unwrap()
     });
     let t1 = std::thread::spawn(move || {
-        a1.schedule(MeetingSpec::plain("race-B", slot, users1)).unwrap()
+        a1.schedule(MeetingSpec::plain("race-B", slot, users1))
+            .unwrap()
     });
     let o0 = t0.join().unwrap();
     let o1 = t1.join().unwrap();

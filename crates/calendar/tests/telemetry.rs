@@ -3,11 +3,14 @@
 //! histograms tick, and a forced abort shows up in the postmortem dump
 //! with its reason.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::sync::Arc;
 
 use syd_calendar::{CalendarApp, MeetingSpec, MeetingStatus};
 use syd_core::SydEnv;
 use syd_net::NetConfig;
+use syd_telemetry::names;
 use syd_telemetry::EventKind;
 use syd_types::{TimeSlot, UserId};
 
@@ -57,14 +60,16 @@ fn one_trace_spans_all_participants_and_metrics_tick() {
     // Counters and histograms ticked on the initiator.
     let metrics = apps[0].device().metrics();
     let sessions = metrics
-        .get_counter("negotiate.sessions")
+        .get_counter(names::NEGOTIATE_SESSIONS)
         .expect("negotiate.sessions registered");
     assert!(sessions.get() >= 1, "no negotiation sessions counted");
-    let rpc = metrics.get_histogram("rpc.call").expect("rpc.call registered");
+    let rpc = metrics
+        .get_histogram(names::RPC_CALL)
+        .expect("rpc.call registered");
     assert!(rpc.count() >= 1, "no rpc latencies recorded");
     assert!(rpc.summary().p50 > 0, "rpc p50 should be positive");
     let schedule = metrics
-        .get_histogram("calendar.schedule")
+        .get_histogram(names::CALENDAR_SCHEDULE)
         .expect("calendar.schedule registered");
     assert_eq!(schedule.count(), 1);
 
@@ -102,7 +107,7 @@ fn forced_abort_lands_in_journal_with_reason() {
     let aborts = apps[0]
         .device()
         .metrics()
-        .get_counter("negotiate.aborts")
+        .get_counter(names::NEGOTIATE_ABORTS)
         .expect("negotiate.aborts registered");
     assert!(aborts.get() >= 1);
 

@@ -198,10 +198,7 @@ impl<'a> Fields<'a> {
     }
 
     fn get(&self, key: &str) -> Option<&'a str> {
-        self.pairs
-            .iter()
-            .find(|(k, _)| *k == key)
-            .map(|&(_, v)| v)
+        self.pairs.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
     }
 
     fn u64(&self, key: &str) -> Option<u64> {
@@ -325,15 +322,19 @@ pub fn parse(event: &JournalEvent) -> ProtoEvent {
                 f.usize("aborted"),
                 f.usize("declined"),
             ) {
-                (Some(session), Some(satisfied), Some(committed), Some(aborted), Some(declined)) => {
-                    ProtoEvent::End {
-                        session,
-                        satisfied,
-                        committed,
-                        aborted,
-                        declined,
-                    }
-                }
+                (
+                    Some(session),
+                    Some(satisfied),
+                    Some(committed),
+                    Some(aborted),
+                    Some(declined),
+                ) => ProtoEvent::End {
+                    session,
+                    satisfied,
+                    committed,
+                    aborted,
+                    declined,
+                },
                 _ => ProtoEvent::Other,
             }
         }
@@ -360,6 +361,7 @@ pub fn parse(event: &JournalEvent) -> ProtoEvent {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 
@@ -439,7 +441,10 @@ mod tests {
             }
         );
         assert_eq!(
-            parse(&ev(EventKind::Mark, "session=5 yes=2 declined=1 contended=0")),
+            parse(&ev(
+                EventKind::Mark,
+                "session=5 yes=2 declined=1 contended=0"
+            )),
             ProtoEvent::Tally {
                 session: 5,
                 yes: 2,
@@ -455,7 +460,10 @@ mod tests {
             }
         );
         assert_eq!(
-            parse(&ev(EventKind::Abort, "session=5 user=3 reason=xor-overflow")),
+            parse(&ev(
+                EventKind::Abort,
+                "session=5 user=3 reason=xor-overflow"
+            )),
             ProtoEvent::AbortUser {
                 session: 5,
                 user: 3,
@@ -480,7 +488,10 @@ mod tests {
     #[test]
     fn parses_link_events() {
         assert_eq!(
-            parse(&ev(EventKind::Promotion, "link.promoted group=7 id=3 priority=200")),
+            parse(&ev(
+                EventKind::Promotion,
+                "link.promoted group=7 id=3 priority=200"
+            )),
             ProtoEvent::Promoted {
                 link: 3,
                 priority: 200,
@@ -505,7 +516,10 @@ mod tests {
         assert_eq!(parse(&ev(EventKind::Info, "link.created corr=c id=1")), {
             ProtoEvent::Other
         });
-        assert_eq!(parse(&ev(EventKind::SpanBegin, "rpc call")), ProtoEvent::Other);
+        assert_eq!(
+            parse(&ev(EventKind::SpanBegin, "rpc call")),
+            ProtoEvent::Other
+        );
         assert_eq!(parse(&ev(EventKind::Mark, "garbage")), ProtoEvent::Other);
     }
 

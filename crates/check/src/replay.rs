@@ -228,10 +228,7 @@ pub(crate) fn replay_device(
                 let key = (*session, entity.clone());
                 // An abort without a lock is legal: coordinators abort
                 // broadly to clean up lost-message locks.
-                if opts.strict
-                    && !summary.truncated
-                    && phase.get(&key) == Some(&Phase::Committed)
-                {
+                if opts.strict && !summary.truncated && phase.get(&key) == Some(&Phase::Committed) {
                     violate(
                         report,
                         Rule::Ordering,
@@ -355,7 +352,10 @@ pub(crate) fn replay_device(
 /// against. This is what the synthetic-journal oracle tests and offline
 /// postmortem tooling use; [`crate::audit`] layers live-state checks on
 /// top of this replay.
-pub fn audit_journals(journals: &[(String, Vec<JournalEvent>)], opts: &AuditOptions) -> AuditReport {
+pub fn audit_journals(
+    journals: &[(String, Vec<JournalEvent>)],
+    opts: &AuditOptions,
+) -> AuditReport {
     let mut report = AuditReport::default();
     let mut all_sessions = BTreeSet::new();
     for (device, events) in journals {

@@ -174,6 +174,7 @@ pub(crate) fn render(event: &JournalEvent) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use syd_telemetry::EventKind;

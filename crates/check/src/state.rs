@@ -187,6 +187,7 @@ fn waiting_violation(device: &DeviceState, message: String) -> Violation {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use syd_telemetry::EventKind;

@@ -52,7 +52,11 @@ pub struct Rng(u64);
 impl Rng {
     /// Seeds the generator (zero is remapped to a fixed odd constant).
     pub fn new(seed: u64) -> Rng {
-        Rng(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+        Rng(if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        })
     }
 
     /// Next raw value.
@@ -121,14 +125,15 @@ pub fn generate(
     let target = sessions / 2;
 
     for i in 0..sessions {
-        let m = if i == target { mutation } else { Mutation::None };
+        let m = if i == target {
+            mutation
+        } else {
+            Mutation::None
+        };
         gen_session(&mut rng, &mut journals, &mut at, i as u64, m);
     }
 
-    journals
-        .into_iter()
-        .map(|d| (d.name, d.events))
-        .collect()
+    journals.into_iter().map(|d| (d.name, d.events)).collect()
 }
 
 fn gen_session(
@@ -335,6 +340,7 @@ fn gen_session(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::replay::{audit_journals, AuditOptions};
@@ -389,7 +395,10 @@ mod tests {
                 caught += 1;
             }
         }
-        assert!(caught >= 10, "double commits caught in only {caught}/20 seeds");
+        assert!(
+            caught >= 10,
+            "double commits caught in only {caught}/20 seeds"
+        );
     }
 
     #[test]
@@ -398,11 +407,7 @@ mod tests {
         for seed in 1..=20u64 {
             let journals = generate(seed, 9, 4, Mutation::CommitWithoutLock);
             let report = audit_journals(&journals, &AuditOptions::strict());
-            if report
-                .violations
-                .iter()
-                .any(|v| v.rule == Rule::DoubleBook)
-            {
+            if report.violations.iter().any(|v| v.rule == Rule::DoubleBook) {
                 caught += 1;
             }
         }
@@ -415,11 +420,7 @@ mod tests {
         for seed in 1..=20u64 {
             let journals = generate(seed, 9, 4, Mutation::BadArithmetic);
             let report = audit_journals(&journals, &AuditOptions::strict());
-            if report
-                .violations
-                .iter()
-                .any(|v| v.rule == Rule::Constraint)
-            {
+            if report.violations.iter().any(|v| v.rule == Rule::Constraint) {
                 caught += 1;
             }
         }
@@ -472,6 +473,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod proptests {
     use proptest::prelude::*;
 

@@ -3,6 +3,8 @@
 //! an ideal network), and every planted defect must be caught with the
 //! offending session id and its journal excerpt.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::time::Duration;
 
 use syd_check::{AuditOptions, Rule};
@@ -38,7 +40,10 @@ fn negotiations_on_ideal_network_audit_strictly_clean() {
             1 => Constraint::AtLeast(2),
             _ => Constraint::Exactly(1),
         };
-        coordinator.negotiator().negotiate(constraint, &parts).unwrap();
+        coordinator
+            .negotiator()
+            .negotiate(constraint, &parts)
+            .unwrap();
     }
     syd_check::audit_strict(devices.iter()).assert_clean();
 }
@@ -100,9 +105,10 @@ fn closed_story_with_held_lock_is_a_leak() {
     let (_env, devices) = rig(1);
     let device = &devices[0];
     let session = 0xBAD_CAFE;
-    device
-        .journal()
-        .record(EventKind::Lock, format!("session={session} entity=slot:leak"));
+    device.journal().record(
+        EventKind::Lock,
+        format!("session={session} entity=slot:leak"),
+    );
     device.journal().record(
         EventKind::Change,
         format!("session={session} entity=slot:leak applied=true"),

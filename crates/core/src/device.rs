@@ -570,15 +570,13 @@ impl DeviceRuntime {
         // Stale negotiation sessions: a coordinator that died between mark
         // and commit leaves entities locked; sweep them.
         let inner = Arc::downgrade(&self.inner);
-        self.inner.events.register_periodic(
-            "stale-sessions",
-            Duration::from_secs(5),
-            move || {
+        self.inner
+            .events
+            .register_periodic("stale-sessions", Duration::from_secs(5), move || {
                 if let Some(inner) = inner.upgrade() {
                     sweep_sessions(&inner, STALE_SESSION_AGE);
                 }
-            },
-        );
+            });
     }
 
     /// Sweeps negotiation sessions older than `older_than`, releasing any
@@ -666,6 +664,7 @@ fn args_get(args: &[Value], i: usize) -> SydResult<&Value> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::directory::DirectoryServer;
@@ -717,9 +716,7 @@ mod tests {
         fn abort(&self, _entity: &str, _change: &Value) {}
     }
 
-    fn install_map_handlers(
-        devices: &[DeviceRuntime],
-    ) -> Vec<Arc<Mutex<HashMap<String, String>>>> {
+    fn install_map_handlers(devices: &[DeviceRuntime]) -> Vec<Arc<Mutex<HashMap<String, String>>>> {
         devices
             .iter()
             .map(|d| {
@@ -755,7 +752,10 @@ mod tests {
             .iter()
             .map(|d| Participant::new(d.user(), "slot:1:9", Value::str("reserved")))
             .collect();
-        let outcome = devices[0].negotiator().negotiate_and(&participants).unwrap();
+        let outcome = devices[0]
+            .negotiator()
+            .negotiate_and(&participants)
+            .unwrap();
         assert!(outcome.satisfied, "{outcome:?}");
         assert_eq!(outcome.committed.len(), 3);
         for state in &states {
@@ -779,7 +779,10 @@ mod tests {
             .iter()
             .map(|d| Participant::new(d.user(), "slot:1:9", Value::str("reserved")))
             .collect();
-        let outcome = devices[0].negotiator().negotiate_and(&participants).unwrap();
+        let outcome = devices[0]
+            .negotiator()
+            .negotiate_and(&participants)
+            .unwrap();
         assert!(!outcome.satisfied);
         assert!(outcome.committed.is_empty());
         assert_eq!(outcome.declined, vec![devices[2].user()]);
@@ -882,10 +885,7 @@ mod tests {
         assert!(outcome.satisfied);
         assert_eq!(outcome.committed.len(), 1);
         assert_eq!(outcome.aborted.len(), 2);
-        let changed = states
-            .iter()
-            .filter(|s| s.lock().contains_key("e"))
-            .count();
+        let changed = states.iter().filter(|s| s.lock().contains_key("e")).count();
         assert_eq!(changed, 1);
     }
 
@@ -913,7 +913,11 @@ mod tests {
         let winners = [o0.satisfied, o1.satisfied].iter().filter(|&&b| b).count();
         assert!(winners <= 1, "both negotiations committed: {o0:?} {o1:?}");
         if winners == 1 {
-            let value = if o0.satisfied { "meeting-A" } else { "meeting-B" };
+            let value = if o0.satisfied {
+                "meeting-A"
+            } else {
+                "meeting-B"
+            };
             for state in &states {
                 assert_eq!(state.lock().get("s").unwrap(), value);
             }
@@ -977,7 +981,10 @@ mod tests {
                 crate::links::LinkRef::new(devices[2].user(), "slot:2:10", "reserve"),
             ],
         );
-        let forward = devices[0].links().create_negotiated(spec, "inform").unwrap();
+        let forward = devices[0]
+            .links()
+            .create_negotiated(spec, "inform")
+            .unwrap();
         assert_eq!(devices[0].links().count().unwrap(), 1);
         // Each peer holds a back subscription link under the same corr.
         for d in &devices[1..] {
@@ -1023,7 +1030,12 @@ mod tests {
         assert_eq!(report.deleted, vec![forward.id]);
         assert_eq!(report.cascaded_to.len(), 2);
         for d in &devices {
-            assert_eq!(d.links().count().unwrap(), 0, "{} still has links", d.name());
+            assert_eq!(
+                d.links().count().unwrap(),
+                0,
+                "{} still has links",
+                d.name()
+            );
         }
     }
 
@@ -1112,8 +1124,7 @@ mod tests {
         let dir = DirectoryServer::start(&net);
         let clock = SimClock::new();
         let clock_arc: Arc<dyn Clock> = Arc::new(clock.clone());
-        let d = DeviceRuntime::new(&net, dir.addr(), UserId::new(1), "u", None, clock_arc)
-            .unwrap();
+        let d = DeviceRuntime::new(&net, dir.addr(), UserId::new(1), "u", None, clock_arc).unwrap();
         d.links()
             .add_local(
                 LinkSpec::subscription("e", vec![])

@@ -16,10 +16,9 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use syd_net::{Network, Node, RequestHandler, Transport};
+use syd_telemetry::names;
 use syd_telemetry::{Counter, Registry};
-use syd_types::{
-    GroupId, NodeAddr, ServiceName, SydError, SydResult, UserId, Value,
-};
+use syd_types::{GroupId, NodeAddr, ServiceName, SydError, SydResult, UserId, Value};
 use syd_wire::Request;
 
 /// The directory's service name.
@@ -81,9 +80,9 @@ struct DirMetrics {
 impl DirMetrics {
     fn preregister(registry: &Registry) -> Self {
         Self {
-            lookups: registry.counter("dir.lookups"),
-            batch_lookups: registry.counter("dir.batch_lookups"),
-            batch_lookup_users: registry.counter("dir.batch_lookup_users"),
+            lookups: registry.counter(names::DIR_LOOKUPS),
+            batch_lookups: registry.counter(names::DIR_BATCH_LOOKUPS),
+            batch_lookup_users: registry.counter(names::DIR_BATCH_LOOKUP_USERS),
         }
     }
 }
@@ -98,6 +97,7 @@ impl DirectoryServer {
     /// Starts a directory on the simulated `net`. Infallible convenience
     /// for the single-process case; see [`DirectoryServer::start_on`].
     pub fn start(net: &Network) -> DirectoryServer {
+        #[allow(clippy::expect_used)] // sim listen allocates an address; it cannot fail
         Self::start_on(net).expect("simulated transport cannot fail to listen")
     }
 
@@ -107,9 +107,10 @@ impl DirectoryServer {
         let state = Arc::new(RwLock::new(DirState::default()));
         let handler_state = Arc::clone(&state);
         let metrics = DirMetrics::preregister(node.metrics());
-        node.set_handler(Arc::new(move |_from, req: Request| {
-            serve(&handler_state, &metrics, &req)
-        }) as Arc<dyn RequestHandler>);
+        node.set_handler(
+            Arc::new(move |_from, req: Request| serve(&handler_state, &metrics, &req))
+                as Arc<dyn RequestHandler>,
+        );
         Ok(DirectoryServer { node, state })
     }
 
@@ -549,7 +550,8 @@ impl DirectoryClient {
 
     /// Removes the user's proxy registration.
     pub fn clear_proxy(&self, user: UserId) -> SydResult<()> {
-        self.call("clear_proxy", vec![Value::from(user.raw())]).map(|_| ())
+        self.call("clear_proxy", vec![Value::from(user.raw())])
+            .map(|_| ())
     }
 
     /// Creates a named group.
@@ -602,6 +604,7 @@ impl DirectoryClient {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use syd_net::Network;
@@ -632,14 +635,18 @@ mod tests {
     #[test]
     fn duplicate_name_rejected() {
         let (_net, _dir, client) = setup();
-        client.register(UserId::new(1), "phil", NodeAddr::new(1)).unwrap();
+        client
+            .register(UserId::new(1), "phil", NodeAddr::new(1))
+            .unwrap();
         let err = client
             .register(UserId::new(2), "phil", NodeAddr::new(2))
             .unwrap_err();
         assert!(err.to_string().contains("taken"), "{err}");
         // Re-registering the same user under the same name is fine
         // (device rebooted with a new address).
-        client.register(UserId::new(1), "phil", NodeAddr::new(9)).unwrap();
+        client
+            .register(UserId::new(1), "phil", NodeAddr::new(9))
+            .unwrap();
         assert_eq!(client.lookup(UserId::new(1)).unwrap().0, NodeAddr::new(9));
     }
 
@@ -692,7 +699,9 @@ mod tests {
     fn groups_form_and_change_dynamically() {
         let (_net, _dir, client) = setup();
         for (id, name) in [(1, "ann"), (2, "bob"), (3, "cal")] {
-            client.register(UserId::new(id), name, NodeAddr::new(id)).unwrap();
+            client
+                .register(UserId::new(id), name, NodeAddr::new(id))
+                .unwrap();
         }
         let biology = client.create_group("biology").unwrap();
         assert_eq!(client.group_by_name("biology").unwrap(), biology);
@@ -731,13 +740,22 @@ mod tests {
     fn lookup_many_resolves_a_group_in_one_round_trip() {
         let (_net, dir, client) = setup();
         for (id, name) in [(1, "ann"), (2, "bob"), (3, "cal")] {
-            client.register(UserId::new(id), name, NodeAddr::new(id)).unwrap();
+            client
+                .register(UserId::new(id), name, NodeAddr::new(id))
+                .unwrap();
         }
         // Bob is disconnected behind a proxy; 404 is unknown.
-        client.register_proxy(UserId::new(2), NodeAddr::new(20)).unwrap();
+        client
+            .register_proxy(UserId::new(2), NodeAddr::new(20))
+            .unwrap();
         client.set_connected(UserId::new(2), false).unwrap();
 
-        let users = [UserId::new(1), UserId::new(404), UserId::new(2), UserId::new(3)];
+        let users = [
+            UserId::new(1),
+            UserId::new(404),
+            UserId::new(2),
+            UserId::new(3),
+        ];
         let got = client.lookup_many(&users).unwrap();
         assert_eq!(
             got,
@@ -750,12 +768,24 @@ mod tests {
         );
         // The whole batch was one served request, and the per-user
         // counter confirms all four rode in it.
-        assert_eq!(dir.metrics().get_counter("dir.batch_lookups").unwrap().get(), 1);
         assert_eq!(
-            dir.metrics().get_counter("dir.batch_lookup_users").unwrap().get(),
+            dir.metrics()
+                .get_counter(names::DIR_BATCH_LOOKUPS)
+                .unwrap()
+                .get(),
+            1
+        );
+        assert_eq!(
+            dir.metrics()
+                .get_counter(names::DIR_BATCH_LOOKUP_USERS)
+                .unwrap()
+                .get(),
             4
         );
-        assert_eq!(dir.metrics().get_counter("dir.lookups").unwrap().get(), 0);
+        assert_eq!(
+            dir.metrics().get_counter(names::DIR_LOOKUPS).unwrap().get(),
+            0
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@ use syd_wire::Args;
 
 use crate::directory::DirectoryClient;
 use crate::qos::QosMonitor;
+use syd_telemetry::names;
 
 /// Result of a group invocation: per-user outcomes in request order.
 #[derive(Debug)]
@@ -106,9 +107,9 @@ pub struct SydEngine {
 impl SydEngine {
     /// Builds an engine over `node`, resolving names with `directory`.
     pub fn new(node: Node, directory: DirectoryClient) -> SydEngine {
-        let invoke_hist = node.metrics().histogram("engine.invoke");
-        let batch_resolves = node.metrics().counter("engine.batch_resolves");
-        let resolve_fallbacks = node.metrics().counter("engine.resolve_fallbacks");
+        let invoke_hist = node.metrics().histogram(names::ENGINE_INVOKE);
+        let batch_resolves = node.metrics().counter(names::ENGINE_BATCH_RESOLVES);
+        let resolve_fallbacks = node.metrics().counter(names::ENGINE_RESOLVE_FALLBACKS);
         SydEngine {
             node,
             directory,
@@ -282,7 +283,12 @@ impl SydEngine {
             }
         }
         out.into_iter()
-            .map(|(user, r)| (user, r.expect("every slot filled")))
+            .map(|(user, r)| {
+                // Every slot is filled by the loop above; a miss is a
+                // logic bug surfaced as an error, not a panic.
+                let r = r.unwrap_or_else(|| Err(SydError::App("lookup slot left unfilled".into())));
+                (user, r)
+            })
             .collect()
     }
 
@@ -355,7 +361,12 @@ impl SydEngine {
             out[i].1 = Some(result);
         }
         out.into_iter()
-            .map(|(user, r)| (user, r.expect("every slot filled")))
+            .map(|(user, r)| {
+                // Every slot is filled by the loop above; a miss is a
+                // logic bug surfaced as an error, not a panic.
+                let r = r.unwrap_or_else(|| Err(SydError::App("lookup slot left unfilled".into())));
+                (user, r)
+            })
             .collect()
     }
 
@@ -420,7 +431,9 @@ impl SydEngine {
             qos.admit(user, service, deadline)?;
         }
         let bounded = self.clone().with_options(
-            CallOptions::new().with_timeout(deadline).with_retries(self.opts().retries),
+            CallOptions::new()
+                .with_timeout(deadline)
+                .with_retries(self.opts().retries),
         );
         let started = std::time::Instant::now();
         let result = bounded.invoke_inner(user, service, method, args);
@@ -482,7 +495,11 @@ impl SydEngine {
         for (user, addr) in resolved {
             // Legacy mode deep-copies the values per recipient, paying the
             // per-member re-encode the shared handle exists to avoid.
-            let body = if shared { args.clone() } else { Args::from(args.to_vec()) };
+            let body = if shared {
+                args.clone()
+            } else {
+                Args::from(args.to_vec())
+            };
             let sent = addr.and_then(|addr| {
                 self.node
                     .call_async_to(addr, user, service, method, body.clone())
@@ -573,6 +590,7 @@ impl SydEngine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::directory::DirectoryServer;
@@ -598,7 +616,8 @@ mod tests {
                 out.extend(req.args.iter().cloned());
                 Ok(Value::list(out))
             }) as Arc<dyn RequestHandler>);
-            dirc.register(user, &format!("user{id}"), server.addr()).unwrap();
+            dirc.register(user, &format!("user{id}"), server.addr())
+                .unwrap();
             servers.push(server);
         }
         let engine = SydEngine::new(client_node, dirc);
@@ -666,9 +685,10 @@ mod tests {
         engine.invoke(user, &svc, "echo", vec![]).unwrap();
         // Move the user to a new node (re-register), kill the old node.
         let new_server = Node::spawn(&net);
-        new_server.set_handler(Arc::new(move |_from, _req: Request| {
-            Ok(Value::str("new home"))
-        }) as Arc<dyn RequestHandler>);
+        new_server.set_handler(
+            Arc::new(move |_from, _req: Request| Ok(Value::str("new home")))
+                as Arc<dyn RequestHandler>,
+        );
         engine
             .directory()
             .register(user, "user1", new_server.addr())
@@ -793,9 +813,10 @@ mod tests {
         // call must re-resolve and retry, like `invoke` does.
         let user = UserId::new(1);
         let new_server = Node::spawn(&net);
-        new_server.set_handler(Arc::new(move |_from, _req: Request| {
-            Ok(Value::str("moved"))
-        }) as Arc<dyn RequestHandler>);
+        new_server.set_handler(
+            Arc::new(move |_from, _req: Request| Ok(Value::str("moved")))
+                as Arc<dyn RequestHandler>,
+        );
         engine
             .directory()
             .register(user, "user1", new_server.addr())
@@ -816,7 +837,9 @@ mod tests {
         let (net, _dir, engine, _servers) = setup(8);
         let users: Vec<UserId> = (1..=8).map(UserId::new).collect();
         // Warm the cache so both rounds below differ only in body bytes.
-        assert!(engine.invoke_group(&users, &ServiceName::new("svc"), "echo", vec![]).all_ok());
+        assert!(engine
+            .invoke_group(&users, &ServiceName::new("svc"), "echo", vec![])
+            .all_ok());
         let payload = vec![Value::str("x".repeat(512))];
         let body_len = {
             let args = Args::from(payload.clone());

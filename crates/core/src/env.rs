@@ -34,7 +34,10 @@ impl SydEnv {
     /// Starts a deployment with §5.4 authentication enabled, deriving the
     /// shared TEA key from `passphrase`.
     pub fn new(cfg: NetConfig, passphrase: &str) -> SydEnv {
-        Self::build(cfg, Some(Arc::new(Authenticator::from_passphrase(passphrase))))
+        Self::build(
+            cfg,
+            Some(Arc::new(Authenticator::from_passphrase(passphrase))),
+        )
     }
 
     /// Starts a deployment without authentication (every request trusted).
@@ -92,6 +95,7 @@ impl SydEnv {
     /// [`SydEnv::new_on`]) — fault injection and router statistics are
     /// sim-only concepts; check [`syd_net::Transport::kind`] first.
     pub fn network(&self) -> &Network {
+        #[allow(clippy::expect_used)] // documented panic contract (see above)
         self.sim
             .as_ref()
             .expect("SydEnv::network(): deployment runs on a real transport, not the sim")
@@ -173,12 +177,14 @@ impl SydEnv {
     /// A fresh directory client on its own node (for tools/tests that are
     /// not devices).
     pub fn directory_client(&self) -> DirectoryClient {
+        #[allow(clippy::expect_used)] // infallible on the sim; tool/test convenience
         let node = Node::spawn_on(&*self.transport).expect("transport cannot open endpoint");
         DirectoryClient::new(node, self.directory.addr())
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use syd_types::{ServiceName, Value};

@@ -72,6 +72,9 @@ impl EventHandler {
             delivered: AtomicU64::new(0),
         });
         let sched_inner = Arc::clone(&inner);
+        // Without its scheduler thread no timed event ever fires:
+        // construction failure is unrecoverable, panicking is the contract.
+        #[allow(clippy::expect_used)]
         std::thread::Builder::new()
             .name("syd-events-scheduler".into())
             .spawn(move || scheduler_loop(sched_inner))
@@ -82,10 +85,7 @@ impl EventHandler {
     /// Subscribes `callback` to every topic starting with `prefix`
     /// (empty prefix = everything).
     pub fn subscribe(&self, prefix: &str, callback: EventCallback) {
-        self.inner
-            .subs
-            .write()
-            .push((prefix.to_owned(), callback));
+        self.inner.subs.write().push((prefix.to_owned(), callback));
     }
 
     /// Publishes an event to local subscribers, synchronously.
@@ -163,7 +163,11 @@ impl EventHandler {
         store.add_trigger(Trigger::after(
             format!("syd-events-bridge-{table}"),
             table,
-            vec![TriggerEvent::Insert, TriggerEvent::Update, TriggerEvent::Delete],
+            vec![
+                TriggerEvent::Insert,
+                TriggerEvent::Update,
+                TriggerEvent::Delete,
+            ],
             move |ctx| {
                 let kind = match ctx.event {
                     TriggerEvent::Insert => "insert",
@@ -173,13 +177,11 @@ impl EventHandler {
                 let payload = Value::map([
                     (
                         "old",
-                        ctx.old
-                            .map_or(Value::Null, |row| Value::list(row.to_vec())),
+                        ctx.old.map_or(Value::Null, |row| Value::list(row.to_vec())),
                     ),
                     (
                         "new",
-                        ctx.new
-                            .map_or(Value::Null, |row| Value::list(row.to_vec())),
+                        ctx.new.map_or(Value::Null, |row| Value::list(row.to_vec())),
                     ),
                 ]);
                 handler.publish_local(&format!("store.{table_name}.{kind}"), &payload);
@@ -247,6 +249,7 @@ impl Drop for EventHandler {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU32;

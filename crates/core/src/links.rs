@@ -652,11 +652,7 @@ impl LinksModule {
     /// locally and a back subscription link (entity → this user, action
     /// `back_action`) is installed at each peer under the same correlation
     /// id.
-    pub fn create_negotiated(
-        &self,
-        spec: LinkSpec,
-        back_action: &str,
-    ) -> SydResult<Link> {
+    pub fn create_negotiated(&self, spec: LinkSpec, back_action: &str) -> SydResult<Link> {
         let svc = link_service();
         // Phase 1: ask everyone.
         let calls: Vec<(UserId, Vec<Value>)> = spec
@@ -1034,10 +1030,9 @@ impl LinksModule {
     /// deleted. Run periodically by the device's event handler.
     pub fn expire_scan(&self) -> SydResult<Vec<LinkId>> {
         let now = self.clock.now().as_micros() as i64;
-        let expired = self.store.select(
-            T_LINK,
-            &Predicate::Le("expires".into(), Value::I64(now)),
-        )?;
+        let expired = self
+            .store
+            .select(T_LINK, &Predicate::Le("expires".into(), Value::I64(now)))?;
         let mut deleted = Vec::new();
         for row in expired {
             let id = LinkId::new(row.values[0].as_i64()? as u64);
@@ -1125,6 +1120,7 @@ impl LinksModule {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 

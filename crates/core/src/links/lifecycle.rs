@@ -59,6 +59,7 @@ pub fn cascade_peers(refs: impl IntoIterator<Item = UserId>, visited: &[u64]) ->
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use syd_types::{LinkId, Priority};

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use syd_crypto::Authenticator;
 use syd_net::RequestHandler;
+use syd_telemetry::names;
 use syd_telemetry::{Counter, Registry};
 use syd_types::{NodeAddr, ServiceName, SydError, SydResult, UserId, Value};
 use syd_wire::Request;
@@ -73,18 +74,13 @@ impl Listener {
     /// here, not per request.
     pub fn attach_metrics(&self, registry: &Registry) {
         *self.metrics.write() = Some(ListenerMetrics {
-            dispatches: registry.counter("listener.dispatch"),
-            auth_failures: registry.counter("listener.auth_failures"),
+            dispatches: registry.counter(names::LISTENER_DISPATCH),
+            auth_failures: registry.counter(names::LISTENER_AUTH_FAILURES),
         });
     }
 
     /// Registers (or replaces) a method under `service`.
-    pub fn register(
-        &self,
-        service: &ServiceName,
-        method: &str,
-        handler: ServiceMethod,
-    ) {
+    pub fn register(&self, service: &ServiceName, method: &str, handler: ServiceMethod) {
         self.state
             .write()
             .methods
@@ -161,6 +157,7 @@ impl RequestHandler for ListenerHandler {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use syd_crypto::Credentials;

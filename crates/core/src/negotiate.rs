@@ -38,6 +38,7 @@ use syd_types::{ServiceName, SydError, SydResult, UserId, Value};
 
 use crate::engine::SydEngine;
 use crate::links::Constraint;
+use syd_telemetry::names;
 
 pub mod fsm;
 
@@ -121,8 +122,8 @@ impl Negotiator {
     /// preregistered here so the negotiation path never touches the
     /// registry lock.
     pub fn with_telemetry(mut self, registry: &Registry, journal: Arc<Journal>) -> Negotiator {
-        self.sessions = Some(registry.counter("negotiate.sessions"));
-        self.aborts = Some(registry.counter("negotiate.aborts"));
+        self.sessions = Some(registry.counter(names::NEGOTIATE_SESSIONS));
+        self.aborts = Some(registry.counter(names::NEGOTIATE_ABORTS));
         self.journal = Some(journal);
         self
     }
@@ -439,6 +440,7 @@ impl Negotiator {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 

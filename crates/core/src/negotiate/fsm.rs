@@ -198,6 +198,7 @@ pub fn outcome_satisfied(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use syd_types::SydError;

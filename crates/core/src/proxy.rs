@@ -35,6 +35,7 @@ use crate::device::DeviceRuntime;
 use crate::directory::DirectoryClient;
 use crate::listener::InvokeCtx;
 use syd_store::{Predicate, Store, Trigger, TriggerEvent};
+use syd_telemetry::names;
 
 /// The proxy-internal service name.
 pub fn proxy_service() -> ServiceName {
@@ -43,8 +44,7 @@ pub fn proxy_service() -> ServiceName {
 
 /// A method served by a proxy on behalf of a hosted user; receives the
 /// user's replica store.
-pub type ProxyMethod =
-    Arc<dyn Fn(&InvokeCtx, &Store, &[Value]) -> SydResult<Value> + Send + Sync>;
+pub type ProxyMethod = Arc<dyn Fn(&InvokeCtx, &Store, &[Value]) -> SydResult<Value> + Send + Sync>;
 
 struct Replica {
     store: Store,
@@ -96,7 +96,7 @@ impl ProxyHost {
         let node = Node::spawn_on(net)?;
         let directory = DirectoryClient::new(node.clone(), dir_addr);
         directory.register(user, name, node.addr())?;
-        let served = node.metrics().counter("proxy.served");
+        let served = node.metrics().counter(names::PROXY_SERVED);
         let inner = Arc::new(ProxyInner {
             user,
             name: name.to_owned(),
@@ -111,11 +111,10 @@ impl ProxyHost {
             inner: Arc::clone(&inner),
         };
         let handler_inner = Arc::clone(&inner);
-        inner
-            .node
-            .set_handler(Arc::new(move |from, req: Request| {
-                serve(&handler_inner, from, &req)
-            }) as Arc<dyn RequestHandler>);
+        inner.node.set_handler(
+            Arc::new(move |from, req: Request| serve(&handler_inner, from, &req))
+                as Arc<dyn RequestHandler>,
+        );
         let sink_inner = Arc::clone(&inner);
         inner
             .node
@@ -177,7 +176,11 @@ impl ProxyHost {
             store.add_trigger(Trigger::after(
                 format!("proxy-journal-{table}"),
                 &table,
-                vec![TriggerEvent::Insert, TriggerEvent::Update, TriggerEvent::Delete],
+                vec![
+                    TriggerEvent::Insert,
+                    TriggerEvent::Update,
+                    TriggerEvent::Delete,
+                ],
                 move |ctx| {
                     if SYNC_DEPTH.with(std::cell::Cell::get) > 0 {
                         return Ok(());
@@ -271,7 +274,10 @@ fn serve(inner: &Arc<ProxyInner>, from: NodeAddr, req: &Request) -> SydResult<Va
     // Application service on a hosted user's replica, routed by target.
     let replicas = inner.replicas.read();
     let replica = replicas.get(&req.target).ok_or_else(|| {
-        SydError::NotRegistered(format!("{} (not hosted by proxy {})", req.target, inner.name))
+        SydError::NotRegistered(format!(
+            "{} (not hosted by proxy {})",
+            req.target, inner.name
+        ))
     })?;
     let replica = Arc::clone(replica);
     drop(replicas);
@@ -285,6 +291,9 @@ fn serve(inner: &Arc<ProxyInner>, from: NodeAddr, req: &Request) -> SydResult<Va
 }
 
 /// Serializes one row change as a sync/journal operation.
+// Trigger contract: insert/update always carries the new row, delete the
+// old one — the store populates both before firing.
+#[allow(clippy::expect_used)]
 fn row_change_to_op(table: &str, ctx: &syd_store::TriggerCtx<'_>) -> Value {
     let (kind, row): (&str, &[Value]) = match ctx.event {
         TriggerEvent::Insert | TriggerEvent::Update => {
@@ -373,7 +382,11 @@ pub fn enable_replication(
         device.store().add_trigger(Trigger::after(
             format!("proxy-replication-{table}"),
             *table,
-            vec![TriggerEvent::Insert, TriggerEvent::Update, TriggerEvent::Delete],
+            vec![
+                TriggerEvent::Insert,
+                TriggerEvent::Update,
+                TriggerEvent::Delete,
+            ],
             move |ctx| {
                 let mut op = row_change_to_op(&table_name, ctx);
                 if let Value::Map(m) = &mut op {
@@ -401,6 +414,7 @@ pub fn replay_journal(store: &Store, ops: &[Value]) -> SydResult<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::env::SydEnv;

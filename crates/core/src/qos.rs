@@ -84,8 +84,7 @@ impl QosMonitor {
         entry.ewma = if entry.calls == 1 {
             latency
         } else {
-            let blended = entry.ewma.as_secs_f64() * (1.0 - ALPHA)
-                + latency.as_secs_f64() * ALPHA;
+            let blended = entry.ewma.as_secs_f64() * (1.0 - ALPHA) + latency.as_secs_f64() * ALPHA;
             Duration::from_secs_f64(blended)
         };
     }
@@ -114,12 +113,7 @@ impl QosMonitor {
     /// Admission control: succeeds iff the target's EWMA (with a 2×
     /// safety margin) fits in `deadline`. Unobserved targets are admitted
     /// optimistically — there is nothing to hold against them yet.
-    pub fn admit(
-        &self,
-        user: UserId,
-        service: &ServiceName,
-        deadline: Duration,
-    ) -> SydResult<()> {
+    pub fn admit(&self, user: UserId, service: &ServiceName, deadline: Duration) -> SydResult<()> {
         match self.stats_for(user, service) {
             None => Ok(()),
             Some(stats) => {
@@ -145,6 +139,7 @@ impl QosMonitor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 

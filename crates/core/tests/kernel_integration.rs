@@ -1,6 +1,8 @@
 //! Kernel-level integration tests: QoS-aware invocation, global events,
 //! named-group invocation, and cross-device link expiry.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -201,7 +203,10 @@ fn link_acceptor_sees_offer_details() {
 
     let offers = seen.lock().clone();
     assert_eq!(offers.len(), 2);
-    assert_eq!(offers[0], ("slot:1".to_owned(), "reserve".to_owned(), a_user));
+    assert_eq!(
+        offers[0],
+        ("slot:1".to_owned(), "reserve".to_owned(), a_user)
+    );
     assert_eq!(offers[1].0, "other");
 }
 

@@ -138,10 +138,10 @@ impl Authenticator {
     /// Returns the authenticated user on success; [`SydError::AuthFailed`]
     /// carries the claimed user id (or user 0 when the blob is garbage).
     pub fn verify(&self, blob: &[u8]) -> SydResult<UserId> {
-        let plain = cbc_decrypt(&self.key, blob)
-            .map_err(|_| SydError::AuthFailed(UserId::new(0)))?;
-        let creds = Credentials::from_bytes(&plain)
-            .map_err(|_| SydError::AuthFailed(UserId::new(0)))?;
+        let plain =
+            cbc_decrypt(&self.key, blob).map_err(|_| SydError::AuthFailed(UserId::new(0)))?;
+        let creds =
+            Credentials::from_bytes(&plain).map_err(|_| SydError::AuthFailed(UserId::new(0)))?;
         if self.table.check(&creds) {
             Ok(creds.user)
         } else {
@@ -151,6 +151,7 @@ impl Authenticator {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 

@@ -133,6 +133,7 @@ pub fn key_from_passphrase(passphrase: &str) -> TeaKey {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 
@@ -212,6 +213,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -365,12 +365,7 @@ impl Dispatcher {
     /// Reassigns at least `k` of `vehicles` to `zone` via negotiation-or:
     /// the move happens only if `k` idle vehicles accept; busy vehicles
     /// decline and keep their zone.
-    pub fn reassign_zone(
-        &self,
-        vehicles: &[UserId],
-        zone: &str,
-        k: u32,
-    ) -> SydResult<Vec<UserId>> {
+    pub fn reassign_zone(&self, vehicles: &[UserId], zone: &str, k: u32) -> SydResult<Vec<UserId>> {
         let change = Value::map([("zone", Value::str(zone))]);
         let parts: Vec<Participant> = vehicles
             .iter()
@@ -430,6 +425,7 @@ pub fn deploy_fleet(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use std::time::{Duration, Instant};
@@ -455,7 +451,10 @@ mod tests {
             "two position reports on the board",
         );
         let board = dispatcher.board();
-        let v0 = board.iter().find(|(u, _)| *u == vehicles[0].user()).unwrap();
+        let v0 = board
+            .iter()
+            .find(|(u, _)| *u == vehicles[0].user())
+            .unwrap();
         assert_eq!(v0.1, Position { x: 3.0, y: 4.0 });
 
         // Moving again updates rather than duplicates.
@@ -483,7 +482,11 @@ mod tests {
         vehicles[0].move_to(Position { x: 9.0, y: 9.0 }).unwrap();
         std::thread::sleep(Duration::from_millis(50));
         let board = dispatcher.board();
-        assert_eq!(board[0].1, Position { x: 1.0, y: 0.0 }, "no further updates");
+        assert_eq!(
+            board[0].1,
+            Position { x: 1.0, y: 0.0 },
+            "no further updates"
+        );
     }
 
     #[test]
@@ -551,7 +554,11 @@ mod tests {
         let (dispatcher, vehicles) = deploy_fleet(&env, 5).unwrap();
         let users: Vec<UserId> = vehicles.iter().map(|v| v.user()).collect();
         for (i, v) in vehicles.iter().enumerate() {
-            v.move_to(Position { x: i as f64, y: 0.0 }).unwrap();
+            v.move_to(Position {
+                x: i as f64,
+                y: 0.0,
+            })
+            .unwrap();
         }
         let polled = dispatcher.poll_positions(&users);
         assert_eq!(polled.len(), 5);

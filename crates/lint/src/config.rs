@@ -1,0 +1,485 @@
+//! `lint.toml` — declared lock hierarchy, rule parameters and the
+//! justified-suppression allowlist.
+//!
+//! The parser handles the TOML subset the config actually uses: `[table]`
+//! and `[[array-of-table]]` headers, `key = "string"`, `key = integer`,
+//! `key = ["a", "b"]` (single line), and `#` comments. Anything else is
+//! a hard error — a config typo must not silently disable a rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One level of the declared lock hierarchy.
+#[derive(Debug, Clone)]
+pub struct Level {
+    /// Human name ("store", "engine", …).
+    pub name: String,
+    /// Rank; locks may only be acquired in strictly increasing rank.
+    pub rank: i64,
+    /// Qualified lock ids (`file-stem.field`) at this level.
+    pub locks: Vec<String>,
+}
+
+/// A justified suppression of one diagnostic pattern.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule name the suppression applies to.
+    pub rule: String,
+    /// Path suffix the diagnostic's file must end with.
+    pub file: String,
+    /// Optional: only suppress inside this function.
+    pub function: Option<String>,
+    /// Optional: only suppress diagnostics whose message contains this.
+    pub contains: Option<String>,
+    /// Mandatory human justification (empty reasons are rejected).
+    pub reason: String,
+}
+
+/// Full analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Declared lock hierarchy, lowest rank first.
+    pub levels: Vec<Level>,
+    /// Method names treated as remote calls by `guard-across-rpc`.
+    pub rpc_methods: Vec<String>,
+    /// `receiver.method` pairs additionally treated as remote calls
+    /// (for generic method names like `send`).
+    pub rpc_qualified: Vec<String>,
+    /// Function names whose bodies are poll loops / router ticks.
+    pub poll_fns: Vec<String>,
+    /// Callee names forbidden inside poll-loop functions.
+    pub poll_forbidden: Vec<String>,
+    /// Workspace-relative path of the metric-name registry.
+    pub registry_path: String,
+    /// Registry accessor methods whose first argument is a metric name.
+    pub metric_methods: Vec<String>,
+    /// Path prefixes exempt from the counter-registry rule.
+    pub registry_exempt: Vec<String>,
+    /// §4.3 protocol method-name literals (`"mark"`, …).
+    pub protocol_methods: Vec<String>,
+    /// LockManager mutation methods gated by coordination-boundary.
+    pub lock_manager_methods: Vec<String>,
+    /// Path suffixes allowed to touch the coordination boundary.
+    pub boundary_allowed: Vec<String>,
+    /// Justified suppressions.
+    pub allows: Vec<Allow>,
+}
+
+impl Default for Config {
+    /// The built-in configuration, mirrored by the checked-in
+    /// `lint.toml` (which can extend it with suppressions).
+    fn default() -> Self {
+        let s = |xs: &[&str]| xs.iter().map(|s| (*s).to_string()).collect::<Vec<_>>();
+        Config {
+            levels: vec![
+                Level {
+                    name: "store".into(),
+                    rank: 1,
+                    locks: s(&["lock.state", "store.tables", "store.triggers"]),
+                },
+                Level {
+                    name: "engine".into(),
+                    rank: 2,
+                    locks: s(&["engine.cache", "engine.opts", "directory.state"]),
+                },
+                Level {
+                    name: "node".into(),
+                    rank: 3,
+                    locks: s(&[
+                        "node.pending",
+                        "node.handler",
+                        "node.events",
+                        "node.identity",
+                        "pool.tx",
+                    ]),
+                },
+                Level {
+                    name: "transport".into(),
+                    rank: 4,
+                    locks: s(&["tcp.state", "tcp.tap", "tcp.thread", "sim.state"]),
+                },
+            ],
+            rpc_methods: s(&[
+                "invoke",
+                "invoke_with_deadline",
+                "invoke_group",
+                "invoke_group_by_name",
+                "invoke_group_varied",
+                "call",
+                "call_with",
+                "call_async",
+                "call_async_to",
+                "publish_event",
+            ]),
+            rpc_qualified: s(&["net.send", "transport.send", "endpoint.send", "ep.send"]),
+            poll_fns: s(&[
+                "poll_loop",
+                "router_loop",
+                "flush_on_close",
+                "finish_dial",
+                "deliver",
+            ]),
+            poll_forbidden: s(&[
+                "sleep",
+                "recv",
+                "recv_timeout",
+                "connect",
+                "connect_timeout",
+                "join",
+            ]),
+            registry_path: "crates/telemetry/src/names.rs".into(),
+            metric_methods: s(&[
+                "counter",
+                "gauge",
+                "histogram",
+                "get_counter",
+                "get_gauge",
+                "get_histogram",
+            ]),
+            registry_exempt: s(&["crates/telemetry/"]),
+            protocol_methods: s(&["mark", "commit", "abort"]),
+            lock_manager_methods: s(&["acquire", "try_acquire", "release", "release_all"]),
+            boundary_allowed: s(&[
+                "crates/core/src/negotiate.rs",
+                "crates/core/src/device.rs",
+                "crates/store/src/lock.rs",
+            ]),
+            allows: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Rank of a qualified lock id in the declared hierarchy, if any.
+    pub fn rank_of(&self, lock_id: &str) -> Option<(i64, &str)> {
+        self.levels.iter().find_map(|l| {
+            l.locks
+                .iter()
+                .any(|x| x == lock_id)
+                .then_some((l.rank, l.name.as_str()))
+        })
+    }
+
+    /// Parses `lint.toml` text and merges it over the defaults:
+    /// scalar/array keys replace the default value; `[[allow]]` and
+    /// `[[level]]` tables replace the default set when present.
+    pub fn from_toml(text: &str) -> Result<Config, ConfigError> {
+        let doc = parse_toml(text)?;
+        let mut cfg = Config::default();
+
+        if let Some(levels) = doc.tables.get("level") {
+            cfg.levels = levels
+                .iter()
+                .map(|t| {
+                    Ok(Level {
+                        name: t.need_str("name")?,
+                        rank: t.need_int("rank")?,
+                        locks: t.strs("locks"),
+                    })
+                })
+                .collect::<Result<_, ConfigError>>()?;
+        }
+        let scalars: &mut [(&str, &mut Vec<String>)] = &mut [
+            ("rules.guard_across_rpc.methods", &mut cfg.rpc_methods),
+            ("rules.guard_across_rpc.qualified", &mut cfg.rpc_qualified),
+            (
+                "rules.no_blocking_in_poll_loop.functions",
+                &mut cfg.poll_fns,
+            ),
+            (
+                "rules.no_blocking_in_poll_loop.forbidden",
+                &mut cfg.poll_forbidden,
+            ),
+            ("rules.counter_registry.methods", &mut cfg.metric_methods),
+            ("rules.counter_registry.exempt", &mut cfg.registry_exempt),
+            (
+                "rules.coordination_boundary.protocol_methods",
+                &mut cfg.protocol_methods,
+            ),
+            (
+                "rules.coordination_boundary.lock_manager_methods",
+                &mut cfg.lock_manager_methods,
+            ),
+            (
+                "rules.coordination_boundary.allowed",
+                &mut cfg.boundary_allowed,
+            ),
+        ];
+        for (key, slot) in scalars.iter_mut() {
+            if let Some(Value::Array(xs)) = doc.keys.get(*key) {
+                **slot = xs.clone();
+            }
+        }
+        if let Some(Value::Str(p)) = doc.keys.get("rules.counter_registry.registry") {
+            cfg.registry_path.clone_from(p);
+        }
+        if let Some(allows) = doc.tables.get("allow") {
+            for t in allows {
+                let allow = Allow {
+                    rule: t.need_str("rule")?,
+                    file: t.need_str("file")?,
+                    function: t.get_str("function"),
+                    contains: t.get_str("contains"),
+                    reason: t.need_str("reason")?,
+                };
+                if allow.reason.trim().is_empty() {
+                    return Err(ConfigError::new(
+                        t.line,
+                        "allow entry requires a non-empty `reason` justification",
+                    ));
+                }
+                cfg.allows.push(allow);
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// A config parse/validation error with its line.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-indexed line in lint.toml.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl ConfigError {
+    fn new(line: usize, msg: impl Into<String>) -> Self {
+        ConfigError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Array(Vec<String>),
+}
+
+#[derive(Debug, Default)]
+struct Table {
+    line: usize,
+    entries: BTreeMap<String, Value>,
+}
+
+impl Table {
+    fn need_str(&self, key: &str) -> Result<String, ConfigError> {
+        match self.entries.get(key) {
+            Some(Value::Str(s)) => Ok(s.clone()),
+            _ => Err(ConfigError::new(
+                self.line,
+                format!("missing required string key `{key}`"),
+            )),
+        }
+    }
+    fn get_str(&self, key: &str) -> Option<String> {
+        match self.entries.get(key) {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        }
+    }
+    fn need_int(&self, key: &str) -> Result<i64, ConfigError> {
+        match self.entries.get(key) {
+            Some(Value::Int(n)) => Ok(*n),
+            _ => Err(ConfigError::new(
+                self.line,
+                format!("missing required integer key `{key}`"),
+            )),
+        }
+    }
+    fn strs(&self, key: &str) -> Vec<String> {
+        match self.entries.get(key) {
+            Some(Value::Array(xs)) => xs.clone(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Doc {
+    /// Dotted `section.key` → value for plain `[section]` tables.
+    keys: BTreeMap<String, Value>,
+    /// `[[name]]` array-of-tables.
+    tables: BTreeMap<String, Vec<Table>>,
+}
+
+fn parse_value(raw: &str, lineno: usize) -> Result<Value, ConfigError> {
+    let raw = raw.trim();
+    if let Some(inner) = raw.strip_prefix('"') {
+        let Some(s) = inner.strip_suffix('"') else {
+            return Err(ConfigError::new(lineno, "unterminated string"));
+        };
+        return Ok(Value::Str(s.to_string()));
+    }
+    if let Some(inner) = raw.strip_prefix('[') {
+        let Some(body) = inner.strip_suffix(']') else {
+            return Err(ConfigError::new(
+                lineno,
+                "arrays must open and close on one line",
+            ));
+        };
+        let mut items = Vec::new();
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part, lineno)? {
+                Value::Str(s) => items.push(s),
+                _ => {
+                    return Err(ConfigError::new(
+                        lineno,
+                        "only arrays of strings are supported",
+                    ))
+                }
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    raw.parse::<i64>().map(Value::Int).map_err(|_| {
+        ConfigError::new(
+            lineno,
+            format!("unsupported value `{raw}` (string, integer or [array] expected)"),
+        )
+    })
+}
+
+fn parse_toml(text: &str) -> Result<Doc, ConfigError> {
+    let mut doc = Doc::default();
+    // (array-table name, index) or plain section prefix.
+    enum Section {
+        None,
+        Plain(String),
+        Array(String),
+    }
+    let mut section = Section::None;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            let name = name.trim().to_string();
+            doc.tables.entry(name.clone()).or_default().push(Table {
+                line: lineno,
+                entries: BTreeMap::new(),
+            });
+            section = Section::Array(name);
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = Section::Plain(name.trim().to_string());
+            continue;
+        }
+        let Some((key, val)) = line.split_once('=') else {
+            return Err(ConfigError::new(
+                lineno,
+                format!("expected `key = value`, got `{line}`"),
+            ));
+        };
+        let key = key.trim();
+        let value = parse_value(val, lineno)?;
+        match &section {
+            Section::None => {
+                doc.keys.insert(key.to_string(), value);
+            }
+            Section::Plain(prefix) => {
+                doc.keys.insert(format!("{prefix}.{key}"), value);
+            }
+            Section::Array(name) => {
+                if let Some(t) = doc.tables.get_mut(name).and_then(|v| v.last_mut()) {
+                    t.entries.insert(key.to_string(), value);
+                }
+            }
+        }
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment, respecting `"…#…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_levels_and_allows() {
+        let toml = r#"
+            # comment
+            [[level]]
+            name = "store"
+            rank = 1
+            locks = ["lock.state"]
+
+            [[level]]
+            name = "transport"
+            rank = 4
+            locks = ["tcp.state", "sim.state"]
+
+            [rules.guard_across_rpc]
+            methods = ["invoke"]
+
+            [[allow]]
+            rule = "guard-across-rpc"
+            file = "crates/transport/src/sim.rs"
+            function = "deliver"
+            reason = "unbounded channel send cannot block"
+        "#;
+        let cfg = Config::from_toml(toml).unwrap();
+        assert_eq!(cfg.levels.len(), 2);
+        assert_eq!(cfg.rank_of("sim.state"), Some((4, "transport")));
+        assert_eq!(cfg.rank_of("unknown.lock"), None);
+        assert_eq!(cfg.rpc_methods, vec!["invoke".to_string()]);
+        assert_eq!(cfg.allows.len(), 1);
+        assert_eq!(cfg.allows[0].function.as_deref(), Some("deliver"));
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let toml = r#"
+            [[allow]]
+            rule = "lock-order"
+            file = "x.rs"
+            reason = "  "
+        "#;
+        let err = Config::from_toml(toml).unwrap_err();
+        assert!(err.msg.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn defaults_survive_empty_config() {
+        let cfg = Config::from_toml("").unwrap();
+        assert_eq!(cfg.levels.len(), 4);
+        assert!(cfg.rpc_methods.contains(&"invoke_group".to_string()));
+    }
+
+    #[test]
+    fn bad_syntax_is_an_error_not_a_silent_skip() {
+        assert!(Config::from_toml("key = what").is_err());
+        assert!(Config::from_toml("just a line").is_err());
+    }
+}

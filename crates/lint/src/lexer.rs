@@ -1,0 +1,345 @@
+//! A small Rust lexer producing the token stream the analyses walk.
+//!
+//! The analyzer is deliberately dependency-free (no `syn`), so it works
+//! from tokens plus bracket structure rather than a full AST. The lexer
+//! understands everything that could derail a token-level scan: nested
+//! block comments, raw/byte strings, char literals vs. lifetimes, and
+//! numeric literals with suffixes.
+
+/// One lexical token plus the 1-indexed line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: Tok,
+    /// 1-indexed source line.
+    pub line: u32,
+}
+
+/// Token kinds, collapsed to what the analyses need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `let`, `self`, names, …).
+    Ident(String),
+    /// String literal (regular, raw or byte), with its decoded-ish value:
+    /// escape sequences are kept verbatim except `\"` and `\\`.
+    Str(String),
+    /// Char or byte literal; payload not needed by any rule.
+    Char,
+    /// Lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `::`
+    PathSep,
+    /// `#`
+    Pound,
+    /// Any other punctuation character.
+    Punct(char),
+}
+
+/// Lexes `src` into tokens. Comments and whitespace are dropped; the
+/// lexer never fails — unexpected bytes become [`Tok::Punct`].
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let mut val = String::new();
+                i += 1;
+                while i < n && bytes[i] != '"' {
+                    if bytes[i] == '\\' && i + 1 < n {
+                        if bytes[i + 1] == '"' || bytes[i + 1] == '\\' {
+                            val.push(bytes[i + 1]);
+                        } else {
+                            val.push(bytes[i]);
+                            val.push(bytes[i + 1]);
+                        }
+                        if bytes[i + 1] == '\n' {
+                            line += 1;
+                        }
+                        i += 2;
+                    } else {
+                        if bytes[i] == '\n' {
+                            line += 1;
+                        }
+                        val.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing quote
+                out.push(Token {
+                    kind: Tok::Str(val),
+                    line: start_line,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&bytes, i) => {
+                let start_line = line;
+                let (val, next, lines) = scan_raw_or_byte_string(&bytes, i);
+                line += lines;
+                i = next;
+                out.push(Token {
+                    kind: Tok::Str(val),
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime ('a, 'static) vs char literal ('x', '\n', '\'').
+                let is_lifetime = i + 1 < n
+                    && is_ident_start(bytes[i + 1])
+                    && !(i + 2 < n && bytes[i + 2] == '\'');
+                if is_lifetime {
+                    i += 1;
+                    while i < n && is_ident(bytes[i]) {
+                        i += 1;
+                    }
+                    out.push(Token {
+                        kind: Tok::Lifetime,
+                        line,
+                    });
+                } else {
+                    i += 1;
+                    while i < n && bytes[i] != '\'' {
+                        if bytes[i] == '\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                    out.push(Token {
+                        kind: Tok::Char,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                while i < n && (is_ident(bytes[i]) || bytes[i] == '.') {
+                    // Stop a method call on a literal (`1.max(2)`) from
+                    // swallowing the identifier.
+                    if bytes[i] == '.' && i + 1 < n && is_ident_start(bytes[i + 1]) {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: Tok::Num,
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < n && is_ident(bytes[i]) {
+                    i += 1;
+                }
+                let ident: String = bytes[start..i].iter().collect();
+                out.push(Token {
+                    kind: Tok::Ident(ident),
+                    line,
+                });
+            }
+            ':' if i + 1 < n && bytes[i + 1] == ':' => {
+                out.push(Token {
+                    kind: Tok::PathSep,
+                    line,
+                });
+                i += 2;
+            }
+            _ => {
+                let kind = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    '.' => Tok::Dot,
+                    '#' => Tok::Pound,
+                    other => Tok::Punct(other),
+                };
+                out.push(Token { kind, line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` start at `i`?
+fn starts_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
+    let n = bytes.len();
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if j < n && bytes[j] == 'r' {
+        j += 1;
+        while j < n && bytes[j] == '#' {
+            j += 1;
+        }
+    }
+    // Plain b"…" (no r) is also handled here.
+    j < n && bytes[j] == '"' && j > i
+}
+
+/// Scans a raw/byte string starting at `i`; returns (value, next index,
+/// newline count).
+fn scan_raw_or_byte_string(bytes: &[char], i: usize) -> (String, usize, u32) {
+    let n = bytes.len();
+    let mut j = i;
+    let mut raw = false;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if j < n && bytes[j] == 'r' {
+        raw = true;
+        j += 1;
+    }
+    let mut hashes = 0;
+    while j < n && bytes[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let mut val = String::new();
+    let mut lines = 0;
+    while j < n {
+        if bytes[j] == '\n' {
+            lines += 1;
+        }
+        if !raw && bytes[j] == '\\' && j + 1 < n {
+            val.push(bytes[j]);
+            val.push(bytes[j + 1]);
+            j += 2;
+            continue;
+        }
+        if bytes[j] == '"' {
+            // A raw string closes only on `"` followed by the right
+            // number of hashes.
+            let mut k = j + 1;
+            let mut seen = 0;
+            while k < n && bytes[k] == '#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (val, k, lines);
+            }
+        }
+        val.push(bytes[j]);
+        j += 1;
+    }
+    (val, j, lines)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let src = r##"
+            // fn not_here() {}
+            /* fn nor_here() { /* nested */ } */
+            let s = "fn not_a_fn"; let r = r#"fn raw"#;
+            fn real() {}
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real".to_string()));
+        assert!(!ids.contains(&"not_here".to_string()));
+        assert!(!ids.contains(&"nor_here".to_string()));
+        assert!(!ids.contains(&"not_a_fn".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == Tok::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == Tok::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn string_values_and_lines_survive() {
+        let toks = lex("let a = \"dir.lookups\";\nlet b = 2;");
+        assert_eq!(toks[3].kind, Tok::Str("dir.lookups".into()));
+        assert_eq!(toks[3].line, 1);
+        let b = toks.iter().find(|t| t.kind == Tok::Ident("b".into()));
+        assert_eq!(b.map(|t| t.line), Some(2));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let toks = lex(r#"let a = "x\"y"; fn f() {}"#);
+        assert_eq!(toks[3].kind, Tok::Str("x\"y".into()));
+        assert!(idents(r#"let a = "x\"y"; fn f() {}"#).contains(&"f".to_string()));
+    }
+}

@@ -1,0 +1,118 @@
+//! syd-lint CLI.
+//!
+//! ```text
+//! syd-lint --workspace [--config lint.toml] [--json] [--deny-warnings]
+//! syd-lint [--config lint.toml] path/to/file.rs ...
+//! ```
+//!
+//! Exit codes: `0` clean (or violations without `--deny-warnings`),
+//! `1` violations with `--deny-warnings`, `2` usage / config / IO error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use syd_lint::config::Config;
+use syd_lint::{analyze, find_workspace_root, workspace_files};
+
+struct Cli {
+    workspace: bool,
+    json: bool,
+    deny_warnings: bool,
+    config: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        workspace: false,
+        json: false,
+        deny_warnings: false,
+        config: None,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => cli.workspace = true,
+            "--json" => cli.json = true,
+            "--deny-warnings" => cli.deny_warnings = true,
+            "--config" => {
+                let v = it.next().ok_or("--config requires a path")?;
+                cli.config = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+            }
+            path => cli.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !cli.workspace && cli.paths.is_empty() {
+        return Err(format!("nothing to lint\n{USAGE}"));
+    }
+    Ok(cli)
+}
+
+const USAGE: &str = "usage: syd-lint (--workspace | FILES...) \
+[--config lint.toml] [--json] [--deny-warnings]";
+
+fn load_config(cli: &Cli, root: Option<&Path>) -> Result<Config, String> {
+    let path = match (&cli.config, root) {
+        (Some(p), _) => Some(p.clone()),
+        (None, Some(r)) => {
+            let p = r.join("lint.toml");
+            p.exists().then_some(p)
+        }
+        (None, None) => None,
+    };
+    match path {
+        Some(p) => {
+            let text = std::fs::read_to_string(&p)
+                .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            Config::from_toml(&text).map_err(|e| e.to_string())
+        }
+        None => Ok(Config::default()),
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_args(&args)?;
+
+    let (files, config) = if cli.workspace {
+        let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+        let root = find_workspace_root(&cwd)
+            .ok_or("no workspace root (Cargo.toml with [workspace]) above the current directory")?;
+        let config = load_config(&cli, Some(&root))?;
+        let files =
+            workspace_files(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+        (files, config)
+    } else {
+        let config = load_config(&cli, None)?;
+        let mut files = Vec::new();
+        for p in &cli.paths {
+            let src = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            files.push((p.to_string_lossy().replace('\\', "/"), src));
+        }
+        (files, config)
+    };
+
+    let report = analyze(&files, &config, cli.workspace);
+    if cli.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(report.clean() || !cli.deny_warnings)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("syd-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! The five syd-lint rules, built on the walker events and token scans.
+
+use crate::config::Config;
+use crate::lexer::Tok;
+use crate::report::{Diagnostic, Report, Rule};
+use crate::source::SourceFile;
+use crate::walker::{self, Events, LockTable, WalkRules};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs every rule over the parsed file set.
+///
+/// `workspace_mode` enables whole-workspace checks (orphaned metric
+/// constants) that are meaningless on a partial file list.
+pub fn run_all(files: &[SourceFile], config: &Config, workspace_mode: bool) -> Report {
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+
+    let table = LockTable::build(files);
+    let rules = WalkRules {
+        rpc_methods: &config.rpc_methods,
+        rpc_qualified: &config.rpc_qualified,
+        forbidden: &config.poll_forbidden,
+    };
+    let mut events = Events::default();
+    for f in files {
+        walker::walk_file(f, &table, &rules, &mut events);
+    }
+
+    lock_order(&events, config, &mut report);
+    guard_across_rpc(&events, &mut report);
+    no_blocking_in_poll_loop(&events, config, &mut report);
+    counter_registry(files, config, workspace_mode, &mut report);
+    coordination_boundary(files, config, &mut report);
+
+    report.apply_allowlist(config);
+    report
+}
+
+/// lock-order: reentrancy, hierarchy-rank inversions, and cycles in the
+/// global acquisition graph.
+fn lock_order(events: &Events, config: &Config, report: &mut Report) {
+    let edges: Vec<_> = events.edges.iter().filter(|e| !e.is_test).collect();
+
+    for e in &edges {
+        if e.from == e.to {
+            report.diagnostics.push(Diagnostic {
+                rule: Rule::LockOrder,
+                file: e.file.clone(),
+                line: e.line,
+                function: Some(e.function.clone()),
+                message: format!(
+                    "lock `{}` acquired while already held in `{}` — parking_lot locks are not reentrant, this self-deadlocks",
+                    e.to, e.function
+                ),
+            });
+        } else if let (Some((fr, fname)), Some((tr, tname))) =
+            (config.rank_of(&e.from), config.rank_of(&e.to))
+        {
+            if fr > tr {
+                report.diagnostics.push(Diagnostic {
+                    rule: Rule::LockOrder,
+                    file: e.file.clone(),
+                    line: e.line,
+                    function: Some(e.function.clone()),
+                    message: format!(
+                        "`{}` (level {tname}, rank {tr}) acquired while holding `{}` (level {fname}, rank {fr}); declared hierarchy is {}",
+                        e.to,
+                        e.from,
+                        hierarchy_str(config)
+                    ),
+                });
+            }
+        }
+    }
+
+    // Cycle detection over distinct (from, to) pairs.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut locate: BTreeMap<(&str, &str), (&str, u32)> = BTreeMap::new();
+    for e in &edges {
+        if e.from != e.to {
+            adj.entry(&e.from).or_default().insert(&e.to);
+            locate.entry((&e.from, &e.to)).or_insert((&e.file, e.line));
+        }
+    }
+    for cycle in find_cycles(&adj) {
+        let hops: Vec<String> = cycle
+            .iter()
+            .zip(cycle.iter().cycle().skip(1))
+            .map(|(a, b)| {
+                let (file, line) = locate
+                    .get(&(a.as_str(), b.as_str()))
+                    .copied()
+                    .unwrap_or(("?", 0));
+                format!("{a} -> {b} ({file}:{line})")
+            })
+            .collect();
+        let (file, line) = locate
+            .get(&(cycle[0].as_str(), cycle[1 % cycle.len()].as_str()))
+            .copied()
+            .unwrap_or(("?", 0));
+        report.diagnostics.push(Diagnostic {
+            rule: Rule::LockOrder,
+            file: file.to_string(),
+            line,
+            function: None,
+            message: format!("lock acquisition cycle: {}", hops.join(", ")),
+        });
+    }
+}
+
+fn hierarchy_str(config: &Config) -> String {
+    let mut levels: Vec<_> = config.levels.iter().collect();
+    levels.sort_by_key(|l| l.rank);
+    levels
+        .iter()
+        .map(|l| l.name.as_str())
+        .collect::<Vec<_>>()
+        .join(" < ")
+}
+
+/// Finds elementary cycles: one canonical cycle per strongly connected
+/// component with ≥ 2 nodes (enough to pinpoint the offending edges
+/// without flooding the report).
+fn find_cycles(adj: &BTreeMap<&str, BTreeSet<&str>>) -> Vec<Vec<String>> {
+    // Tarjan SCC, iterative-enough for the graph sizes involved.
+    let nodes: Vec<&str> = adj
+        .iter()
+        .flat_map(|(k, vs)| std::iter::once(*k).chain(vs.iter().copied()))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let index_of: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let n = nodes.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    #[allow(clippy::too_many_arguments)]
+    fn strongconnect(
+        v: usize,
+        nodes: &[&str],
+        adj: &BTreeMap<&str, BTreeSet<&str>>,
+        index_of: &BTreeMap<&str, usize>,
+        index: &mut [usize],
+        low: &mut [usize],
+        on_stack: &mut [bool],
+        stack: &mut Vec<usize>,
+        next_index: &mut usize,
+        sccs: &mut Vec<Vec<usize>>,
+    ) {
+        index[v] = *next_index;
+        low[v] = *next_index;
+        *next_index += 1;
+        stack.push(v);
+        on_stack[v] = true;
+        if let Some(succs) = adj.get(nodes[v]) {
+            for s in succs {
+                let w = index_of[s];
+                if index[w] == usize::MAX {
+                    strongconnect(
+                        w, nodes, adj, index_of, index, low, on_stack, stack, next_index, sccs,
+                    );
+                    low[v] = low[v].min(low[w]);
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            }
+        }
+        if low[v] == index[v] {
+            let mut comp = Vec::new();
+            while let Some(w) = stack.pop() {
+                on_stack[w] = false;
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            sccs.push(comp);
+        }
+    }
+
+    for v in 0..n {
+        if index[v] == usize::MAX {
+            strongconnect(
+                v,
+                &nodes,
+                adj,
+                &index_of,
+                &mut index,
+                &mut low,
+                &mut on_stack,
+                &mut stack,
+                &mut next_index,
+                &mut sccs,
+            );
+        }
+    }
+
+    let mut out = Vec::new();
+    for comp in sccs {
+        if comp.len() < 2 {
+            continue;
+        }
+        // Walk one cycle within the component, deterministically.
+        let members: BTreeSet<&str> = comp.iter().map(|&i| nodes[i]).collect();
+        let start = *members.iter().min().unwrap_or(&"");
+        let mut path = vec![start.to_string()];
+        let mut cur = start;
+        loop {
+            let next = adj
+                .get(cur)
+                .and_then(|s| s.iter().find(|x| members.contains(*x)))
+                .copied();
+            let Some(next) = next else { break };
+            if next == start {
+                break;
+            }
+            if path.contains(&next.to_string()) {
+                break;
+            }
+            path.push(next.to_string());
+            cur = next;
+        }
+        if path.len() >= 2 {
+            out.push(path);
+        }
+    }
+    out
+}
+
+/// guard-across-rpc: any lock guard live across an RPC / transport send.
+fn guard_across_rpc(events: &Events, report: &mut Report) {
+    for r in events.rpcs.iter().filter(|r| !r.is_test) {
+        let held: Vec<String> = r
+            .held
+            .iter()
+            .map(|(id, line)| format!("`{id}` (acquired line {line})"))
+            .collect();
+        report.diagnostics.push(Diagnostic {
+            rule: Rule::GuardAcrossRpc,
+            file: r.file.clone(),
+            line: r.line,
+            function: Some(r.function.clone()),
+            message: format!(
+                "remote call `{}` made while holding {} — a slow or dead peer extends the critical section into a distributed deadlock",
+                r.method,
+                held.join(", ")
+            ),
+        });
+    }
+}
+
+/// no-blocking-in-poll-loop: forbidden callees inside poll/router fns.
+fn no_blocking_in_poll_loop(events: &Events, config: &Config, report: &mut Report) {
+    for b in events.blocking.iter().filter(|b| !b.is_test) {
+        if !config.poll_fns.iter().any(|f| f == &b.function) {
+            continue;
+        }
+        report.diagnostics.push(Diagnostic {
+            rule: Rule::NoBlockingInPollLoop,
+            file: b.file.clone(),
+            line: b.line,
+            function: Some(b.function.clone()),
+            message: format!(
+                "blocking call `{}` inside poll-loop function `{}` stalls every connection sharing the loop; use non-blocking ops or a condvar wait",
+                b.callee, b.function
+            ),
+        });
+    }
+}
+
+/// counter-registry: metric names must be `syd_telemetry::names`
+/// constants; constants without call sites are orphaned.
+fn counter_registry(
+    files: &[SourceFile],
+    config: &Config,
+    workspace_mode: bool,
+    report: &mut Report,
+) {
+    // Registry constants: `pub const NAME: &str = "value";`
+    let registry = files
+        .iter()
+        .find(|f| f.path.ends_with(&config.registry_path));
+    let mut consts: Vec<(String, String, u32)> = Vec::new(); // (ident, value, line)
+    if let Some(reg) = registry {
+        let t = &reg.tokens;
+        for i in 0..t.len() {
+            if !matches!(&t[i].kind, Tok::Ident(s) if s == "const") {
+                continue;
+            }
+            let (Some(Tok::Ident(name)), Some(Tok::Punct(':'))) =
+                (t.get(i + 1).map(|x| &x.kind), t.get(i + 2).map(|x| &x.kind))
+            else {
+                continue;
+            };
+            // const NAME: &str = "value";
+            if let (Some(Tok::Punct('=')), Some(Tok::Str(v))) =
+                (t.get(i + 5).map(|x| &x.kind), t.get(i + 6).map(|x| &x.kind))
+            {
+                consts.push((name.clone(), v.clone(), t[i + 1].line));
+            }
+        }
+    }
+    // Inline literals at metric call sites.
+    for f in files {
+        if config.registry_exempt.iter().any(|p| f.path.starts_with(p)) {
+            continue;
+        }
+        let t = &f.tokens;
+        for i in 0..t.len() {
+            let Tok::Ident(m) = &t[i].kind else { continue };
+            if !config.metric_methods.iter().any(|mm| mm == m)
+                || !matches!(t.get(i.wrapping_sub(1)).map(|x| &x.kind), Some(Tok::Dot))
+                || !matches!(t.get(i + 1).map(|x| &x.kind), Some(Tok::LParen))
+            {
+                continue;
+            }
+            let Some(Tok::Str(lit)) = t.get(i + 2).map(|x| &x.kind) else {
+                continue;
+            };
+            if f.is_test_path || fn_is_test_at(f, i) {
+                continue;
+            }
+            let hint = consts.iter().find(|(_, v, _)| v == lit).map_or_else(
+                || {
+                    format!(
+                        "not in the registry — add a constant to {} and use it",
+                        config.registry_path
+                    )
+                },
+                |(name, _, _)| format!("use syd_telemetry::names::{name}"),
+            );
+            report.diagnostics.push(Diagnostic {
+                rule: Rule::CounterRegistry,
+                file: f.path.clone(),
+                line: t[i].line,
+                function: enclosing_fn(f, i),
+                message: format!("inline metric name \"{lit}\" in `{m}()`; {hint}"),
+            });
+        }
+    }
+
+    // Orphan constants: defined in the registry, referenced nowhere else.
+    if workspace_mode && registry.is_some() {
+        for (name, value, line) in &consts {
+            let referenced = files.iter().any(|f| {
+                !f.path.ends_with(&config.registry_path)
+                    && f.tokens
+                        .iter()
+                        .any(|t| matches!(&t.kind, Tok::Ident(s) if s == name))
+            });
+            if !referenced {
+                report.diagnostics.push(Diagnostic {
+                    rule: Rule::CounterRegistry,
+                    file: registry.map(|r| r.path.clone()).unwrap_or_default(),
+                    line: *line,
+                    function: None,
+                    message: format!(
+                        "metric constant `{name}` (\"{value}\") has no call sites — orphaned counter"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// coordination-boundary: §4.3 protocol invocations and LockManager
+/// mutations only from the negotiation core.
+fn coordination_boundary(files: &[SourceFile], config: &Config, report: &mut Report) {
+    for f in files {
+        if f.is_test_path || config.boundary_allowed.iter().any(|p| f.path.ends_with(p)) {
+            continue;
+        }
+        let t = &f.tokens;
+        for i in 0..t.len() {
+            let Tok::Ident(m) = &t[i].kind else { continue };
+            // invoke-family call with a protected method-name literal arg.
+            if config.rpc_methods.iter().any(|mm| mm == m)
+                && matches!(t.get(i.wrapping_sub(1)).map(|x| &x.kind), Some(Tok::Dot))
+                && matches!(t.get(i + 1).map(|x| &x.kind), Some(Tok::LParen))
+            {
+                let mut depth = 0usize;
+                let mut j = i + 1;
+                while j < t.len() {
+                    match &t[j].kind {
+                        Tok::LParen => depth += 1,
+                        Tok::RParen => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Str(s)
+                            if config.protocol_methods.iter().any(|p| p == s)
+                                && !fn_is_test_at(f, i) =>
+                        {
+                            report.diagnostics.push(Diagnostic {
+                                rule: Rule::CoordinationBoundary,
+                                file: f.path.clone(),
+                                line: t[i].line,
+                                function: enclosing_fn(f, i),
+                                message: format!(
+                                    "negotiation protocol method \"{s}\" invoked outside the negotiation core (`core::negotiate`); the CALM fast-path split requires all §4.3 coordination to flow through one module"
+                                ),
+                            });
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // `.locks().acquire(…)`-style LockManager mutation.
+            if config.lock_manager_methods.iter().any(|mm| mm == m)
+                && matches!(t.get(i.wrapping_sub(1)).map(|x| &x.kind), Some(Tok::Dot))
+                && matches!(t.get(i + 1).map(|x| &x.kind), Some(Tok::LParen))
+                && matches!(t.get(i.wrapping_sub(2)).map(|x| &x.kind), Some(Tok::RParen))
+                && matches!(t.get(i.wrapping_sub(3)).map(|x| &x.kind), Some(Tok::LParen))
+                && matches!(
+                    t.get(i.wrapping_sub(4)).map(|x| &x.kind),
+                    Some(Tok::Ident(recv)) if recv == "locks"
+                )
+                && !fn_is_test_at(f, i)
+            {
+                report.diagnostics.push(Diagnostic {
+                    rule: Rule::CoordinationBoundary,
+                    file: f.path.clone(),
+                    line: t[i].line,
+                    function: enclosing_fn(f, i),
+                    message: format!(
+                        "LockManager mutation `{m}` outside the coordination boundary; row locks may only change under the §4.3 protocol (core::negotiate / kernel mark handlers)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Innermost function containing token `idx`, if any.
+fn enclosing_fn(f: &SourceFile, idx: usize) -> Option<String> {
+    f.fns
+        .iter()
+        .filter(|fi| fi.body_start < idx && idx < fi.body_end)
+        .max_by_key(|fi| fi.body_start)
+        .map(|fi| fi.name.clone())
+}
+
+/// Is token `idx` inside a test function (or test module)?
+fn fn_is_test_at(f: &SourceFile, idx: usize) -> bool {
+    f.fns
+        .iter()
+        .filter(|fi| fi.body_start < idx && idx < fi.body_end)
+        .max_by_key(|fi| fi.body_start)
+        .is_some_and(|fi| fi.is_test)
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: §4.3 protocol method invoked outside the
+//! negotiation core. Expected: exactly one `coordination-boundary`
+//! diagnostic.
+
+fn rogue_mark(engine: &SydEngine, group: &str) {
+    let _ = engine.invoke_group(group, "mark", &[]); // <- fires here
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: inline metric-name literal at a metric call site.
+//! Expected: exactly one `counter-registry` diagnostic.
+
+fn record(metrics: &Registry) {
+    metrics.counter("fixture.unregistered").inc(); // <- fires here
+}

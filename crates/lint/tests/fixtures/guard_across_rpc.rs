@@ -1,0 +1,14 @@
+//! Seeded violation: lock guard live across a remote invocation.
+//! Expected: exactly one `guard-across-rpc` diagnostic.
+
+struct Node {
+    pending: Mutex<u8>,
+}
+
+impl Node {
+    fn notify(&self, peer: &Peer) {
+        let guard = self.pending.lock();
+        peer.invoke("ping"); // <- fires here: `guard` still live
+        drop(guard);
+    }
+}

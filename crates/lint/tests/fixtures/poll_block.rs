@@ -1,0 +1,8 @@
+//! Seeded violation: blocking call inside a poll-loop function.
+//! Expected: exactly one `no-blocking-in-poll-loop` diagnostic.
+
+fn poll_loop(tick: Duration) {
+    loop {
+        std::thread::sleep(tick); // <- fires here
+    }
+}

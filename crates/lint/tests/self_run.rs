@@ -1,0 +1,36 @@
+//! The workspace must lint clean with the checked-in `lint.toml` —
+//! the same gate CI enforces, reachable from plain `cargo test`.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
+use std::path::Path;
+use syd_lint::config::Config;
+use syd_lint::{analyze, find_workspace_root, workspace_files};
+
+#[test]
+fn workspace_is_clean_under_checked_in_config() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above crates/lint");
+
+    let config_text =
+        std::fs::read_to_string(root.join("lint.toml")).expect("checked-in lint.toml");
+    let config = Config::from_toml(&config_text).expect("lint.toml parses");
+
+    let files = workspace_files(&root).expect("walk workspace");
+    assert!(
+        files.len() > 50,
+        "workspace walk looks truncated: {} files",
+        files.len()
+    );
+
+    let report = analyze(&files, &config, true);
+    assert!(
+        report.clean(),
+        "workspace must lint clean:\n{}",
+        report.render_text()
+    );
+    // Suppressions must carry their justification through.
+    for (d, reason) in &report.suppressed {
+        assert!(!reason.trim().is_empty(), "unjustified suppression: {d}");
+    }
+}

@@ -24,6 +24,7 @@ use syd_check::{audit_states, AuditOptions, AuditReport, DeviceState, Rule};
 use syd_telemetry::{Counter, Registry};
 
 use crate::journal::JournalSet;
+use syd_telemetry::names;
 
 /// An abstract protocol instance the explorer can enumerate.
 ///
@@ -139,8 +140,8 @@ impl<'m, M: Model> Explorer<'m, M> {
             max_states,
             visited: HashSet::new(),
             stats: Stats::default(),
-            states_counter: registry.counter("model.states_explored"),
-            violations_counter: registry.counter("model.violations"),
+            states_counter: registry.counter(names::MODEL_STATES_EXPLORED),
+            violations_counter: registry.counter(names::MODEL_VIOLATIONS),
         }
     }
 
@@ -181,6 +182,9 @@ impl<'m, M: Model> Explorer<'m, M> {
         let enabled = self.model.actions(&state);
         if enabled.is_empty() {
             self.stats.terminals += 1;
+            // A schedule the explorer itself recorded must replay; a miss
+            // is a checker bug and must abort the run loudly.
+            #[allow(clippy::expect_used)]
             let report = audit_schedule(self.model, schedule)
                 .expect("schedule recorded during exploration must replay");
             if report.ok() {
@@ -293,6 +297,7 @@ impl Hasher for Fnv {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 

@@ -42,6 +42,4 @@ pub mod negotiation;
 pub use explore::{audit_schedule, minimize, replay_schedule, Explorer, Model, Stats, Verdict};
 pub use journal::JournalSet;
 pub use lifecycle::{LifecycleAction, LifecycleInject, LifecycleModel, LifecycleState};
-pub use negotiation::{
-    NegotiationAction, NegotiationInject, NegotiationModel, NegotiationState,
-};
+pub use negotiation::{NegotiationAction, NegotiationInject, NegotiationModel, NegotiationState};

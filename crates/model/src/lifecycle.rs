@@ -197,6 +197,9 @@ impl Model for LifecycleModel {
         match *action {
             LifecycleAction::DeleteRoot => {
                 if self.inject != Some(LifecycleInject::SkipPromotion) {
+                    // The model fixes the waiter set; an empty plan is a
+                    // checker bug and must abort the run loudly.
+                    #[allow(clippy::expect_used)]
                     let plan = lifecycle::promotion_plan(&Self::waiting_entries())
                         .expect("the root always has waiters queued");
                     for entry in &plan.promoted {
@@ -336,6 +339,7 @@ impl Model for LifecycleModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::explore::{audit_schedule, minimize, Explorer, Verdict};
@@ -362,7 +366,10 @@ mod tests {
     fn clean_lifecycle_is_clean_strict_and_lossy() {
         for loss in [0, 1] {
             let verdict = explore(&model(None, loss));
-            assert!(matches!(verdict, Verdict::Clean), "loss={loss}: {verdict:?}");
+            assert!(
+                matches!(verdict, Verdict::Clean),
+                "loss={loss}: {verdict:?}"
+            );
         }
     }
 

@@ -12,6 +12,9 @@
 //! counterexample tripping the injected bug's rule. Anything else
 //! exits 2.
 
+// Model-checker CLI: a broken invocation or replay must abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::process::ExitCode;
 
 use syd_check::{audit_journals, AuditOptions, Rule};
@@ -20,6 +23,7 @@ use syd_model::{
     audit_schedule, minimize, replay_schedule, Explorer, LifecycleInject, LifecycleModel, Model,
     NegotiationInject, NegotiationModel, Verdict,
 };
+use syd_telemetry::names;
 use syd_telemetry::Registry;
 
 /// Which protocol to model-check.
@@ -205,7 +209,9 @@ fn parse_constraint(text: &str) -> Result<Constraint, String> {
             _ => Err(format!("unknown constraint `{text}`")),
         };
     }
-    Err(format!("unknown constraint `{text}` (use and, or:k, xor:k)"))
+    Err(format!(
+        "unknown constraint `{text}` (use and, or:k, xor:k)"
+    ))
 }
 
 fn usage() {
@@ -250,8 +256,8 @@ fn run_check<M: Model>(model: &M, banner: &str, inject: Option<Inject>, max_stat
     );
     println!(
         "telemetry: model.states_explored={} model.violations={}",
-        registry.counter("model.states_explored").get(),
-        registry.counter("model.violations").get()
+        registry.counter(names::MODEL_STATES_EXPLORED).get(),
+        registry.counter(names::MODEL_VIOLATIONS).get()
     );
 
     match verdict {
@@ -409,6 +415,7 @@ fn main() -> ExitCode {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 
@@ -446,10 +453,7 @@ mod tests {
     fn injections_infer_their_scenario() {
         let config = parse("--inject skip-cascade").unwrap();
         assert_eq!(config.scenario, Scenario::Lifecycle);
-        assert_eq!(
-            config.inject.unwrap().expected_rule(),
-            Rule::Cascade
-        );
+        assert_eq!(config.inject.unwrap().expected_rule(), Rule::Cascade);
         let config = parse("--inject double-commit").unwrap();
         assert_eq!(config.scenario, Scenario::Negotiate);
         // Mismatched pairs are rejected.

@@ -451,14 +451,26 @@ impl Model for NegotiationModel {
                     for (i, slot) in session.slots.iter().enumerate() {
                         match slot {
                             Slot::MarkPending => {
-                                out.push(A::DeliverMark { session: s, device: i });
+                                out.push(A::DeliverMark {
+                                    session: s,
+                                    device: i,
+                                });
                                 if state.loss_left > 0 {
-                                    out.push(A::DropMark { session: s, device: i });
-                                    out.push(A::LoseMarkReply { session: s, device: i });
+                                    out.push(A::DropMark {
+                                        session: s,
+                                        device: i,
+                                    });
+                                    out.push(A::LoseMarkReply {
+                                        session: s,
+                                        device: i,
+                                    });
                                 }
                             }
                             Slot::Yes if state.dup_left > 0 => {
-                                out.push(A::DuplicateMark { session: s, device: i });
+                                out.push(A::DuplicateMark {
+                                    session: s,
+                                    device: i,
+                                });
                             }
                             _ => {}
                         }
@@ -474,24 +486,45 @@ impl Model for NegotiationModel {
                     for (i, slot) in session.slots.iter().enumerate() {
                         match slot {
                             Slot::CommitPending { .. } => {
-                                out.push(A::DeliverCommit { session: s, device: i });
+                                out.push(A::DeliverCommit {
+                                    session: s,
+                                    device: i,
+                                });
                                 if state.loss_left > 0 {
-                                    out.push(A::DropCommit { session: s, device: i });
+                                    out.push(A::DropCommit {
+                                        session: s,
+                                        device: i,
+                                    });
                                 }
                             }
                             Slot::Committed if state.dup_left > 0 => {
-                                out.push(A::DuplicateCommit { session: s, device: i });
+                                out.push(A::DuplicateCommit {
+                                    session: s,
+                                    device: i,
+                                });
                             }
                             Slot::AbortPending => {
-                                out.push(A::DeliverAbort { session: s, device: i });
+                                out.push(A::DeliverAbort {
+                                    session: s,
+                                    device: i,
+                                });
                                 if state.loss_left > 0 {
-                                    out.push(A::DropAbort { session: s, device: i });
+                                    out.push(A::DropAbort {
+                                        session: s,
+                                        device: i,
+                                    });
                                 }
                             }
                             Slot::CleanupPending => {
-                                out.push(A::DeliverCleanup { session: s, device: i });
+                                out.push(A::DeliverCleanup {
+                                    session: s,
+                                    device: i,
+                                });
                                 if state.loss_left > 0 {
-                                    out.push(A::DropCleanup { session: s, device: i });
+                                    out.push(A::DropCleanup {
+                                        session: s,
+                                        device: i,
+                                    });
                                 }
                             }
                             _ => {}
@@ -533,7 +566,10 @@ impl Model for NegotiationModel {
                     ),
                 );
             }
-            A::DeliverMark { session: s, device: i } => {
+            A::DeliverMark {
+                session: s,
+                device: i,
+            } => {
                 let sid = self.sid(s);
                 let holder = st.holders[i].map(|(hs, _)| self.sid(hs as usize));
                 let (vote, _) = fsm::participant_mark(holder, sid, true);
@@ -569,11 +605,17 @@ impl Model for NegotiationModel {
                     }
                 }
             }
-            A::DropMark { session: s, device: i } => {
+            A::DropMark {
+                session: s,
+                device: i,
+            } => {
                 st.loss_left -= 1;
                 st.sessions[s].slots[i] = Slot::NoRequestLost;
             }
-            A::LoseMarkReply { session: s, device: i } => {
+            A::LoseMarkReply {
+                session: s,
+                device: i,
+            } => {
                 st.loss_left -= 1;
                 let sid = self.sid(s);
                 let holder = st.holders[i].map(|(hs, _)| self.sid(hs as usize));
@@ -604,7 +646,10 @@ impl Model for NegotiationModel {
                     }
                 }
             }
-            A::DuplicateMark { session: s, device: i } => {
+            A::DuplicateMark {
+                session: s,
+                device: i,
+            } => {
                 st.dup_left -= 1;
                 st.dups_used = true;
                 let sid = self.sid(s);
@@ -653,7 +698,10 @@ impl Model for NegotiationModel {
                 }
                 st.sessions[s].phase = SessionPhase::Finishing;
             }
-            A::DeliverCommit { session: s, device: i } => {
+            A::DeliverCommit {
+                session: s,
+                device: i,
+            } => {
                 let sid = self.sid(s);
                 if self.inject == Some(NegotiationInject::LockLeak) && !st.injected {
                     // The buggy device applies the change but journals
@@ -682,7 +730,10 @@ impl Model for NegotiationModel {
                     st.sessions[s].slots[i] = Slot::Committed;
                 }
             }
-            A::DropCommit { session: s, device: i } => {
+            A::DropCommit {
+                session: s,
+                device: i,
+            } => {
                 st.loss_left -= 1;
                 match st.sessions[s].slots[i] {
                     Slot::CommitPending { retried: false } => {
@@ -694,13 +745,20 @@ impl Model for NegotiationModel {
                         journal.record(
                             self.coord(s),
                             EventKind::Abort,
-                            format!("session={} user={} reason=commit-failed", self.sid(s), i + 1),
+                            format!(
+                                "session={} user={} reason=commit-failed",
+                                self.sid(s),
+                                i + 1
+                            ),
                         );
                         st.sessions[s].slots[i] = Slot::CommitFailed;
                     }
                 }
             }
-            A::DuplicateCommit { session: s, device: i } => {
+            A::DuplicateCommit {
+                session: s,
+                device: i,
+            } => {
                 st.dup_left -= 1;
                 st.dups_used = true;
                 journal.record(
@@ -710,7 +768,10 @@ impl Model for NegotiationModel {
                 );
                 Self::release_one(&mut st, i, s);
             }
-            A::DeliverAbort { session: s, device: i } => {
+            A::DeliverAbort {
+                session: s,
+                device: i,
+            } => {
                 let sid = self.sid(s);
                 let reason = if st.sessions[s].satisfied {
                     "xor-overflow"
@@ -730,7 +791,10 @@ impl Model for NegotiationModel {
                 Self::release_one(&mut st, i, s);
                 st.sessions[s].slots[i] = Slot::Aborted;
             }
-            A::DropAbort { session: s, device: i } => {
+            A::DropAbort {
+                session: s,
+                device: i,
+            } => {
                 st.loss_left -= 1;
                 let reason = if st.sessions[s].satisfied {
                     "xor-overflow"
@@ -747,7 +811,10 @@ impl Model for NegotiationModel {
                 );
                 st.sessions[s].slots[i] = Slot::AbortDropped;
             }
-            A::DeliverCleanup { session: s, device: i } => {
+            A::DeliverCleanup {
+                session: s,
+                device: i,
+            } => {
                 let sid = self.sid(s);
                 // Best-effort abort to a decliner: legal even when the
                 // device never locked (lost request) — release is
@@ -760,7 +827,10 @@ impl Model for NegotiationModel {
                 Self::release_one(&mut st, i, s);
                 st.sessions[s].slots[i] = Slot::CleanedUp;
             }
-            A::DropCleanup { session: s, device: i } => {
+            A::DropCleanup {
+                session: s,
+                device: i,
+            } => {
                 st.loss_left -= 1;
                 st.sessions[s].slots[i] = Slot::CleanupDropped;
             }
@@ -774,7 +844,10 @@ impl Model for NegotiationModel {
                 let aborted = slots
                     .iter()
                     .filter(|&&slot| {
-                        matches!(slot, Slot::Aborted | Slot::AbortDropped | Slot::CommitFailed)
+                        matches!(
+                            slot,
+                            Slot::Aborted | Slot::AbortDropped | Slot::CommitFailed
+                        )
                     })
                     .count();
                 let declined = slots
@@ -795,8 +868,7 @@ impl Model for NegotiationModel {
                     self.devices,
                 );
                 let mut reported = committed;
-                if self.inject == Some(NegotiationInject::BadArithmetic) && !st.injected && s == 0
-                {
+                if self.inject == Some(NegotiationInject::BadArithmetic) && !st.injected && s == 0 {
                     // Off-by-one outcome accounting: claim satisfaction
                     // over one commit fewer than actually happened.
                     st.injected = true;
@@ -928,6 +1000,7 @@ impl Model for NegotiationModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::explore::{audit_schedule, minimize, Explorer, Verdict};
@@ -956,7 +1029,11 @@ mod tests {
 
     #[test]
     fn clean_configs_have_no_violations() {
-        for constraint in [Constraint::And, Constraint::AtLeast(1), Constraint::Exactly(1)] {
+        for constraint in [
+            Constraint::And,
+            Constraint::AtLeast(1),
+            Constraint::Exactly(1),
+        ] {
             let (verdict, states) = explore(&model(constraint));
             assert!(states > 1);
             assert!(

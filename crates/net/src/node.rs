@@ -22,6 +22,7 @@ use syd_wire::{Args, EventMsg, Payload, Request, Response, TraceContext};
 
 use crate::pool::WorkerPool;
 use crate::rpc::{CallOptions, PendingCall};
+use syd_telemetry::names;
 
 /// Serves incoming requests on a node.
 ///
@@ -74,10 +75,10 @@ struct NodeMetrics {
 impl NodeMetrics {
     fn preregister(registry: &Registry) -> Self {
         Self {
-            rpc_call: registry.histogram("rpc.call"),
-            rpc_retries: registry.counter("rpc.retries"),
-            rpc_timeouts: registry.counter("rpc.timeouts"),
-            requests_served: registry.counter("rpc.requests_served"),
+            rpc_call: registry.histogram(names::RPC_CALL),
+            rpc_retries: registry.counter(names::RPC_RETRIES),
+            rpc_timeouts: registry.counter(names::RPC_TIMEOUTS),
+            requests_served: registry.counter(names::RPC_REQUESTS_SERVED),
         }
     }
 }
@@ -133,6 +134,9 @@ impl Node {
             metrics,
         });
         let driver_shared = Arc::clone(&shared);
+        // A node without its driver thread never receives: construction
+        // failure is unrecoverable, panicking is the contract.
+        #[allow(clippy::expect_used)]
         std::thread::Builder::new()
             .name(format!("node{}-driver", addr.raw()))
             .spawn(move || driver_loop(&driver_shared))
@@ -218,7 +222,10 @@ impl Node {
             let pending = self.call_async(dst, service, method, args.clone())?;
             match pending.wait(opts.timeout) {
                 Ok(value) => {
-                    self.shared.metrics.rpc_call.record_duration(started.elapsed());
+                    self.shared
+                        .metrics
+                        .rpc_call
+                        .record_duration(started.elapsed());
                     return Ok(value);
                 }
                 Err(err) => {
@@ -375,10 +382,7 @@ fn driver_loop(shared: &Arc<NodeShared>) {
                     let _ = reply_shared.link.send(syd_wire::Envelope::new(
                         reply_shared.addr,
                         from,
-                        Payload::Response(Response {
-                            id: req.id,
-                            result,
-                        }),
+                        Payload::Response(Response { id: req.id, result }),
                     ));
                 };
                 if !shared.pool.execute(job) {
@@ -404,6 +408,7 @@ fn driver_loop(shared: &Arc<NodeShared>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU32;
@@ -442,7 +447,12 @@ mod tests {
         server.set_handler(echo_handler());
         let client = Node::spawn_on(transport).unwrap();
         let result = client
-            .call(server.addr(), &ServiceName::new("echo"), "m", vec![Value::I64(3)])
+            .call(
+                server.addr(),
+                &ServiceName::new("echo"),
+                "m",
+                vec![Value::I64(3)],
+            )
             .unwrap();
         assert_eq!(result, Value::list([Value::I64(3)]));
         assert!(client.link().is_connected());
@@ -602,9 +612,16 @@ mod tests {
         client
             .call(server.addr(), &ServiceName::new("echo"), "m", vec![])
             .unwrap();
-        let hist = client.metrics().get_histogram("rpc.call").unwrap();
+        let hist = client.metrics().get_histogram(names::RPC_CALL).unwrap();
         assert_eq!(hist.count(), 1);
-        assert!(server.metrics().get_counter("rpc.requests_served").unwrap().get() >= 1);
+        assert!(
+            server
+                .metrics()
+                .get_counter(names::RPC_REQUESTS_SERVED)
+                .unwrap()
+                .get()
+                >= 1
+        );
 
         // A silent peer: the first attempt and its single retry both
         // time out, so the call fails with two timeouts and one retry.
@@ -660,10 +677,7 @@ mod tests {
         let v = client
             .call(server.addr(), &ServiceName::new("svc"), "id", vec![])
             .unwrap();
-        assert_eq!(
-            v,
-            Value::list([Value::I64(42), Value::Bytes(vec![9, 9])])
-        );
+        assert_eq!(v, Value::list([Value::I64(42), Value::Bytes(vec![9, 9])]));
     }
 
     #[test]

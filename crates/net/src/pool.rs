@@ -96,21 +96,20 @@ impl WorkerPool {
             if live >= inner.max_workers {
                 return;
             }
-            match inner.live.compare_exchange(
-                live,
-                live + 1,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match inner
+                .live
+                .compare_exchange(live, live + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => break,
                 Err(actual) => live = actual,
             }
         }
-        inner
-            .peak_live
-            .fetch_max(live + 1, Ordering::AcqRel);
+        inner.peak_live.fetch_max(live + 1, Ordering::AcqRel);
         let worker_inner = Arc::clone(inner);
         let name = format!("{}-w{}", inner.name, live);
+        // A pool that cannot grow a worker deadlocks its callers:
+        // spawn failure is unrecoverable, panicking is the contract.
+        #[allow(clippy::expect_used)]
         std::thread::Builder::new()
             .name(name)
             .spawn(move || worker_loop(worker_inner))
@@ -152,8 +151,7 @@ fn worker_loop(inner: Arc<PoolInner>) {
             }
             Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
                 // Retire surplus workers; keep one resident while live.
-                if inner.live.load(Ordering::Acquire) > 1
-                    || inner.shutdown.load(Ordering::Acquire)
+                if inner.live.load(Ordering::Acquire) > 1 || inner.shutdown.load(Ordering::Acquire)
                 {
                     break;
                 }
@@ -175,6 +173,7 @@ impl Drop for WorkerPool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU32;

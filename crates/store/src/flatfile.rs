@@ -122,15 +122,21 @@ fn field_to_cell(raw: &str, column: &Column) -> SydResult<Value> {
     }
     let field = &unescape(raw);
     Ok(match column.ty {
-        ColumnType::Bool => Value::Bool(field.parse().map_err(|_| {
-            SydError::App(format!("`{field}` is not a bool"))
-        })?),
-        ColumnType::I64 => Value::I64(field.parse().map_err(|_| {
-            SydError::App(format!("`{field}` is not an i64"))
-        })?),
-        ColumnType::F64 => Value::F64(field.parse().map_err(|_| {
-            SydError::App(format!("`{field}` is not an f64"))
-        })?),
+        ColumnType::Bool => Value::Bool(
+            field
+                .parse()
+                .map_err(|_| SydError::App(format!("`{field}` is not a bool")))?,
+        ),
+        ColumnType::I64 => Value::I64(
+            field
+                .parse()
+                .map_err(|_| SydError::App(format!("`{field}` is not an i64")))?,
+        ),
+        ColumnType::F64 => Value::F64(
+            field
+                .parse()
+                .map_err(|_| SydError::App(format!("`{field}` is not an f64")))?,
+        ),
         ColumnType::Str => Value::Str(field.to_owned()),
         _ => unreachable!("parse_type admits scalars only"),
     })
@@ -221,6 +227,7 @@ pub fn import_table(store: &Store, table: &str, text: &str, keyed: bool) -> SydR
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 
@@ -344,10 +351,10 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod proptests {
     use super::*;
     use proptest::prelude::*;
-
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
@@ -406,6 +413,7 @@ mod proptests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod null_marker_tests {
     use super::*;
 

@@ -49,6 +49,7 @@ impl Ord for OrdValue {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use std::collections::BTreeMap;

@@ -201,6 +201,7 @@ impl LockManager {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use std::sync::Arc;
@@ -294,7 +295,8 @@ mod tests {
             let counter = Arc::clone(&counter);
             handles.push(std::thread::spawn(move || {
                 for _ in 0..50 {
-                    lm.acquire(owner + 1, &key(0), Duration::from_secs(5)).unwrap();
+                    lm.acquire(owner + 1, &key(0), Duration::from_secs(5))
+                        .unwrap();
                     let mut c = counter.lock();
                     *c += 1;
                     drop(c);

@@ -67,9 +67,7 @@ impl Predicate {
     /// Evaluates against a row laid out per `schema`.
     pub fn eval(&self, schema: &Schema, row: &[Value]) -> SydResult<bool> {
         use core::cmp::Ordering::*;
-        let cell = |name: &str| -> SydResult<&Value> {
-            Ok(&row[schema.column_index(name)?])
-        };
+        let cell = |name: &str| -> SydResult<&Value> { Ok(&row[schema.column_index(name)?]) };
         Ok(match self {
             Predicate::True => true,
             Predicate::Eq(c, v) => {
@@ -142,6 +140,7 @@ impl Predicate {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::schema::{Column, ColumnType};
@@ -171,14 +170,30 @@ mod tests {
     fn comparisons() {
         let s = schema();
         let r = row(5, "abc", None);
-        assert!(Predicate::Eq("n".into(), Value::I64(5)).eval(&s, &r).unwrap());
-        assert!(Predicate::Ne("n".into(), Value::I64(4)).eval(&s, &r).unwrap());
-        assert!(Predicate::Lt("n".into(), Value::I64(6)).eval(&s, &r).unwrap());
-        assert!(Predicate::Le("n".into(), Value::I64(5)).eval(&s, &r).unwrap());
-        assert!(Predicate::Gt("n".into(), Value::I64(4)).eval(&s, &r).unwrap());
-        assert!(Predicate::Ge("n".into(), Value::I64(5)).eval(&s, &r).unwrap());
-        assert!(!Predicate::Gt("n".into(), Value::I64(5)).eval(&s, &r).unwrap());
-        assert!(Predicate::Eq("s".into(), Value::str("abc")).eval(&s, &r).unwrap());
+        assert!(Predicate::Eq("n".into(), Value::I64(5))
+            .eval(&s, &r)
+            .unwrap());
+        assert!(Predicate::Ne("n".into(), Value::I64(4))
+            .eval(&s, &r)
+            .unwrap());
+        assert!(Predicate::Lt("n".into(), Value::I64(6))
+            .eval(&s, &r)
+            .unwrap());
+        assert!(Predicate::Le("n".into(), Value::I64(5))
+            .eval(&s, &r)
+            .unwrap());
+        assert!(Predicate::Gt("n".into(), Value::I64(4))
+            .eval(&s, &r)
+            .unwrap());
+        assert!(Predicate::Ge("n".into(), Value::I64(5))
+            .eval(&s, &r)
+            .unwrap());
+        assert!(!Predicate::Gt("n".into(), Value::I64(5))
+            .eval(&s, &r)
+            .unwrap());
+        assert!(Predicate::Eq("s".into(), Value::str("abc"))
+            .eval(&s, &r)
+            .unwrap());
     }
 
     #[test]
@@ -203,9 +218,15 @@ mod tests {
         let s = schema();
         let r = row(1, "x", None);
         // NULL compares false with everything except IS NULL.
-        assert!(!Predicate::Eq("opt".into(), Value::I64(1)).eval(&s, &r).unwrap());
-        assert!(!Predicate::Ne("opt".into(), Value::I64(1)).eval(&s, &r).unwrap());
-        assert!(!Predicate::Lt("opt".into(), Value::I64(1)).eval(&s, &r).unwrap());
+        assert!(!Predicate::Eq("opt".into(), Value::I64(1))
+            .eval(&s, &r)
+            .unwrap());
+        assert!(!Predicate::Ne("opt".into(), Value::I64(1))
+            .eval(&s, &r)
+            .unwrap());
+        assert!(!Predicate::Lt("opt".into(), Value::I64(1))
+            .eval(&s, &r)
+            .unwrap());
         assert!(Predicate::IsNull("opt".into()).eval(&s, &r).unwrap());
         let some = row(1, "x", Some(7));
         assert!(!Predicate::IsNull("opt".into()).eval(&s, &some).unwrap());
@@ -221,7 +242,9 @@ mod tests {
         let q = Predicate::Eq("n".into(), Value::I64(0))
             .or(Predicate::Eq("s".into(), Value::str("abc")));
         assert!(q.eval(&s, &r).unwrap());
-        assert!(!Predicate::Not(Box::new(Predicate::True)).eval(&s, &r).unwrap());
+        assert!(!Predicate::Not(Box::new(Predicate::True))
+            .eval(&s, &r)
+            .unwrap());
         assert!(Predicate::And(vec![]).eval(&s, &r).unwrap());
         assert!(!Predicate::Or(vec![]).eval(&s, &r).unwrap());
     }

@@ -93,6 +93,7 @@ impl Query {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::schema::{Column, ColumnType, Schema};
@@ -185,12 +186,21 @@ mod tests {
             .unwrap();
         assert_eq!(
             ages,
-            vec![Value::I64(25), Value::I64(30), Value::I64(35), Value::I64(40)]
+            vec![
+                Value::I64(25),
+                Value::I64(30),
+                Value::I64(35),
+                Value::I64(40)
+            ]
         );
     }
 
     #[test]
     fn unknown_order_column_errors() {
-        assert!(store().query("people").order_by("ghost", true).run().is_err());
+        assert!(store()
+            .query("people")
+            .order_by("ghost", true)
+            .run()
+            .is_err());
     }
 }

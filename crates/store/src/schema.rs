@@ -203,6 +203,7 @@ impl Schema {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 
@@ -263,12 +264,7 @@ mod tests {
 
     #[test]
     fn f64_column_accepts_i64() {
-        let s = Schema::new(
-            "m",
-            vec![Column::required("x", ColumnType::F64)],
-            &[],
-        )
-        .unwrap();
+        let s = Schema::new("m", vec![Column::required("x", ColumnType::F64)], &[]).unwrap();
         s.validate_row(&[Value::I64(3)]).unwrap();
         s.validate_row(&[Value::F64(3.5)]).unwrap();
     }
@@ -307,12 +303,8 @@ mod tests {
 
     #[test]
     fn nullable_pk_column_rejected() {
-        let err = Schema::new(
-            "t",
-            vec![Column::nullable("a", ColumnType::I64)],
-            &["a"],
-        )
-        .unwrap_err();
+        let err =
+            Schema::new("t", vec![Column::nullable("a", ColumnType::I64)], &["a"]).unwrap_err();
         assert!(matches!(err, SydError::SchemaViolation(_)));
     }
 

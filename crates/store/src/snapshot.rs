@@ -151,7 +151,9 @@ impl Store {
     pub fn snapshot(&self) -> Vec<u8> {
         let mut tables = Vec::new();
         for name in self.table_names() {
-            let handle = self.table_handle(&name).expect("listed table exists");
+            let Ok(handle) = self.table_handle(&name) else {
+                continue; // dropped between listing and snapshot
+            };
             let t = handle.read();
             let rows = t
                 .all_rows()
@@ -175,8 +177,8 @@ impl Store {
 
     /// Loads a store from a snapshot file.
     pub fn load_from_file(path: &std::path::Path) -> SydResult<Store> {
-        let bytes = std::fs::read(path)
-            .map_err(|e| SydError::App(format!("cannot read snapshot: {e}")))?;
+        let bytes =
+            std::fs::read(path).map_err(|e| SydError::App(format!("cannot read snapshot: {e}")))?;
         Store::from_snapshot(&bytes)
     }
 
@@ -203,6 +205,7 @@ impl Store {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::predicate::Predicate;
@@ -229,7 +232,11 @@ mod tests {
                 vec![
                     Value::I64(day),
                     Value::str(if day % 2 == 0 { "free" } else { "busy" }),
-                    if day == 3 { Value::I64(99) } else { Value::Null },
+                    if day == 3 {
+                        Value::I64(99)
+                    } else {
+                        Value::Null
+                    },
                 ],
             )
             .unwrap();
@@ -287,7 +294,10 @@ mod tests {
         let mut bytes = sample_store().snapshot();
         bytes[0] = b'X';
         let err = Store::from_snapshot(&bytes).unwrap_err();
-        assert!(err.to_string().contains("not a SyD store snapshot"), "{err}");
+        assert!(
+            err.to_string().contains("not a SyD store snapshot"),
+            "{err}"
+        );
     }
 
     #[test]

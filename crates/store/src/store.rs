@@ -36,7 +36,6 @@ impl std::fmt::Debug for Store {
     }
 }
 
-
 impl Default for Store {
     fn default() -> Self {
         Self::new()
@@ -67,7 +66,10 @@ impl Store {
                 schema.name
             )));
         }
-        tables.insert(schema.name.clone(), Arc::new(RwLock::new(Table::new(schema))));
+        tables.insert(
+            schema.name.clone(),
+            Arc::new(RwLock::new(Table::new(schema))),
+        );
         Ok(())
     }
 
@@ -138,7 +140,12 @@ impl Store {
 
     /// Names of registered triggers.
     pub fn trigger_names(&self) -> Vec<String> {
-        self.inner.triggers.read().iter().map(|t| t.name.clone()).collect()
+        self.inner
+            .triggers
+            .read()
+            .iter()
+            .map(|t| t.name.clone())
+            .collect()
     }
 
     /// Runs before-triggers for one prospective row change; any error vetoes.
@@ -171,12 +178,7 @@ impl Store {
 
     /// Runs after-triggers for applied changes; called with no latches held.
     /// The first error is returned, but every trigger still runs.
-    fn fire_after(
-        &self,
-        schema: &Schema,
-        table: &str,
-        changes: &[RowChange],
-    ) -> SydResult<()> {
+    fn fire_after(&self, schema: &Schema, table: &str, changes: &[RowChange]) -> SydResult<()> {
         let triggers: Vec<Trigger> = {
             let guard = self.inner.triggers.read();
             guard
@@ -190,20 +192,20 @@ impl Store {
         }
         let mut first_err = None;
         for change in changes {
-            let (event, old, new): (TriggerEvent, Option<&[Value]>, Option<&[Value]>) =
-                match change {
-                    RowChange::Inserted(_, values) => {
-                        (TriggerEvent::Insert, None, Some(values.as_slice()))
-                    }
-                    RowChange::Updated(_, old, new) => (
-                        TriggerEvent::Update,
-                        Some(old.as_slice()),
-                        Some(new.as_slice()),
-                    ),
-                    RowChange::Deleted(_, values) => {
-                        (TriggerEvent::Delete, Some(values.as_slice()), None)
-                    }
-                };
+            let (event, old, new): (TriggerEvent, Option<&[Value]>, Option<&[Value]>) = match change
+            {
+                RowChange::Inserted(_, values) => {
+                    (TriggerEvent::Insert, None, Some(values.as_slice()))
+                }
+                RowChange::Updated(_, old, new) => (
+                    TriggerEvent::Update,
+                    Some(old.as_slice()),
+                    Some(new.as_slice()),
+                ),
+                RowChange::Deleted(_, values) => {
+                    (TriggerEvent::Delete, Some(values.as_slice()), None)
+                }
+            };
             for t in &triggers {
                 if t.events.contains(&event) && t.condition_holds(schema, event, old, new)? {
                     let ctx = TriggerCtx {
@@ -336,7 +338,13 @@ impl Store {
             let schema = t.schema().clone();
             let matching = t.select(pred)?;
             for row in &matching {
-                self.fire_before(&schema, table, TriggerEvent::Delete, Some(&row.values), None)?;
+                self.fire_before(
+                    &schema,
+                    table,
+                    TriggerEvent::Delete,
+                    Some(&row.values),
+                    None,
+                )?;
             }
             let changes = t.delete(pred)?;
             (schema, changes)
@@ -368,6 +376,7 @@ impl Store {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::schema::{Column, ColumnType};
@@ -476,37 +485,45 @@ mod tests {
         let store = store_with_slots();
         // Inserting day d < 100 auto-inserts a shadow row at day d+100.
         store
-            .add_trigger(
-                Trigger::after("shadow", "slots", vec![TriggerEvent::Insert], |ctx| {
+            .add_trigger(Trigger::after(
+                "shadow",
+                "slots",
+                vec![TriggerEvent::Insert],
+                |ctx| {
                     let day = ctx.new_cell("day")?.as_i64()?;
                     if day < 100 {
-                        ctx.store.unwrap().insert(
-                            "slots",
-                            vec![Value::I64(day + 100), Value::str("shadow")],
-                        )?;
+                        ctx.store
+                            .unwrap()
+                            .insert("slots", vec![Value::I64(day + 100), Value::str("shadow")])?;
                     }
                     Ok(())
-                }),
-            )
+                },
+            ))
             .unwrap();
         store
             .insert("slots", vec![Value::I64(1), Value::str("free")])
             .unwrap();
-        assert!(store.get_by_key("slots", &[Value::I64(101)]).unwrap().is_some());
+        assert!(store
+            .get_by_key("slots", &[Value::I64(101)])
+            .unwrap()
+            .is_some());
     }
 
     #[test]
     fn before_trigger_vetoes_mutation() {
         let store = store_with_slots();
         store
-            .add_trigger(
-                Trigger::before("no_day_13", "slots", vec![TriggerEvent::Insert], |ctx| {
+            .add_trigger(Trigger::before(
+                "no_day_13",
+                "slots",
+                vec![TriggerEvent::Insert],
+                |ctx| {
                     if ctx.new_cell("day")?.as_i64()? == 13 {
                         return Err(SydError::App("day 13 is forbidden".into()));
                     }
                     Ok(())
-                }),
-            )
+                },
+            ))
             .unwrap();
         store
             .insert("slots", vec![Value::I64(1), Value::str("free")])
@@ -526,14 +543,17 @@ mod tests {
             .insert("slots", vec![Value::I64(1), Value::str("reserved")])
             .unwrap();
         store
-            .add_trigger(
-                Trigger::before("protect", "slots", vec![TriggerEvent::Update], |ctx| {
+            .add_trigger(Trigger::before(
+                "protect",
+                "slots",
+                vec![TriggerEvent::Update],
+                |ctx| {
                     if ctx.old_cell("status")?.as_str()? == "reserved" {
                         return Err(SydError::App("reserved slots are immutable".into()));
                     }
                     Ok(())
-                }),
-            )
+                },
+            ))
             .unwrap();
         assert!(store
             .update(
@@ -542,7 +562,10 @@ mod tests {
                 &[("status".into(), Value::str("free"))],
             )
             .is_err());
-        let row = store.get_by_key("slots", &[Value::I64(1)]).unwrap().unwrap();
+        let row = store
+            .get_by_key("slots", &[Value::I64(1)])
+            .unwrap()
+            .unwrap();
         assert_eq!(row.values[1], Value::str("reserved"));
     }
 
@@ -573,10 +596,20 @@ mod tests {
     fn duplicate_trigger_name_rejected_and_removal_works() {
         let store = store_with_slots();
         store
-            .add_trigger(Trigger::after("t", "slots", vec![TriggerEvent::Insert], |_| Ok(())))
+            .add_trigger(Trigger::after(
+                "t",
+                "slots",
+                vec![TriggerEvent::Insert],
+                |_| Ok(()),
+            ))
             .unwrap();
         assert!(store
-            .add_trigger(Trigger::after("t", "slots", vec![TriggerEvent::Insert], |_| Ok(())))
+            .add_trigger(Trigger::after(
+                "t",
+                "slots",
+                vec![TriggerEvent::Insert],
+                |_| Ok(())
+            ))
             .is_err());
         assert_eq!(store.trigger_names(), vec!["t"]);
         store.remove_trigger("t");
@@ -607,12 +640,7 @@ mod tests {
         let store = Store::new();
         store
             .create_table(
-                Schema::new(
-                    "log",
-                    vec![Column::required("n", ColumnType::I64)],
-                    &[],
-                )
-                .unwrap(),
+                Schema::new("log", vec![Column::required("n", ColumnType::I64)], &[]).unwrap(),
             )
             .unwrap();
         let mut handles = Vec::new();

@@ -98,8 +98,11 @@ impl Table {
 
     fn index_insert(&mut self, row_id: RowId, values: &[Value]) {
         for (col, index) in &mut self.indexes {
-            // Index creation validated the column, so the unwrap is safe.
-            let i = self.schema.columns.iter().position(|c| &c.name == col).unwrap();
+            // Index creation validated the column; a vanished column
+            // means a schema bug, and skipping beats corrupting.
+            let Some(i) = self.schema.columns.iter().position(|c| &c.name == col) else {
+                continue;
+            };
             index
                 .entry(OrdValue(values[i].clone()))
                 .or_default()
@@ -109,7 +112,9 @@ impl Table {
 
     fn index_remove(&mut self, row_id: RowId, values: &[Value]) {
         for (col, index) in &mut self.indexes {
-            let i = self.schema.columns.iter().position(|c| &c.name == col).unwrap();
+            let Some(i) = self.schema.columns.iter().position(|c| &c.name == col) else {
+                continue;
+            };
             let key = OrdValue(values[i].clone());
             if let Some(set) = index.get_mut(&key) {
                 set.remove(&row_id);
@@ -185,8 +190,7 @@ impl Table {
                 use std::ops::Bound::*;
                 let lo = lo.map_or(Unbounded, |v| Included(vec![OrdValue(v.clone())]));
                 let hi = hi.map_or(Unbounded, |v| Included(vec![OrdValue(v.clone())]));
-                let mut ids: Vec<RowId> =
-                    self.pk_map.range((lo, hi)).map(|(_, &id)| id).collect();
+                let mut ids: Vec<RowId> = self.pk_map.range((lo, hi)).map(|(_, &id)| id).collect();
                 ids.sort_unstable();
                 return Ok(ids);
             }
@@ -355,6 +359,7 @@ impl Table {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::schema::{Column, ColumnType};
@@ -483,7 +488,11 @@ mod tests {
         t.create_index("n").unwrap();
         assert_eq!(t.indexed_columns(), vec!["n".to_string()]);
         let got = t
-            .select(&Predicate::Between("n".into(), Value::I64(10), Value::I64(19)))
+            .select(&Predicate::Between(
+                "n".into(),
+                Value::I64(10),
+                Value::I64(19),
+            ))
             .unwrap();
         assert_eq!(got.len(), 10);
 
@@ -497,9 +506,11 @@ mod tests {
             .select(&Predicate::Eq("n".into(), Value::I64(1000)))
             .unwrap();
         assert_eq!(got.len(), 1);
-        t.delete(&Predicate::Eq("n".into(), Value::I64(1000))).unwrap();
+        t.delete(&Predicate::Eq("n".into(), Value::I64(1000)))
+            .unwrap();
         assert_eq!(
-            t.count(&Predicate::Eq("n".into(), Value::I64(1000))).unwrap(),
+            t.count(&Predicate::Eq("n".into(), Value::I64(1000)))
+                .unwrap(),
             0
         );
     }
@@ -539,7 +550,8 @@ mod tests {
         assert!(t.get_by_key(&[Value::I64(1)]).is_none());
         assert!(t.get_by_key(&[Value::I64(5)]).is_some());
         assert_eq!(
-            t.count(&Predicate::Eq("status".into(), Value::str("z"))).unwrap(),
+            t.count(&Predicate::Eq("status".into(), Value::str("z")))
+                .unwrap(),
             1
         );
     }

@@ -185,17 +185,13 @@ impl std::fmt::Debug for Trigger {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::schema::{Column, ColumnType};
 
     fn schema() -> Schema {
-        Schema::new(
-            "t",
-            vec![Column::required("n", ColumnType::I64)],
-            &[],
-        )
-        .unwrap()
+        Schema::new("t", vec![Column::required("n", ColumnType::I64)], &[]).unwrap()
     }
 
     #[test]

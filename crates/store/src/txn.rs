@@ -138,7 +138,9 @@ impl Txn {
         keys.sort();
         keys.dedup();
         for key in &keys {
-            self.store.locks().acquire(self.id, key, self.lock_timeout)?;
+            self.store
+                .locks()
+                .acquire(self.id, key, self.lock_timeout)?;
         }
         let changes = self.store.update_collect(table, pred, assignments)?;
         let n = changes.len();
@@ -164,7 +166,9 @@ impl Txn {
         keys.sort();
         keys.dedup();
         for key in &keys {
-            self.store.locks().acquire(self.id, key, self.lock_timeout)?;
+            self.store
+                .locks()
+                .acquire(self.id, key, self.lock_timeout)?;
         }
         let changes = self.store.delete_collect(table, pred)?;
         let n = changes.len();
@@ -229,6 +233,7 @@ impl Drop for Txn {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::schema::{Column, ColumnType, Schema};
@@ -272,7 +277,10 @@ mod tests {
         assert_eq!(s.locks().held_count(), 0);
         assert!(s.get_by_key("slots", &[Value::I64(10)]).unwrap().is_some());
         assert_eq!(
-            s.get_by_key("slots", &[Value::I64(0)]).unwrap().unwrap().values[1],
+            s.get_by_key("slots", &[Value::I64(0)])
+                .unwrap()
+                .unwrap()
+                .values[1],
             Value::str("busy")
         );
     }
@@ -283,8 +291,12 @@ mod tests {
         let mut txn = s.begin();
         txn.insert("slots", vec![Value::I64(10), Value::str("free")])
             .unwrap();
-        txn.update("slots", &Predicate::True, &[("status".into(), Value::str("busy"))])
-            .unwrap();
+        txn.update(
+            "slots",
+            &Predicate::True,
+            &[("status".into(), Value::str("busy"))],
+        )
+        .unwrap();
         txn.delete("slots", &Predicate::Eq("day".into(), Value::I64(3)))
             .unwrap();
         txn.rollback().unwrap();
@@ -343,7 +355,10 @@ mod tests {
         assert_eq!(n, 1);
         t2.commit();
         assert_eq!(
-            s.get_by_key("slots", &[Value::I64(1)]).unwrap().unwrap().values[1],
+            s.get_by_key("slots", &[Value::I64(1)])
+                .unwrap()
+                .unwrap()
+                .values[1],
             Value::str("t2")
         );
     }
@@ -365,7 +380,10 @@ mod tests {
             .unwrap();
         t2.commit();
         assert_eq!(
-            s.get_by_key("slots", &[Value::I64(100)]).unwrap().unwrap().values[1],
+            s.get_by_key("slots", &[Value::I64(100)])
+                .unwrap()
+                .unwrap()
+                .values[1],
             Value::str("b")
         );
     }
@@ -376,8 +394,7 @@ mod tests {
         let txn = s.begin();
         txn.lock_row("slots", &[Value::I64(2)]).unwrap();
         assert_eq!(
-            s.locks()
-                .holder(&LockKey::new("slots", [Value::I64(2)])),
+            s.locks().holder(&LockKey::new("slots", [Value::I64(2)])),
             Some(txn.id())
         );
         txn.commit();
@@ -388,8 +405,7 @@ mod tests {
     fn keyless_tables_lock_by_row_id() {
         let s = Store::new();
         s.create_table(
-            Schema::new("log", vec![Column::required("n", ColumnType::I64)], &[])
-                .unwrap(),
+            Schema::new("log", vec![Column::required("n", ColumnType::I64)], &[]).unwrap(),
         )
         .unwrap();
         s.insert("log", vec![Value::I64(1)]).unwrap();
@@ -425,8 +441,11 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(
-            s.count("slots", &Predicate::Eq("status".into(), Value::str("claimed")))
-                .unwrap(),
+            s.count(
+                "slots",
+                &Predicate::Eq("status".into(), Value::str("claimed"))
+            )
+            .unwrap(),
             5
         );
     }

@@ -1,6 +1,8 @@
 //! Model-based property tests: the store against a naive in-memory model
 //! under random operation sequences.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;

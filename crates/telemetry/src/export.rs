@@ -86,6 +86,7 @@ pub fn metrics_jsonl(snap: &MetricsSnapshot) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::metrics::Registry;

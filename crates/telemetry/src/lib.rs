@@ -21,6 +21,9 @@
 //! * [`export`] — human-readable table and JSON-lines renderings of a
 //!   metrics snapshot, shared by `DeviceRuntime`, `Network` and the
 //!   `experiments` harness.
+//! * [`names`] — the central registry of metric name constants; every
+//!   call site registers through one of these (enforced statically by
+//!   `syd-lint`'s `counter-registry` rule).
 //!
 //! The crate deliberately depends on nothing but `parking_lot` so every
 //! layer — wire, net, kernel, apps — can use it without cycles.
@@ -31,6 +34,7 @@
 pub mod export;
 pub mod journal;
 pub mod metrics;
+pub mod names;
 pub mod trace;
 
 pub use export::{json_escape, metrics_jsonl, metrics_table};

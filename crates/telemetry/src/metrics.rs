@@ -243,7 +243,11 @@ impl Registry {
     /// Gets or creates the histogram called `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut inner = self.inner.lock();
-        inner.histograms.entry(name.to_string()).or_default().clone()
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
     }
 
     /// The counter called `name`, if it has been registered.
@@ -303,6 +307,7 @@ impl MetricsSnapshot {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 

@@ -1,0 +1,148 @@
+//! Central registry of every telemetry metric name.
+//!
+//! All counters, gauges and histograms recorded anywhere in the workspace
+//! must register under one of these constants. Inline string literals at
+//! call sites are rejected by `syd-lint`'s `counter-registry` rule, which
+//! cross-checks call sites against this file: a typo'd name can no longer
+//! silently split a metric in two, and a constant that loses its last
+//! call site is reported as orphaned.
+//!
+//! Grouped by owning subsystem; the `<subsystem>.<metric>` naming scheme
+//! matches what `metrics_table`/`metrics_jsonl` render.
+
+// --- rpc (syd-net node) ---------------------------------------------------
+
+/// Histogram: end-to-end latency of one outbound RPC, µs.
+pub const RPC_CALL: &str = "rpc.call";
+/// Counter: outbound RPC attempts retried after loss or timeout.
+pub const RPC_RETRIES: &str = "rpc.retries";
+/// Counter: outbound RPCs that exhausted their deadline.
+pub const RPC_TIMEOUTS: &str = "rpc.timeouts";
+/// Counter: inbound RPC requests dispatched to a handler.
+pub const RPC_REQUESTS_SERVED: &str = "rpc.requests_served";
+
+// --- transport (syd-transport backends) -----------------------------------
+
+/// Counter: connections currently or ever established (monotonic).
+pub const TRANSPORT_CONNS: &str = "transport.conns";
+/// Counter: inbound connections accepted by the listener.
+pub const TRANSPORT_ACCEPTS: &str = "transport.accepts";
+/// Counter: dial attempts made after a connection was lost.
+pub const TRANSPORT_RECONNECTS: &str = "transport.reconnects";
+/// Counter: payload bytes received off the wire.
+pub const TRANSPORT_BYTES_IN: &str = "transport.bytes_in";
+/// Counter: payload bytes written to the wire.
+pub const TRANSPORT_BYTES_OUT: &str = "transport.bytes_out";
+/// Counter: frames decoded from the wire.
+pub const TRANSPORT_FRAMES_IN: &str = "transport.frames_in";
+/// Counter: frames encoded onto the wire.
+pub const TRANSPORT_FRAMES_OUT: &str = "transport.frames_out";
+/// Counter: frames dropped due to decode/length errors.
+pub const TRANSPORT_FRAME_ERRORS: &str = "transport.frame_errors";
+
+// --- negotiation (syd-core §4.3 protocol) ----------------------------------
+
+/// Counter: negotiation sessions started by this coordinator.
+pub const NEGOTIATE_SESSIONS: &str = "negotiate.sessions";
+/// Counter: negotiation sessions that ended in a protocol abort.
+pub const NEGOTIATE_ABORTS: &str = "negotiate.aborts";
+
+// --- engine (syd-core group invocation) ------------------------------------
+
+/// Histogram: latency of one `SydEngine::invoke*` call, µs.
+pub const ENGINE_INVOKE: &str = "engine.invoke";
+/// Counter: group resolves served by one batched directory round trip.
+pub const ENGINE_BATCH_RESOLVES: &str = "engine.batch_resolves";
+/// Counter: per-user fallback lookups after a failed batch resolve.
+pub const ENGINE_RESOLVE_FALLBACKS: &str = "engine.resolve_fallbacks";
+
+// --- listener (syd-core dispatch) ------------------------------------------
+
+/// Counter: requests dispatched through `SydListener`.
+pub const LISTENER_DISPATCH: &str = "listener.dispatch";
+/// Counter: requests rejected by the listener's auth check.
+pub const LISTENER_AUTH_FAILURES: &str = "listener.auth_failures";
+
+// --- directory (syd-core SyDDirectory) -------------------------------------
+
+/// Counter: single-entity directory lookups served.
+pub const DIR_LOOKUPS: &str = "dir.lookups";
+/// Counter: batched `lookup_many` round trips served.
+pub const DIR_BATCH_LOOKUPS: &str = "dir.batch_lookups";
+/// Counter: user entries resolved inside batched lookups.
+pub const DIR_BATCH_LOOKUP_USERS: &str = "dir.batch_lookup_users";
+
+// --- proxy (syd-core SyDProxy) ---------------------------------------------
+
+/// Counter: requests answered from a proxy-cached snapshot.
+pub const PROXY_SERVED: &str = "proxy.served";
+
+// --- calendar (syd-calendar app) -------------------------------------------
+
+/// Histogram: latency of one `schedule_meeting` negotiation, µs.
+pub const CALENDAR_SCHEDULE: &str = "calendar.schedule";
+/// Histogram: latency of one reconcile pass, µs.
+pub const CALENDAR_RECONCILE: &str = "calendar.reconcile";
+/// Counter: meetings cancelled (including cascade deletions).
+pub const CALENDAR_CANCELS: &str = "calendar.cancels";
+
+// --- model (syd-model state-space explorer) --------------------------------
+
+/// Counter: distinct states visited by the DFS explorer.
+pub const MODEL_STATES_EXPLORED: &str = "model.states_explored";
+/// Counter: invariant violations found during exploration.
+pub const MODEL_VIOLATIONS: &str = "model.violations";
+
+/// Every registered metric name, for exhaustiveness checks and tooling.
+pub const ALL: &[&str] = &[
+    RPC_CALL,
+    RPC_RETRIES,
+    RPC_TIMEOUTS,
+    RPC_REQUESTS_SERVED,
+    TRANSPORT_CONNS,
+    TRANSPORT_ACCEPTS,
+    TRANSPORT_RECONNECTS,
+    TRANSPORT_BYTES_IN,
+    TRANSPORT_BYTES_OUT,
+    TRANSPORT_FRAMES_IN,
+    TRANSPORT_FRAMES_OUT,
+    TRANSPORT_FRAME_ERRORS,
+    NEGOTIATE_SESSIONS,
+    NEGOTIATE_ABORTS,
+    ENGINE_INVOKE,
+    ENGINE_BATCH_RESOLVES,
+    ENGINE_RESOLVE_FALLBACKS,
+    LISTENER_DISPATCH,
+    LISTENER_AUTH_FAILURES,
+    DIR_LOOKUPS,
+    DIR_BATCH_LOOKUPS,
+    DIR_BATCH_LOOKUP_USERS,
+    PROXY_SERVED,
+    CALENDAR_SCHEDULE,
+    CALENDAR_RECONCILE,
+    CALENDAR_CANCELS,
+    MODEL_STATES_EXPLORED,
+    MODEL_VIOLATIONS,
+];
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
+mod tests {
+    use super::ALL;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn names_are_unique_and_well_formed() {
+        let set: BTreeSet<&str> = ALL.iter().copied().collect();
+        assert_eq!(set.len(), ALL.len(), "duplicate metric name in registry");
+        for name in ALL {
+            assert!(
+                name.split('.').count() == 2
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
+                "metric name {name:?} must be <subsystem>.<snake_case>"
+            );
+        }
+    }
+}

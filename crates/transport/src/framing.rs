@@ -84,9 +84,8 @@ impl FrameDecoder {
         if avail < HEADER_LEN {
             return Ok(None);
         }
-        let header: [u8; HEADER_LEN] = self.buf[self.pos..self.pos + HEADER_LEN]
-            .try_into()
-            .expect("4 bytes checked");
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&self.buf[self.pos..self.pos + HEADER_LEN]);
         let len = u32::from_le_bytes(header);
         if len > MAX_FRAME_LEN {
             self.poisoned = true;
@@ -105,6 +104,7 @@ impl FrameDecoder {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 
@@ -184,6 +184,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod prop_tests {
     use super::*;
     use proptest::prelude::*;

@@ -33,6 +33,7 @@ pub mod tcp;
 use std::sync::Arc;
 use std::time::Duration;
 
+use syd_telemetry::names;
 use syd_telemetry::{Counter, Registry};
 use syd_types::{NodeAddr, SydResult};
 use syd_wire::Envelope;
@@ -165,19 +166,20 @@ impl TransportMetrics {
     /// Registers (or re-binds) the counters on `registry`.
     pub fn preregister(registry: &Registry) -> Self {
         Self {
-            conns: registry.counter("transport.conns"),
-            accepts: registry.counter("transport.accepts"),
-            reconnects: registry.counter("transport.reconnects"),
-            bytes_in: registry.counter("transport.bytes_in"),
-            bytes_out: registry.counter("transport.bytes_out"),
-            frames_in: registry.counter("transport.frames_in"),
-            frames_out: registry.counter("transport.frames_out"),
-            frame_errors: registry.counter("transport.frame_errors"),
+            conns: registry.counter(names::TRANSPORT_CONNS),
+            accepts: registry.counter(names::TRANSPORT_ACCEPTS),
+            reconnects: registry.counter(names::TRANSPORT_RECONNECTS),
+            bytes_in: registry.counter(names::TRANSPORT_BYTES_IN),
+            bytes_out: registry.counter(names::TRANSPORT_BYTES_OUT),
+            frames_in: registry.counter(names::TRANSPORT_FRAMES_IN),
+            frames_out: registry.counter(names::TRANSPORT_FRAMES_OUT),
+            frame_errors: registry.counter(names::TRANSPORT_FRAME_ERRORS),
         }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod trait_tests {
     use super::*;
 
@@ -189,7 +191,10 @@ mod trait_tests {
         a.bytes_out.add(10);
         assert_eq!(b.bytes_out.get(), 10, "handles share one counter");
         assert_eq!(
-            registry.get_counter("transport.bytes_out").unwrap().get(),
+            registry
+                .get_counter(names::TRANSPORT_BYTES_OUT)
+                .unwrap()
+                .get(),
             10
         );
     }

@@ -148,6 +148,9 @@ impl Network {
             next_seq: AtomicU64::new(0),
         });
         let router_inner = Arc::clone(&inner);
+        // A network without its router delivers nothing: construction
+        // failure here is unrecoverable, so panicking is the contract.
+        #[allow(clippy::expect_used)]
         std::thread::Builder::new()
             .name("syd-net-router".into())
             .spawn(move || router_loop(&router_inner))
@@ -369,7 +372,9 @@ fn router_loop(inner: &Arc<Inner>) {
             if head.due > now {
                 break;
             }
-            let msg = state.heap.pop().expect("peeked").0;
+            let Some(Reverse(msg)) = state.heap.pop() else {
+                break;
+            };
             deliver(inner, &mut state, msg);
         }
         match state.heap.peek() {

@@ -32,7 +32,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use syd_telemetry::Registry;
 use syd_types::{NodeAddr, RequestId, SydError, SydResult};
 use syd_wire::{decode_from_slice, encode_to_vec, Envelope, Payload, Response};
@@ -173,6 +173,8 @@ struct State {
     peers: HashMap<NodeAddr, PeerSlot>,
     connected: bool,
     shutdown: bool,
+    /// In-flight dial threads; reaped by the poll loop, joined on close.
+    dials: Vec<JoinHandle<()>>,
 }
 
 struct Shared {
@@ -228,6 +230,7 @@ impl FramedTcpEndpoint {
                 peers: HashMap::new(),
                 connected: true,
                 shutdown: false,
+                dials: Vec::new(),
             }),
             cv: Condvar::new(),
             events_tx,
@@ -295,18 +298,9 @@ impl TransportEndpoint for FramedTcpEndpoint {
         }
         self.shared.metrics.frames_out.inc();
         self.shared.metrics.bytes_out.add(size as u64);
-        let live = state
-            .peers
-            .get(&dst)
-            .and_then(|slot| slot.conn)
-            .filter(|id| state.conns.contains_key(id));
-        if let Some(conn_id) = live {
-            state
-                .conns
-                .get_mut(&conn_id)
-                .expect("checked above")
-                .outq
-                .push_back(frame);
+        let live = state.peers.get(&dst).and_then(|slot| slot.conn);
+        if let Some(conn) = live.and_then(|id| state.conns.get_mut(&id)) {
+            conn.outq.push_back(frame);
             drop(state);
             self.shared.cv.notify_all();
             return Ok(size);
@@ -400,6 +394,15 @@ impl TransportEndpoint for FramedTcpEndpoint {
         if let Some(handle) = self.thread.lock().take() {
             let _ = handle.join();
         }
+        // Dial threads are bounded by DIAL_TIMEOUT; join any stragglers
+        // so no thread outlives the endpoint.
+        let dials: Vec<JoinHandle<()>> = {
+            let mut state = self.shared.state.lock();
+            state.dials.drain(..).collect()
+        };
+        for handle in dials {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -436,7 +439,7 @@ fn poll_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         to_dial.clear();
         let mut state = shared.state.lock();
         if state.shutdown {
-            flush_on_close(&mut state);
+            flush_on_close(shared, &mut state);
             return;
         }
         let mut progressed = false;
@@ -501,13 +504,21 @@ fn poll_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             }
             drop(state);
         } else {
-            // Dial without holding the lock: connect_timeout blocks.
-            drop(state);
+            // Hand each dial to a short-lived thread: connect_timeout
+            // blocks for up to DIAL_TIMEOUT, and the poll thread must
+            // keep servicing live connections meanwhile.
             for peer in to_dial.drain(..) {
-                let target = SocketAddr::V4(socket_addr_of(peer));
-                let result = TcpStream::connect_timeout(&target, DIAL_TIMEOUT);
-                finish_dial(shared, peer, result);
+                let dial_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("syd-tcp-dial".into())
+                    .spawn(move || dial_peer(&dial_shared, peer));
+                match spawned {
+                    Ok(handle) => state.dials.push(handle),
+                    Err(_) => fail_dial(shared, &mut state, peer),
+                }
             }
+            state.dials.retain(|h| !h.is_finished());
+            drop(state);
         }
     }
 }
@@ -560,8 +571,9 @@ fn service_conn(
                         alive = false;
                         break;
                     }
-                    let raw = u64::from_le_bytes(body.try_into().expect("length checked"));
-                    let peer = NodeAddr::new(raw);
+                    let mut raw_b = [0u8; HELLO_LEN];
+                    raw_b.copy_from_slice(&body);
+                    let peer = NodeAddr::new(u64::from_le_bytes(raw_b));
                     conn.peer = Some(peer);
                     // Adopt immediately, so `Accepted` is observed before
                     // any message that rode the same read batch.
@@ -661,7 +673,7 @@ fn adopt_inbound(
     if keep_existing {
         return false;
     }
-    let slot = state.peers.get_mut(&peer).expect("slot created above");
+    let slot = state.peers.entry(peer).or_insert_with(PeerSlot::new);
     if let Some(old_id) = slot.conn.take() {
         if let Some(mut old) = state.conns.remove(&old_id) {
             // Transfer unflushed frames; skip a still-queued
@@ -675,7 +687,7 @@ fn adopt_inbound(
             shared.emit(TransportEvent::Disconnected(peer));
         }
     }
-    let slot = state.peers.get_mut(&peer).expect("slot created above");
+    let slot = state.peers.entry(peer).or_insert_with(PeerSlot::new);
     // Any frames queued while unconnected ride this connection.
     for pending in slot.queue.drain(..) {
         conn.outq.push_back(pending.frame);
@@ -690,6 +702,15 @@ fn adopt_inbound(
     slot.ever_connected = true;
     shared.emit(TransportEvent::Accepted(peer));
     true
+}
+
+/// Dials one peer on its own short-lived thread; the blocking connect
+/// happens here, off the poll thread, and the result is integrated by
+/// [`finish_dial`].
+fn dial_peer(shared: &Arc<Shared>, peer: NodeAddr) {
+    let target = SocketAddr::V4(socket_addr_of(peer));
+    let result = TcpStream::connect_timeout(&target, DIAL_TIMEOUT);
+    finish_dial(shared, peer, result);
 }
 
 /// Integrates a completed dial attempt back into the state.
@@ -724,7 +745,7 @@ fn finish_dial(shared: &Arc<Shared>, peer: NodeAddr, result: io::Result<TcpStrea
     state.next_conn_id += 1;
     let mut outq = VecDeque::new();
     outq.push_back(hello_frame(shared.addr));
-    let slot = state.peers.get_mut(&peer).expect("slot created above");
+    let slot = state.peers.entry(peer).or_insert_with(PeerSlot::new);
     for pending in slot.queue.drain(..) {
         outq.push_back(pending.frame);
     }
@@ -778,7 +799,10 @@ fn fail_dial(shared: &Shared, state: &mut State, peer: NodeAddr) {
 }
 
 /// Best-effort flush of queued writes before the endpoint goes away.
-fn flush_on_close(state: &mut State) {
+/// Waits on the condvar between rounds so the state lock is released
+/// while idle — `close()` callers and late senders are never stalled
+/// behind the grace period.
+fn flush_on_close(shared: &Shared, state: &mut MutexGuard<'_, State>) {
     let deadline = Instant::now() + CLOSE_GRACE;
     loop {
         let mut pending = false;
@@ -811,7 +835,7 @@ fn flush_on_close(state: &mut State) {
         if !pending || Instant::now() >= deadline {
             break;
         }
-        std::thread::sleep(POLL_TICK);
+        shared.cv.wait_for(state, POLL_TICK);
     }
     for conn in state.conns.values() {
         conn.sever();
@@ -820,6 +844,7 @@ fn flush_on_close(state: &mut State) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 

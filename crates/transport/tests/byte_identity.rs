@@ -3,8 +3,11 @@
 //! to the messages the sim router delivers — both are exactly
 //! `syd_wire::encode_to_vec(&envelope)`.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::time::Duration;
 
+use syd_telemetry::names;
 use syd_transport::{FramedTcpTransport, Network, Transport, TransportEndpoint};
 use syd_types::{NodeAddr, RequestId, ServiceName, SydError, UserId, Value};
 use syd_wire::{decode_from_slice, Envelope, EventMsg, Payload, Request, Response};
@@ -92,7 +95,7 @@ fn sim_and_tcp_deliver_identical_envelope_bytes() {
     for transport in [tcp.metrics(), sim.metrics()] {
         assert_eq!(
             transport
-                .get_counter("transport.frame_errors")
+                .get_counter(names::TRANSPORT_FRAME_ERRORS)
                 .unwrap()
                 .get(),
             0

@@ -2,9 +2,12 @@
 //! idempotent connects, listener port reuse, and graceful shutdown with
 //! in-flight frames.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use syd_telemetry::names;
 use syd_transport::{
     FramedTcpEndpoint, FramedTcpTransport, Transport, TransportEndpoint, TransportEvent,
 };
@@ -104,7 +107,7 @@ fn accept_disconnect_reconnect_event_ordering() {
     // re-established link counts once per side: dialer + acceptor.
     assert_eq!(
         tcp.metrics()
-            .get_counter("transport.reconnects")
+            .get_counter(names::TRANSPORT_RECONNECTS)
             .unwrap()
             .get(),
         2
@@ -136,12 +139,15 @@ fn double_connect_to_same_peer_is_idempotent() {
     // One logical connection, counted once per sharing endpoint (dialer
     // `conns`, acceptor `accepts` + `conns`) — and exactly once each.
     assert_eq!(
-        tcp.metrics().get_counter("transport.conns").unwrap().get(),
+        tcp.metrics()
+            .get_counter(names::TRANSPORT_CONNS)
+            .unwrap()
+            .get(),
         2
     );
     assert_eq!(
         tcp.metrics()
-            .get_counter("transport.accepts")
+            .get_counter(names::TRANSPORT_ACCEPTS)
             .unwrap()
             .get(),
         1

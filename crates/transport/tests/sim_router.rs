@@ -2,8 +2,11 @@
 //! from `syd-net`'s router module when the simulator moved into
 //! `syd-transport` — the move must not change router semantics.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::time::{Duration, Instant};
 
+use syd_telemetry::names;
 use syd_transport::{Endpoint, LatencyModel, NetConfig, Network};
 use syd_types::{NodeAddr, RequestId, ServiceName, SydError, UserId, Value};
 use syd_wire::{EventMsg, Payload, Request};
@@ -312,7 +315,10 @@ mod as_transport {
             other => panic!("unexpected event {other:?}"),
         }
         assert_eq!(
-            net.metrics().get_counter("transport.conns").unwrap().get(),
+            net.metrics()
+                .get_counter(names::TRANSPORT_CONNS)
+                .unwrap()
+                .get(),
             1
         );
         // Connecting to a never-registered peer is an error.
@@ -359,12 +365,15 @@ mod as_transport {
             other => panic!("unexpected event {other:?}"),
         }
         let m = net.metrics();
-        assert_eq!(m.get_counter("transport.frames_out").unwrap().get(), 1);
+        assert_eq!(m.get_counter(names::TRANSPORT_FRAMES_OUT).unwrap().get(), 1);
         assert_eq!(
-            m.get_counter("transport.bytes_out").unwrap().get(),
+            m.get_counter(names::TRANSPORT_BYTES_OUT).unwrap().get(),
             n as u64
         );
-        assert_eq!(m.get_counter("transport.frame_errors").unwrap().get(), 0);
+        assert_eq!(
+            m.get_counter(names::TRANSPORT_FRAME_ERRORS).unwrap().get(),
+            0
+        );
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! Lives in its own integration binary so the count isn't perturbed by
 //! sibling tests running concurrently.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::time::{Duration, Instant};
 
 use syd_transport::{Transport, TransportEvent};

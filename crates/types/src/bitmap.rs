@@ -181,15 +181,19 @@ impl SlotBitmap {
         if bytes.len() < 12 {
             return Err(err("truncated header"));
         }
-        let start = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
-        let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let le_u64 = |chunk: &[u8]| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            u64::from_le_bytes(b)
+        };
+        let start = le_u64(&bytes[0..8]);
+        let mut len_b = [0u8; 4];
+        len_b.copy_from_slice(&bytes[8..12]);
+        let len = u32::from_le_bytes(len_b);
         if bytes.len() != 12 + word_count(len) * 8 {
             return Err(err("length mismatch"));
         }
-        let words: Vec<u64> = bytes[12..]
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
-            .collect();
+        let words: Vec<u64> = bytes[12..].chunks_exact(8).map(le_u64).collect();
         SlotBitmap::from_raw_parts(start, len, words)
     }
 
@@ -276,6 +280,7 @@ impl Iterator for BitIter {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::time::SLOTS_PER_DAY;
@@ -315,12 +320,23 @@ mod tests {
     #[test]
     fn intersection_matches_set_semantics() {
         let r = day_range(0, 4);
-        let a_free = [TimeSlot::new(0, 3), TimeSlot::new(1, 10), TimeSlot::new(3, 23)];
-        let b_free = [TimeSlot::new(1, 10), TimeSlot::new(3, 23), TimeSlot::new(2, 0)];
+        let a_free = [
+            TimeSlot::new(0, 3),
+            TimeSlot::new(1, 10),
+            TimeSlot::new(3, 23),
+        ];
+        let b_free = [
+            TimeSlot::new(1, 10),
+            TimeSlot::new(3, 23),
+            TimeSlot::new(2, 0),
+        ];
         let mut a = SlotBitmap::from_free_slots(r, a_free);
         let b = SlotBitmap::from_free_slots(r, b_free);
         a.and_assign(&b);
-        assert_eq!(a.to_slots(), vec![TimeSlot::new(1, 10), TimeSlot::new(3, 23)]);
+        assert_eq!(
+            a.to_slots(),
+            vec![TimeSlot::new(1, 10), TimeSlot::new(3, 23)]
+        );
     }
 
     #[test]
@@ -349,7 +365,10 @@ mod tests {
         bm.set_busy(TimeSlot::new(16, 0));
         let bytes = bm.pack();
         // 14 days of hourly slots: 12-byte header + 6 words.
-        assert_eq!(bytes.len(), 12 + 8 * ((14 * SLOTS_PER_DAY as usize).div_ceil(64)));
+        assert_eq!(
+            bytes.len(),
+            12 + 8 * ((14 * SLOTS_PER_DAY as usize).div_ceil(64))
+        );
         let back = SlotBitmap::unpack(&bytes).unwrap();
         assert_eq!(back, bm);
         assert_eq!(back.pack(), bytes);

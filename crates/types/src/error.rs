@@ -187,6 +187,7 @@ impl fmt::Display for SydError {
 impl std::error::Error for SydError {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 
@@ -249,11 +250,9 @@ mod tests {
         assert!(SydError::NoSuchTable("slots".into())
             .to_string()
             .contains("slots"));
-        assert!(
-            SydError::NoSuchService(ServiceName::new("cal"), "m".into())
-                .to_string()
-                .contains("cal")
-        );
+        assert!(SydError::NoSuchService(ServiceName::new("cal"), "m".into())
+            .to_string()
+            .contains("cal"));
     }
 
     #[test]

@@ -168,6 +168,7 @@ impl From<String> for ServiceName {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use std::collections::HashSet;

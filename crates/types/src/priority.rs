@@ -59,6 +59,7 @@ impl From<u8> for Priority {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 

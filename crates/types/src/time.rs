@@ -267,6 +267,7 @@ impl Clock for SimClock {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 
@@ -357,7 +358,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(format!("{}", TimeSlot::new(3, 9)), "day 3 09:00");
-        assert_eq!(format!("{}", SlotRange::whole_day(2)), "[day 2 00:00 .. day 3 00:00)");
+        assert_eq!(
+            format!("{}", SlotRange::whole_day(2)),
+            "[day 2 00:00 .. day 3 00:00)"
+        );
         assert_eq!(format!("{}", Timestamp::from_micros(7)), "t+7µs");
     }
 }

@@ -317,6 +317,7 @@ impl From<Vec<Value>> for Value {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use core::cmp::Ordering;

@@ -174,6 +174,7 @@ impl Default for Args {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::codec::{decode_from_slice, encode_to_vec};

@@ -109,7 +109,9 @@ impl<'a> Reader<'a> {
     pub fn len_prefix(&mut self) -> SydResult<usize> {
         let n = self.varint()?;
         if n > MAX_LEN {
-            return Err(SydError::Codec(format!("length {n} exceeds limit {MAX_LEN}")));
+            return Err(SydError::Codec(format!(
+                "length {n} exceeds limit {MAX_LEN}"
+            )));
         }
         Ok(n as usize)
     }
@@ -373,8 +375,7 @@ macro_rules! vec_codec {
                 }
             }
             fn encoded_len(&self) -> usize {
-                varint_len(self.len() as u64)
-                    + self.iter().map(Encode::encoded_len).sum::<usize>()
+                varint_len(self.len() as u64) + self.iter().map(Encode::encoded_len).sum::<usize>()
             }
         }
 
@@ -487,7 +488,9 @@ impl Decode for SlotRange {
         let start = TimeSlot::decode(r)?;
         let end = TimeSlot::decode(r)?;
         if start.ordinal() > end.ordinal() {
-            return Err(SydError::Codec(format!("reversed slot range {start}..{end}")));
+            return Err(SydError::Codec(format!(
+                "reversed slot range {start}..{end}"
+            )));
         }
         Ok(SlotRange::new(start, end))
     }
@@ -522,10 +525,11 @@ impl Decode for SlotBitmap {
         let mut words = Vec::with_capacity((len as usize).div_ceil(64));
         for _ in 0..(len as usize).div_ceil(64) {
             let chunk = r.bytes(8)?;
-            words.push(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            words.push(u64::from_le_bytes(b));
         }
-        SlotBitmap::from_raw_parts(start, len, words)
-            .map_err(|e| SydError::Codec(e.to_string()))
+        SlotBitmap::from_raw_parts(start, len, words).map_err(|e| SydError::Codec(e.to_string()))
     }
 }
 
@@ -738,6 +742,7 @@ impl Decode for Result<Value, SydError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
 
@@ -900,6 +905,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -332,6 +332,7 @@ impl Decode for Envelope {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
     use super::*;
     use crate::codec::{decode_from_slice, encode_to_vec};
@@ -538,6 +539,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod proptests {
     use super::*;
     use crate::codec::{decode_from_slice, encode_to_vec};

@@ -6,6 +6,8 @@
 //! cargo run --example committee_calendar
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use std::time::{Duration, Instant};
 
 use syd::calendar::{CalendarApp, GroupSpec, MeetingSpec, MeetingStatus};
@@ -51,7 +53,10 @@ fn main() {
             vec![b.user(), c.user(), d.user()],
         ))
         .unwrap();
-    println!("scene 1: scheduled at {slot} -> {:?}, waiting on {:?}", m1.status, m1.pending);
+    println!(
+        "scene 1: scheduled at {slot} -> {:?}, waiting on {:?}",
+        m1.status, m1.pending
+    );
     assert_eq!(m1.status, MeetingStatus::Tentative);
 
     // C's appointment ends early: the availability link fires and the
@@ -76,9 +81,9 @@ fn main() {
     // The bumped weekly sync automatically reschedules itself.
     wait_until(
         || {
-            a.meeting(m1.meeting)
-                .unwrap()
-                .is_some_and(|m| m.ordinal != slot.ordinal() && m.status == MeetingStatus::Confirmed)
+            a.meeting(m1.meeting).unwrap().is_some_and(|m| {
+                m.ordinal != slot.ordinal() && m.status == MeetingStatus::Confirmed
+            })
         },
         "auto-rescheduling of the bumped meeting",
     );
@@ -143,7 +148,11 @@ fn main() {
         .schedule(MeetingSpec::plain("first", slot5, vec![c.user(), d.user()]))
         .unwrap();
     let second = c
-        .schedule(MeetingSpec::plain("second", slot5, vec![a.user(), d.user()]))
+        .schedule(MeetingSpec::plain(
+            "second",
+            slot5,
+            vec![a.user(), d.user()],
+        ))
         .unwrap();
     assert_eq!(second.status, MeetingStatus::Tentative);
     a.cancel(first.meeting).unwrap();

@@ -7,6 +7,8 @@
 //! cargo run --example flat_file_device
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use syd::calendar::{CalendarApp, MeetingSpec, MeetingStatus};
 use syd::kernel::SydEnv;
 use syd::net::NetConfig;
@@ -45,7 +47,10 @@ slot:i64,label:str
         )
         .unwrap();
     println!("common free slots on day 0 (8:00–12:00): {common:?}");
-    assert!(!common.contains(&TimeSlot::new(0, 9)), "dentist blocks 9:00");
+    assert!(
+        !common.contains(&TimeSlot::new(0, 9)),
+        "dentist blocks 9:00"
+    );
     assert!(!common.contains(&TimeSlot::new(0, 10)));
 
     let outcome = phil

@@ -5,6 +5,8 @@
 //! cargo run --example fleet_dispatch
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use std::time::{Duration, Instant};
 
 use syd::fleet::{deploy_fleet, Position};

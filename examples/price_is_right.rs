@@ -5,6 +5,8 @@
 //! cargo run --example price_is_right
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use std::sync::Arc;
 
 use rand::{Rng, SeedableRng};
@@ -24,9 +26,7 @@ fn main() {
         let seed = 42 + i as u64;
         let strategy: BidStrategy = Arc::new(move |item: &str| {
             // Deterministic per-player noise around a rough idea of value.
-            let mut rng = rand::rngs::StdRng::seed_from_u64(
-                seed ^ item.len() as u64,
-            );
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ item.len() as u64);
             let base: u64 = 1000 + 150 * item.len() as u64;
             Some(rng.gen_range(base / 2..base * 3 / 2))
         });

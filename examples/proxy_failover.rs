@@ -6,6 +6,8 @@
 //! cargo run --example proxy_failover
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -124,7 +126,10 @@ fn main() {
             phil.user(),
             &svc,
             "set",
-            vec![Value::from(TimeSlot::new(1, 15).ordinal()), Value::str("sync with andy")],
+            vec![
+                Value::from(TimeSlot::new(1, 15).ordinal()),
+                Value::str("sync with andy"),
+            ],
         )
         .unwrap();
     println!(
@@ -153,8 +158,5 @@ fn main() {
         .get_by_key("slots", &[Value::from(TimeSlot::new(1, 15).ordinal())])
         .unwrap()
         .unwrap();
-    println!(
-        "phil's own database now shows: {}",
-        status.values[1]
-    );
+    println!("phil's own database now shows: {}", status.values[1]);
 }

@@ -4,6 +4,8 @@
 //! cargo run --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use syd::calendar::{CalendarApp, MeetingSpec, MeetingStatus};
 use syd::kernel::SydEnv;
 use syd::net::NetConfig;

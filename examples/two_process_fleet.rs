@@ -12,6 +12,8 @@
 //!
 //! Both processes finish with a clean protocol-invariant audit.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use std::io::{BufRead, BufReader, Write as _};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};

@@ -5,6 +5,8 @@
 //! cargo run --example week_view
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use syd::calendar::{CalendarApp, MeetingSpec, SlotState};
 use syd::kernel::SydEnv;
 use syd::net::NetConfig;

@@ -14,6 +14,9 @@
 //! `AUDIT_OK` (or `AUDIT_FAIL <reason>`) and exits. Exit status 0 means
 //! the audit was clean.
 
+// Demo daemon: a host that cannot boot must abort loudly at startup.
+#![allow(clippy::expect_used)]
+
 use std::io::{BufRead, Write as _};
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -3,12 +3,14 @@
 //! networks must leave every §4.3 invariant intact, and a deliberately
 //! planted defect must be caught and pinpointed.
 
-use syd_bench::stress::{
-    inject_double_commit, inject_lock_leak, run, Fault, StressConfig, INJECTED_SESSION,
-};
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use syd::check::Rule;
 use syd::kernel::SydEnv;
 use syd::net::NetConfig;
+use syd_bench::stress::{
+    inject_double_commit, inject_lock_leak, run, Fault, StressConfig, INJECTED_SESSION,
+};
 
 /// ≥200 concurrent negotiations under message loss *and* partition
 /// churn: after the forced sweep, the audit must be spotless.
@@ -72,7 +74,9 @@ fn injected_lock_leak_is_caught_with_session_and_excerpt() {
         "violation carries no journal excerpt: {leak}"
     );
     assert!(
-        leak.excerpt.iter().any(|line| line.contains("slot:injected")),
+        leak.excerpt
+            .iter()
+            .any(|line| line.contains("slot:injected")),
         "excerpt does not show the leaked entity: {:?}",
         leak.excerpt
     );
@@ -102,7 +106,7 @@ fn injected_double_commit_is_caught_with_session_and_excerpt() {
 /// The injection helpers also work against a bare deployment (no stress
 /// traffic), so postmortem tooling can be exercised in isolation.
 #[test]
-fn injection_on_quiet_device_is_the_only_violation()  {
+fn injection_on_quiet_device_is_the_only_violation() {
     let env = SydEnv::new_insecure(NetConfig::ideal());
     let dev = env.device("quiet", "").unwrap();
     inject_lock_leak(&dev);
@@ -115,10 +119,7 @@ fn injection_on_quiet_device_is_the_only_violation()  {
     inject_double_commit(&dev);
     let report = syd::check::audit([&dev]);
     assert!(
-        report
-            .violations
-            .iter()
-            .any(|v| v.rule == Rule::DoubleBook),
+        report.violations.iter().any(|v| v.rule == Rule::DoubleBook),
         "{report}"
     );
 }

@@ -2,6 +2,8 @@
 //! the deployment consistent — no leaked locks, no dangling links, no
 //! slot owned by a cancelled meeting.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -59,11 +61,8 @@ fn sustained_schedule_cancel_churn_stays_consistent() {
         handles.push(std::thread::spawn(move || {
             for round in 0..12u64 {
                 let slot = TimeSlot::from_ordinal((round * 7 + t as u64) % 10);
-                let others: Vec<UserId> = users
-                    .iter()
-                    .copied()
-                    .filter(|&u| u != app.user())
-                    .collect();
+                let others: Vec<UserId> =
+                    users.iter().copied().filter(|&u| u != app.user()).collect();
                 let spec = MeetingSpec::plain(format!("m{t}-{round}"), slot, others)
                     .with_priority(Priority::new(50 + (t as u8) * 30));
                 if let Ok(outcome) = app.schedule(spec) {
@@ -85,10 +84,9 @@ fn sustained_schedule_cancel_churn_stays_consistent() {
             if let Some(meeting) = app.slot_state(ordinal).unwrap().meeting() {
                 // A held slot's meeting record exists locally and is not
                 // cancelled.
-                let rec = app
-                    .meeting(meeting)
-                    .unwrap()
-                    .unwrap_or_else(|| panic!("{}: slot {ordinal} held by unknown {meeting}", app.user()));
+                let rec = app.meeting(meeting).unwrap().unwrap_or_else(|| {
+                    panic!("{}: slot {ordinal} held by unknown {meeting}", app.user())
+                });
                 assert_ne!(
                     rec.status,
                     MeetingStatus::Cancelled,

@@ -3,6 +3,8 @@
 //! under realistic (lossy, slow) network conditions, with failure
 //! injection.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,9 +28,7 @@ fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
 /// surviving lock is stale by definition), then replays every journal.
 fn audit_clean(devices: &[&syd::kernel::DeviceRuntime]) {
     let deadline = Instant::now() + Duration::from_secs(2);
-    while devices.iter().any(|d| d.store().locks().held_count() > 0)
-        && Instant::now() < deadline
-    {
+    while devices.iter().any(|d| d.store().locks().held_count() > 0) && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(10));
     }
     for d in devices {
@@ -93,7 +93,9 @@ fn authentication_gates_every_service() {
 
     // Break phil's credential blob: every remote operation now fails
     // authentication at the peer.
-    phil.device().node().set_identity(phil.user(), vec![1, 2, 3]);
+    phil.device()
+        .node()
+        .set_identity(phil.user(), vec![1, 2, 3]);
     let err = phil
         .device()
         .engine()
@@ -285,14 +287,10 @@ fn bump_chain_resolves_by_priority() {
     let slot = TimeSlot::new(5, 9);
 
     let low = a
-        .schedule(
-            MeetingSpec::plain("low", slot, vec![b.user()]).with_priority(Priority::new(10)),
-        )
+        .schedule(MeetingSpec::plain("low", slot, vec![b.user()]).with_priority(Priority::new(10)))
         .unwrap();
     let mid = b
-        .schedule(
-            MeetingSpec::plain("mid", slot, vec![c.user()]).with_priority(Priority::new(100)),
-        )
+        .schedule(MeetingSpec::plain("mid", slot, vec![c.user()]).with_priority(Priority::new(100)))
         .unwrap();
     assert_eq!(mid.status, MeetingStatus::Confirmed);
     let high = c
@@ -314,17 +312,17 @@ fn bump_chain_resolves_by_priority() {
     // The bumped meetings rescheduled themselves elsewhere.
     wait_for(
         || {
-            a.meeting(low.meeting)
-                .unwrap()
-                .is_some_and(|m| m.status == MeetingStatus::Confirmed && m.ordinal != slot.ordinal())
+            a.meeting(low.meeting).unwrap().is_some_and(|m| {
+                m.status == MeetingStatus::Confirmed && m.ordinal != slot.ordinal()
+            })
         },
         "low meeting rescheduled",
     );
     wait_for(
         || {
-            b.meeting(mid.meeting)
-                .unwrap()
-                .is_some_and(|m| m.status == MeetingStatus::Confirmed && m.ordinal != slot.ordinal())
+            b.meeting(mid.meeting).unwrap().is_some_and(|m| {
+                m.status == MeetingStatus::Confirmed && m.ordinal != slot.ordinal()
+            })
         },
         "mid meeting rescheduled",
     );
@@ -349,7 +347,11 @@ fn dynamic_groups_resolve_members() {
 
     // Schedule with the resolved group.
     let outcome = a
-        .schedule(MeetingSpec::plain("committee sync", TimeSlot::new(6, 10), members))
+        .schedule(MeetingSpec::plain(
+            "committee sync",
+            TimeSlot::new(6, 10),
+            members,
+        ))
         .unwrap();
     assert_eq!(outcome.status, MeetingStatus::Confirmed);
     assert_eq!(outcome.reserved.len(), 3);

@@ -1,6 +1,8 @@
 //! Step-by-step fidelity walkthroughs: the paper's numbered procedures,
 //! asserted against the actual `SyD_*` tables the paper names.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -22,7 +24,10 @@ fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
 /// cross-checks lock tables and the `SyD_WaitingLink` queue.
 fn audit_clean(apps: &[&CalendarApp]) {
     wait_for(
-        || apps.iter().all(|a| a.device().store().locks().held_count() == 0),
+        || {
+            apps.iter()
+                .all(|a| a.device().store().locks().held_count() == 0)
+        },
         "locks to drain before the audit",
     );
     syd::check::audit(apps.iter().map(|a| a.device())).assert_clean();
@@ -35,7 +40,12 @@ fn link_database_has_the_papers_tables() {
     let env = SydEnv::new_insecure(NetConfig::ideal());
     let app = CalendarApp::install(&env.device("phil", "").unwrap()).unwrap();
     let tables = app.device().store().table_names();
-    for expected in ["SyD_Link", "SyD_LinkRef", "SyD_WaitingLink", "SyD_LinkMethod"] {
+    for expected in [
+        "SyD_Link",
+        "SyD_LinkRef",
+        "SyD_WaitingLink",
+        "SyD_LinkMethod",
+    ] {
         assert!(
             tables.contains(&expected.to_string()),
             "missing {expected}; have {tables:?}"
@@ -65,11 +75,7 @@ fn cancel_meeting_follows_section_4_4() {
     // Meeting 1 (A initiates) holds the slot everywhere; link rows exist
     // at A (forward negotiation-and) and at B/C (back links).
     let m1 = a
-        .schedule(MeetingSpec::plain(
-            "m1",
-            slot,
-            vec![b.user(), c.user()],
-        ))
+        .schedule(MeetingSpec::plain("m1", slot, vec![b.user(), c.user()]))
         .unwrap();
     assert_eq!(m1.status, MeetingStatus::Confirmed);
     let link_rows = |app: &CalendarApp| {
@@ -105,9 +111,7 @@ fn cancel_meeting_follows_section_4_4() {
     // Step 2: the waiting link was promoted (tentative → permanent) and
     // meeting 2 confirmed with no human action.
     wait_for(
-        || {
-            b.meeting(m2.meeting).unwrap().unwrap().status == MeetingStatus::Confirmed
-        },
+        || b.meeting(m2.meeting).unwrap().unwrap().status == MeetingStatus::Confirmed,
         "step 2: automatic promotion confirms the waiting meeting",
     );
 
@@ -185,10 +189,7 @@ fn link_method_table_drives_coupled_invocation() {
         .unwrap();
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0].values[2].as_str().unwrap(), "write_entry");
-    assert_eq!(
-        rows[0].values[3].as_i64().unwrap() as u64,
-        b.user().raw()
-    );
+    assert_eq!(rows[0].values[3].as_i64().unwrap() as u64, b.user().raw());
 
     // "The application programmer has to include a call to check whether
     // the current method being executed is listed in the SyD_LinkMethod
@@ -232,7 +233,11 @@ fn supervisor_gets_subscription_back_link_only() {
     // B (supervisor): subscription back link only.
     assert_eq!(kind_of(&b), vec!["sub".to_string()]);
     // D (ordinary participant): negotiation back link.
-    assert!(kind_of(&d).contains(&"and".to_string()), "{:?}", kind_of(&d));
+    assert!(
+        kind_of(&d).contains(&"and".to_string()),
+        "{:?}",
+        kind_of(&d)
+    );
 }
 
 /// §5's tentative back-link trigger: "whenever C becomes available …, if
@@ -269,9 +274,7 @@ fn highest_priority_tentative_link_fires_first() {
     // claims C's slot.
     c.free_personal(slot).unwrap();
     wait_for(
-        || {
-            b.meeting(high.meeting).unwrap().unwrap().status == MeetingStatus::Confirmed
-        },
+        || b.meeting(high.meeting).unwrap().unwrap().status == MeetingStatus::Confirmed,
         "high-priority meeting confirms",
     );
     assert_eq!(

@@ -1,5 +1,7 @@
 //! Property-based tests over the full stack's core invariants.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -17,8 +19,9 @@ fn constraint_decisions_match_oracle() {
     fn decide(constraint: Constraint, yes: u32, n: u32) -> bool {
         match constraint {
             Constraint::And => yes == n,
-            Constraint::AtLeast(k) => yes >= k,
-            Constraint::Exactly(k) => yes >= k, // commits first k, aborts rest
+            // Exactly(k) commits the first k yes-votes and aborts the rest,
+            // so its go/no-go decision is the same as AtLeast(k).
+            Constraint::AtLeast(k) | Constraint::Exactly(k) => yes >= k,
         }
     }
     // Exhaustive over small n.

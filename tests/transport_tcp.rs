@@ -2,6 +2,8 @@
 //! TCP deployment, transport-aware retry behaviour under killed
 //! connections, and the invariant audit staying clean on both.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -11,6 +13,7 @@ use syd::net::{CallOptions, Node, Transport};
 use syd::transport::FramedTcpTransport;
 use syd::types::{ServiceName, SydError, SydResult, TimeSlot, Value};
 use syd::wire::Request;
+use syd_telemetry::names;
 
 /// Post-run invariant audit (same protocol as tests/full_stack.rs).
 fn audit_clean(devices: &[&syd::kernel::DeviceRuntime]) {
@@ -56,12 +59,15 @@ fn meeting_negotiation_over_loopback_tcp() {
 
     let metrics = transport.metrics();
     assert_eq!(
-        metrics.get_counter("transport.frame_errors").unwrap().get(),
+        metrics
+            .get_counter(names::TRANSPORT_FRAME_ERRORS)
+            .unwrap()
+            .get(),
         0,
         "clean run must decode every frame"
     );
     assert!(
-        metrics.get_counter("transport.conns").unwrap().get() >= 2,
+        metrics.get_counter(names::TRANSPORT_CONNS).unwrap().get() >= 2,
         "negotiation traffic crossed real connections"
     );
 }
