@@ -41,7 +41,7 @@ fn main() {
             "--seed" => cfg.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--no-partition" => cfg.partition = false,
             "--inject" => {
-                cfg.inject = Some(Fault::parse(&val("--inject")).unwrap_or_else(|| usage()))
+                cfg.inject = Some(Fault::parse(&val("--inject")).unwrap_or_else(|| usage()));
             }
             _ => usage(),
         }

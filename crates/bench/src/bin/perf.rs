@@ -5,7 +5,10 @@
 //! meeting flow — across group sizes and loss rates, and emits a
 //! machine-readable `BENCH_results.json` (schema `syd-bench-perf/v1`,
 //! documented in EXPERIMENTS.md) so every future change has a trajectory
-//! to answer to.
+//! to answer to. A final set of `fleet_scale` rows puts 100 / 1k / 10k
+//! devices on one shared event-driven runtime and records the process
+//! thread census, resident memory per device, and schedule-meeting
+//! latency inside the fleet.
 //!
 //! ```sh
 //! cargo run --release -p syd-bench --bin perf                  # optimized paths
@@ -13,6 +16,7 @@
 //! cargo run --release -p syd-bench --bin perf -- --quick       # CI smoke subset
 //! cargo run --release -p syd-bench --bin perf -- --transport both # sim vs loopback TCP
 //! cargo run --release -p syd-bench --bin perf -- --check BENCH_results.json
+//! cargo run --release -p syd-bench --bin perf -- --fleet 1000 # smoke gate: audit + thread budget
 //! ```
 //!
 //! `--transport tcp` reruns the matrix on the framed loopback-TCP
@@ -58,6 +62,9 @@ struct Config {
     out: Option<String>,
     /// Transport backends to run: `["sim"]`, `["tcp"]`, or both.
     transports: Vec<&'static str>,
+    /// `--fleet N`: run ONLY a fleet-scale row at `N` devices and gate on
+    /// it (clean audit, thread budget) — the CI smoke mode.
+    fleet: Option<usize>,
 }
 
 fn main() {
@@ -67,6 +74,7 @@ fn main() {
         seed: 42,
         out: None,
         transports: vec!["sim"],
+        fleet: None,
     };
     let mut check: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -87,6 +95,10 @@ fn main() {
                 Some("tcp") => cfg.transports = vec!["tcp"],
                 Some("both") => cfg.transports = vec!["sim", "tcp"],
                 other => die(&format!("--transport sim|tcp|both, got {other:?}")),
+            },
+            "--fleet" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => cfg.fleet = Some(n),
+                None => die("--fleet needs a device count"),
             },
             "--out" => cfg.out = args.next().or_else(|| die("--out needs a path")),
             "--check" => check = args.next().or_else(|| die("--check needs a path")),
@@ -114,6 +126,38 @@ fn run(cfg: &Config) {
         "SyD perf driver — mode={mode} seed={} quick={}",
         cfg.seed, cfg.quick
     );
+
+    // `--fleet N`: smoke-gate mode. One fleet-scale row, then hard-fail
+    // on an unclean audit or a blown thread budget — this is what the
+    // CI `fleet-scale` job runs at 1k devices.
+    if let Some(n) = cfg.fleet {
+        let row = bench_fleet_scale(cfg, n);
+        let threads = row
+            .get("threads")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::MAX);
+        let clean = matches!(row.get("audit_clean"), Some(Json::Bool(true)));
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("mode".into(), Json::Str(mode.into())),
+            ("seed".into(), Json::Num(cfg.seed as f64)),
+            ("quick".into(), Json::Bool(cfg.quick)),
+            ("results".into(), Json::Arr(vec![row])),
+        ]);
+        let out = cfg.out.as_deref().unwrap_or("BENCH_fleet.json");
+        std::fs::write(out, doc.pretty()).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+        println!("\nwrote {out}");
+        if !clean {
+            die("fleet smoke: syd-check audit reported violations");
+        }
+        if threads > 64.0 {
+            die(&format!(
+                "fleet smoke: {threads} OS threads for {n} devices exceeds the 64-thread budget"
+            ));
+        }
+        return;
+    }
+
     let sizes: &[usize] = if cfg.quick { &[2, 8] } else { &[2, 8, 32] };
     let losses: &[f64] = if cfg.quick { &[0.0] } else { &[0.0, 0.1] };
 
@@ -137,6 +181,18 @@ fn run(cfg: &Config) {
                 }
             }
         }
+    }
+
+    // Fleet-scale rows: device count is the axis, not group size. Sim
+    // only — the point is the shared runtime's thread/memory budget,
+    // which the transport backend does not change.
+    let fleets: &[usize] = if cfg.quick {
+        &[100]
+    } else {
+        &[100, 1_000, 10_000]
+    };
+    for &fleet in fleets {
+        results.push(bench_fleet_scale(cfg, fleet));
     }
 
     let doc = Json::Obj(vec![
@@ -471,6 +527,106 @@ fn bench_schedule(cfg: &Config, backend: &'static str, n: usize, loss: f64) -> C
     cell
 }
 
+/// Resident-set size of this process in KiB, per `/proc/self/status`.
+fn vm_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// OS threads currently alive in this process, per `/proc/self/task`.
+fn os_threads() -> usize {
+    std::fs::read_dir("/proc/self/task").map_or(1, Iterator::count)
+}
+
+/// Fleet-scale row: `fleet` devices share one event-driven runtime while
+/// an 8-member calendar subgroup schedules meetings across it. Reports
+/// the standard latency metrics plus the scale metrics the shared
+/// runtime exists for — OS threads for the whole process, resident
+/// memory per device, and a clean `syd-check` audit of the subgroup.
+/// The legacy thread-per-device model cannot produce the 10k row at all
+/// (two threads per device ≈ 20k OS threads).
+fn bench_fleet_scale(cfg: &Config, fleet: usize) -> Json {
+    const SUBGROUP: usize = 8;
+    let env = env_ideal();
+    let runtime = env.runtime();
+    // Scoped registries: fleet devices share metric cells instead of
+    // registering full per-device families (the §memory column).
+    runtime.set_scoped_metrics(true);
+
+    let rss0 = vm_rss_kb();
+    let apps = calendar_rig(&env, SUBGROUP);
+    let users = users_of(&apps);
+    let extras: Vec<_> = (0..fleet.saturating_sub(SUBGROUP))
+        .map(|i| env.device(&format!("fleet{i}"), "pw").unwrap())
+        .collect();
+    let mem_kb_per_device = (vm_rss_kb().saturating_sub(rss0)) as f64 / fleet.max(1) as f64;
+
+    for app in &apps {
+        apply_mode(cfg, app.device().engine());
+    }
+    let iters = if cfg.quick { 2 } else { 5 };
+    let dir0 = dir_round_trips(&env);
+    let bytes0 = wire_bytes_now(&env, "sim");
+    let mut cell = Cell {
+        bench: "fleet_scale",
+        transport: "sim",
+        group_size: fleet,
+        loss_pct: 0.0,
+        iters,
+        ok: 0,
+        latencies_ms: Vec::with_capacity(iters),
+        dir_round_trips: 0.0,
+        wire_bytes: 0.0,
+        frame_errors: 0.0,
+    };
+    for iter in 0..iters {
+        let base = 1 + iter as u32 * 8;
+        let range = SlotRange::days(base, base + 7);
+        apps[0].device().engine().flush_cache();
+        let t = Instant::now();
+        let outcome = schedule_once(cfg, &apps[0], &users, range, iter);
+        cell.latencies_ms.push(ms(t.elapsed()));
+        if outcome.is_ok() {
+            cell.ok += 1;
+        }
+    }
+    // Thread census while the whole fleet is still alive — this is the
+    // number the shared runtime bounds.
+    let threads = os_threads();
+    let audit_clean = syd_check::audit(apps.iter().map(|a| a.device())).ok();
+    cell.dir_round_trips = (dir_round_trips(&env) - dir0) as f64;
+    cell.wire_bytes = (wire_bytes_now(&env, "sim") - bytes0) as f64;
+    print_result(&cell);
+    println!(
+        "{:>22}       fleet={fleet:<6} threads={threads:<4} mem/dev={mem_kb_per_device:.1}KiB  audit_clean={audit_clean}",
+        ""
+    );
+    for d in &extras {
+        d.shutdown();
+    }
+    for app in &apps {
+        app.device().shutdown();
+    }
+    let mut row = cell.into_json();
+    if let Json::Obj(pairs) = &mut row {
+        pairs.push(("fleet_devices".into(), Json::Num(fleet as f64)));
+        pairs.push(("threads".into(), Json::Num(threads as f64)));
+        pairs.push((
+            "mem_kb_per_device".into(),
+            Json::Num(round3(mem_kb_per_device)),
+        ));
+        pairs.push(("audit_clean".into(), Json::Bool(audit_clean)));
+    }
+    row
+}
+
 fn schedule_once(
     cfg: &Config,
     initiator: &CalendarApp,
@@ -547,6 +703,19 @@ fn validate_file(path: &str) -> Result<usize, String> {
         if let Some(fe) = row.get("frame_errors") {
             fe.as_f64()
                 .ok_or(format!("results[{i}]: frame_errors not numeric"))?;
+        }
+        // Optional fleet-scale fields: present only on `fleet_scale`
+        // rows, and then they must be well-typed.
+        for key in ["fleet_devices", "threads", "mem_kb_per_device"] {
+            if let Some(v) = row.get(key) {
+                v.as_f64()
+                    .ok_or(format!("results[{i}]: {key} not numeric"))?;
+            }
+        }
+        if let Some(a) = row.get("audit_clean") {
+            if !matches!(a, Json::Bool(_)) {
+                return Err(format!("results[{i}]: audit_clean not boolean"));
+            }
         }
     }
     Ok(results.len())

@@ -117,7 +117,13 @@ impl DeviceRuntime {
         // wireless environment loses individual messages routinely.
         let engine = SydEngine::new(node.clone(), directory)
             .with_options(syd_net::CallOptions::new().with_retries(2));
-        let events = EventHandler::new();
+        // On the shared runtime the handler's periodic work rides the
+        // fleet's timer wheel (no thread); legacy nodes get the private
+        // scheduler thread.
+        let events = match node.runtime() {
+            Some(runtime) => EventHandler::with_timer(runtime.timer().clone()),
+            None => EventHandler::new(),
+        };
         // Global events arriving on the node feed the local event handler
         // (§3.1d: the event handler covers "local and global event
         // registration, monitoring, and triggering").
@@ -559,12 +565,17 @@ impl DeviceRuntime {
     }
 
     fn register_periodic_tasks(&self) {
-        // §4.2 op. 6: link expiry.
-        let links = Arc::clone(&self.inner.links);
+        // §4.2 op. 6: link expiry. Captures a weak handle: on the shared
+        // runtime the fleet-wide timer wheel owns this closure, and a
+        // strong `links` here would pin the device (and through its node,
+        // the whole runtime) alive after the last external handle drops.
+        let inner = Arc::downgrade(&self.inner);
         self.inner
             .events
             .register_periodic("link-expiry", Duration::from_millis(500), move || {
-                let _ = links.expire_scan();
+                if let Some(inner) = inner.upgrade() {
+                    let _ = inner.links.expire_scan();
+                }
             });
 
         // Stale negotiation sessions: a coordinator that died between mark

@@ -14,11 +14,13 @@
 //! (`store.<table>.insert|update|delete`), so application logic can react
 //! to database changes without any Oracle-specific machinery.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
+use syd_net::{TimerId, TimerWheel};
 use syd_store::{Store, Trigger, TriggerEvent};
 use syd_types::{SydResult, Value};
 
@@ -37,12 +39,17 @@ pub struct PeriodicTask {
 
 struct SchedulerState {
     tasks: Vec<PeriodicTask>,
+    /// Wheel-mode only: the shared-wheel entry backing each named task.
+    wheel_ids: HashMap<String, TimerId>,
 }
 
 struct Inner {
     subs: RwLock<Vec<(String, EventCallback)>>,
     scheduler: Mutex<SchedulerState>,
     wake: Condvar,
+    /// Wheel mode ([`EventHandler::with_timer`]): periodic tasks are
+    /// entries on a shared [`TimerWheel`] and no scheduler thread runs.
+    timer: Option<TimerWheel>,
     shutdown: AtomicBool,
     published: AtomicU64,
     delivered: AtomicU64,
@@ -63,14 +70,7 @@ impl Default for EventHandler {
 impl EventHandler {
     /// Creates an event handler and starts its scheduler thread.
     pub fn new() -> EventHandler {
-        let inner = Arc::new(Inner {
-            subs: RwLock::new(Vec::new()),
-            scheduler: Mutex::new(SchedulerState { tasks: Vec::new() }),
-            wake: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            published: AtomicU64::new(0),
-            delivered: AtomicU64::new(0),
-        });
+        let inner = Self::build_inner(None);
         let sched_inner = Arc::clone(&inner);
         // Without its scheduler thread no timed event ever fires:
         // construction failure is unrecoverable, panicking is the contract.
@@ -80,6 +80,31 @@ impl EventHandler {
             .spawn(move || scheduler_loop(sched_inner))
             .expect("spawn scheduler");
         EventHandler { inner }
+    }
+
+    /// Creates an event handler whose periodic tasks run as entries on
+    /// `timer` — a wheel shared with the rest of the fleet runtime — so
+    /// the handler costs no thread of its own. [`EventHandler::shutdown`]
+    /// cancels this handler's entries but leaves the shared wheel alive.
+    pub fn with_timer(timer: TimerWheel) -> EventHandler {
+        EventHandler {
+            inner: Self::build_inner(Some(timer)),
+        }
+    }
+
+    fn build_inner(timer: Option<TimerWheel>) -> Arc<Inner> {
+        Arc::new(Inner {
+            subs: RwLock::new(Vec::new()),
+            scheduler: Mutex::new(SchedulerState {
+                tasks: Vec::new(),
+                wheel_ids: HashMap::new(),
+            }),
+            wake: Condvar::new(),
+            timer,
+            shutdown: AtomicBool::new(false),
+            published: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+        })
     }
 
     /// Subscribes `callback` to every topic starting with `prefix`
@@ -107,14 +132,22 @@ impl EventHandler {
         interval: Duration,
         action: impl Fn() + Send + Sync + 'static,
     ) {
+        let action: Arc<dyn Fn() + Send + Sync> = Arc::new(action);
         let mut state = self.inner.scheduler.lock();
         state.tasks.retain(|t| t.name != name);
         state.tasks.push(PeriodicTask {
             name: name.to_owned(),
             interval,
             next_due: Instant::now() + interval,
-            action: Arc::new(action),
+            action: Arc::clone(&action),
         });
+        if let Some(timer) = &self.inner.timer {
+            let wheel_action = Arc::clone(&action);
+            let id = timer.schedule_periodic(interval, move || wheel_action());
+            if let Some(old) = state.wheel_ids.insert(name.to_owned(), id) {
+                timer.cancel(old);
+            }
+        }
         drop(state);
         self.inner.wake.notify_all();
     }
@@ -123,6 +156,11 @@ impl EventHandler {
     pub fn cancel_periodic(&self, name: &str) {
         let mut state = self.inner.scheduler.lock();
         state.tasks.retain(|t| t.name != name);
+        if let Some(timer) = &self.inner.timer {
+            if let Some(id) = state.wheel_ids.remove(name) {
+                timer.cancel(id);
+            }
+        }
     }
 
     /// Runs every periodic task once, immediately — used by tests and by
@@ -190,9 +228,18 @@ impl EventHandler {
         ))
     }
 
-    /// Stops the scheduler thread.
+    /// Stops timed work: the scheduler thread in thread mode, or this
+    /// handler's shared-wheel entries in wheel mode (the wheel itself
+    /// belongs to the runtime and keeps running).
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
+        if let Some(timer) = &self.inner.timer {
+            let mut state = self.inner.scheduler.lock();
+            for (_, id) in state.wheel_ids.drain() {
+                timer.cancel(id);
+            }
+            state.tasks.clear();
+        }
         self.inner.wake.notify_all();
     }
 }
@@ -241,8 +288,12 @@ fn scheduler_loop(inner: Arc<Inner>) {
 
 impl Drop for EventHandler {
     fn drop(&mut self) {
-        if Arc::strong_count(&self.inner) <= 2 {
-            // Just us and the scheduler: stop the thread.
+        // Thread mode: just us and the scheduler left → stop the thread.
+        // Wheel mode: no scheduler clone exists, so the floor is 1, and
+        // shutdown cancels the wheel entries (whose actions would
+        // otherwise keep capturing device internals forever).
+        let floor = if self.inner.timer.is_some() { 1 } else { 2 };
+        if Arc::strong_count(&self.inner) <= floor {
             self.shutdown();
         }
     }
@@ -333,6 +384,31 @@ mod tests {
         assert_eq!(a.load(Ordering::SeqCst), 0, "old task should be replaced");
         assert_eq!(b.load(Ordering::SeqCst), 1);
         events.shutdown();
+    }
+
+    #[test]
+    fn wheel_mode_runs_periodic_tasks_and_releases_the_shared_wheel() {
+        let wheel = TimerWheel::new("events-test");
+        let events = EventHandler::with_timer(wheel.clone());
+        let runs = Arc::new(AtomicU32::new(0));
+        let rc = Arc::clone(&runs);
+        events.register_periodic("tick", Duration::from_millis(10), move || {
+            rc.fetch_add(1, Ordering::SeqCst);
+        });
+        let deadline = Instant::now() + Duration::from_secs(3);
+        while runs.load(Ordering::SeqCst) < 3 {
+            assert!(Instant::now() < deadline, "wheel task did not run");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Replacing a task must not leave the old wheel entry firing.
+        events.register_periodic("tick", Duration::from_secs(3600), || {});
+        let after_replace = runs.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(runs.load(Ordering::SeqCst) <= after_replace + 1);
+        // Shutdown cancels this handler's entries but not the wheel.
+        events.shutdown();
+        assert_eq!(wheel.pending(), 0, "entries leaked on the shared wheel");
+        wheel.shutdown();
     }
 
     #[test]

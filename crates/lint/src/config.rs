@@ -96,7 +96,24 @@ impl Default for Config {
                 Level {
                     name: "transport".into(),
                     rank: 4,
-                    locks: s(&["tcp.state", "tcp.tap", "tcp.thread", "sim.state"]),
+                    locks: s(&[
+                        "tcp.state",
+                        "tcp.tap",
+                        "tcp.thread",
+                        "tcp.notifier",
+                        "sim.state",
+                    ]),
+                },
+                Level {
+                    name: "runtime".into(),
+                    rank: 5,
+                    locks: s(&[
+                        "runtime.ready",
+                        "runtime.nodes",
+                        "runtime.thread",
+                        "timer.state",
+                        "timer.thread",
+                    ]),
                 },
             ],
             rpc_methods: s(&[
@@ -110,6 +127,8 @@ impl Default for Config {
                 "call_async",
                 "call_async_to",
                 "publish_event",
+                "dispatch_event",
+                "drain_events",
             ]),
             rpc_qualified: s(&["net.send", "transport.send", "endpoint.send", "ep.send"]),
             poll_fns: s(&[
@@ -118,6 +137,10 @@ impl Default for Config {
                 "flush_on_close",
                 "finish_dial",
                 "deliver",
+                "reactor_loop",
+                "timer_loop",
+                "drain_events",
+                "dispatch_event",
             ]),
             poll_forbidden: s(&[
                 "sleep",
@@ -473,7 +496,7 @@ mod tests {
     #[test]
     fn defaults_survive_empty_config() {
         let cfg = Config::from_toml("").unwrap();
-        assert_eq!(cfg.levels.len(), 4);
+        assert_eq!(cfg.levels.len(), 5);
         assert!(cfg.rpc_methods.contains(&"invoke_group".to_string()));
     }
 

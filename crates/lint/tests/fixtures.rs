@@ -47,6 +47,21 @@ fn poll_block_fixture_fires_once() {
 }
 
 #[test]
+fn reactor_block_fixture_fires_once() {
+    assert_fires_once("reactor_block.rs", "no-blocking-in-poll-loop");
+}
+
+#[test]
+fn timer_block_fixture_fires_once() {
+    assert_fires_once("timer_block.rs", "no-blocking-in-poll-loop");
+}
+
+#[test]
+fn guard_across_dispatch_fixture_fires_once() {
+    assert_fires_once("guard_across_dispatch.rs", "guard-across-rpc");
+}
+
+#[test]
 fn counter_registry_fixture_fires_once() {
     assert_fires_once("counter_registry.rs", "counter-registry");
 }
@@ -87,12 +102,46 @@ fn hierarchy_inversion_across_files_fires() {
 }
 
 #[test]
+fn runtime_rank_sits_above_node_locks() {
+    // The shared runtime's locks (rank 5) must never be held while
+    // grabbing a node-layer lock — this is the self-deadlock the
+    // reactor's "drain outside the ready lock" discipline prevents.
+    let files = vec![
+        (
+            "crates/net/src/node.rs".to_string(),
+            "pub struct NodeShared { pending: Mutex<u8> }".to_string(),
+        ),
+        (
+            "crates/net/src/runtime.rs".to_string(),
+            "struct Reactor { ready: Mutex<u8> } \
+             impl Reactor { fn bad(&self, node: &NodeShared) { \
+                 let r = self.ready.lock(); \
+                 let p = node.pending.lock(); \
+                 let _ = (r, p); } }"
+                .to_string(),
+        ),
+    ];
+    let report = analyze(&files, &Config::default(), false);
+    assert_eq!(report.diagnostics.len(), 1, "{}", report.render_text());
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule.name(), "lock-order");
+    assert!(
+        d.message.contains("node.pending") && d.message.contains("runtime.ready"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
 fn fixtures_are_rule_pure() {
     // No fixture may trip any *other* rule — one seeded defect per file.
     for (name, rule) in [
         ("lock_order.rs", "lock-order"),
         ("guard_across_rpc.rs", "guard-across-rpc"),
         ("poll_block.rs", "no-blocking-in-poll-loop"),
+        ("reactor_block.rs", "no-blocking-in-poll-loop"),
+        ("timer_block.rs", "no-blocking-in-poll-loop"),
+        ("guard_across_dispatch.rs", "guard-across-rpc"),
         ("counter_registry.rs", "counter-registry"),
         ("boundary.rs", "coordination-boundary"),
     ] {

@@ -1,0 +1,15 @@
+//! Seeded violation: lock guard live across the reactor's event-dispatch
+//! re-entry point (`dispatch_event` runs node handlers inline).
+//! Expected: exactly one `guard-across-rpc` diagnostic.
+
+struct Reactor {
+    nodes: Mutex<u8>,
+}
+
+impl Reactor {
+    fn wake(&self, node: &NodeShared) {
+        let guard = self.nodes.lock();
+        node.dispatch_event(Event::Ready); // <- fires here: `guard` still live
+        drop(guard);
+    }
+}

@@ -1,0 +1,10 @@
+//! Seeded violation: blocking channel receive inside the shared reactor
+//! loop — one parked drain stalls every device on the runtime.
+//! Expected: exactly one `no-blocking-in-poll-loop` diagnostic.
+
+fn reactor_loop(rx: &Receiver<NodeAddr>) {
+    loop {
+        let addr = rx.recv(); // <- fires here
+        dispatch(addr);
+    }
+}

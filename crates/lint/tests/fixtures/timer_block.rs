@@ -1,0 +1,9 @@
+//! Seeded violation: sleeping on the shared timer wheel's dispatch
+//! thread delays every armed deadline in the process.
+//! Expected: exactly one `no-blocking-in-poll-loop` diagnostic.
+
+fn timer_loop(tick: Duration) {
+    loop {
+        std::thread::sleep(tick); // <- fires here
+    }
+}

@@ -6,10 +6,13 @@
 //! crate builds the RPC machinery on top of *either*, through the
 //! [`Transport`] adapter:
 //!
-//! * **[`Node`]** — one addressed endpoint plus a driver thread that
-//!   demultiplexes incoming traffic (responses → pending-call table,
-//!   requests/events → worker pool), with correlation ids, deadlines and
-//!   transient-failure retries.
+//! * **[`Node`]** — one addressed endpoint that demultiplexes incoming
+//!   traffic (responses → pending-call table, requests/events → worker
+//!   pool), with correlation ids, deadlines and transient-failure
+//!   retries.
+//! * **[`SharedRuntime`]** — the event-driven device runtime: one
+//!   reactor, one [`TimerWheel`] and one shared [`WorkerPool`] carry an
+//!   entire fleet of nodes (the default; see [`set_shared_runtime`]).
 //! * **[`WorkerPool`]** — grow-on-demand dispatch so nested invocations
 //!   (cancel cascades, negotiations) can never deadlock a dispatch thread.
 //!
@@ -29,6 +32,8 @@
 pub mod node;
 pub mod pool;
 pub mod rpc;
+pub mod runtime;
+pub mod timer;
 
 pub use syd_transport::config;
 pub use syd_transport::stats;
@@ -36,7 +41,11 @@ pub use syd_transport::stats;
 pub use node::{EventSink, Node, RequestHandler};
 pub use pool::WorkerPool;
 pub use rpc::{CallOptions, PendingCall};
+pub use runtime::{
+    runtime_for, set_shared_runtime, shared_runtime_enabled, DrainOutcome, SharedRuntime,
+};
 pub use syd_transport::{
     Endpoint, FramedTcpTransport, LatencyModel, NetConfig, NetStats, Network, SimTransport,
     StatsSnapshot, Transport, TransportEndpoint, TransportEvent,
 };
+pub use timer::{TimerId, TimerWheel};

@@ -1,17 +1,28 @@
-//! A network node: transport endpoint + driver + RPC client + dispatcher.
+//! A network node: transport endpoint + RPC client + dispatcher.
 //!
 //! [`Node`] is what the SyD kernel builds a device on. It owns one
 //! transport endpoint (any [`TransportEndpoint`] — simulated channel or
-//! real TCP socket), runs a driver thread that demultiplexes incoming
-//! traffic (responses → pending-call table, requests/events → worker
-//! pool), and exposes blocking [`Node::call`] / non-blocking
-//! [`Node::call_async`] semantics with deadlines and transient-failure
-//! retries.
+//! real TCP socket), demultiplexes incoming traffic (responses →
+//! pending-call table, requests/events → worker pool), and exposes
+//! blocking [`Node::call`] / non-blocking [`Node::call_async`] semantics
+//! with deadlines and transient-failure retries.
+//!
+//! Two execution models share the same dispatch logic
+//! (`dispatch_event`):
+//!
+//! * **Shared runtime** (default; [`crate::runtime::set_shared_runtime`])
+//!   — the node is a state machine registered with the backend's
+//!   [`crate::runtime::SharedRuntime`]: the reactor thread drains its
+//!   endpoint when notified, jobs go to the shared pool, RPC deadlines
+//!   are timer-wheel entries. Zero threads per node.
+//! * **Legacy thread-per-device** ([`Node::spawn_on_endpoint`], or the
+//!   switch/`SYD_RUNTIME=legacy` turned off) — a dedicated driver
+//!   thread blocks on `recv_event` and a private pool serves requests.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::Sender;
 use parking_lot::{Mutex, RwLock};
@@ -22,7 +33,17 @@ use syd_wire::{Args, EventMsg, Payload, Request, Response, TraceContext};
 
 use crate::pool::WorkerPool;
 use crate::rpc::{CallOptions, PendingCall};
+use crate::runtime::{runtime_for, shared_runtime_enabled, DrainOutcome, SharedRuntime};
 use syd_telemetry::names;
+
+/// Events drained per reactor wake-up before the node yields to its
+/// peers (round-robin fairness under load).
+const DRAIN_BUDGET: usize = 128;
+
+/// Backstop added to the channel wait when the timer wheel owns the
+/// deadline: the wheel fires the timeout; the wait only catches a
+/// wedged wheel.
+const DEADLINE_GRACE: Duration = Duration::from_millis(200);
 
 /// Serves incoming requests on a node.
 ///
@@ -92,6 +113,9 @@ struct NodeShared {
     events: RwLock<Option<Arc<dyn EventSink>>>,
     identity: RwLock<(UserId, Vec<u8>)>,
     pool: WorkerPool,
+    /// `Some` when multiplexed onto a shared runtime (no driver thread,
+    /// shared pool, wheel-armed deadlines); `None` on the legacy path.
+    runtime: Option<SharedRuntime>,
     registry: Arc<Registry>,
     metrics: NodeMetrics,
 }
@@ -103,20 +127,34 @@ pub struct Node {
 }
 
 impl Node {
-    /// Registers a fresh endpoint on the simulated `net` and starts the
-    /// driver thread. Convenience for the common single-process case;
-    /// equivalent to [`Node::spawn_on`] with a [`Network`].
+    /// Registers a fresh endpoint on the simulated `net`. Convenience
+    /// for the common single-process case; equivalent to
+    /// [`Node::spawn_on`] with a [`Network`]. Honors the
+    /// [`crate::runtime::set_shared_runtime`] switch.
     pub fn spawn(net: &Network) -> Node {
-        Node::spawn_on_endpoint(Arc::new(net.register()))
+        if shared_runtime_enabled() {
+            Node::spawn_with_runtime(Arc::new(net.register()), &runtime_for(net))
+        } else {
+            Node::spawn_on_endpoint(Arc::new(net.register()))
+        }
     }
 
     /// Opens a fresh endpoint on any [`Transport`] backend (simulated or
-    /// TCP) and starts the driver thread.
+    /// TCP). Honors the [`crate::runtime::set_shared_runtime`] switch:
+    /// shared-runtime multiplexing by default, a dedicated driver thread
+    /// on the legacy path.
     pub fn spawn_on(transport: &dyn Transport) -> SydResult<Node> {
-        Ok(Node::spawn_on_endpoint(transport.listen()?))
+        if shared_runtime_enabled() {
+            let runtime = runtime_for(transport);
+            Ok(Node::spawn_with_runtime(transport.listen()?, &runtime))
+        } else {
+            Ok(Node::spawn_on_endpoint(transport.listen()?))
+        }
     }
 
-    /// Builds a node around an already-open transport endpoint.
+    /// Builds a node around an already-open transport endpoint on the
+    /// legacy thread-per-device path: a dedicated driver thread and a
+    /// private worker pool, regardless of the global runtime switch.
     pub fn spawn_on_endpoint(link: Arc<dyn TransportEndpoint>) -> Node {
         let addr = link.addr();
         let registry = Arc::new(Registry::new());
@@ -130,6 +168,7 @@ impl Node {
             events: RwLock::new(None),
             identity: RwLock::new((UserId::default(), Vec::new())),
             pool: WorkerPool::for_device(format!("node{}", addr.raw())),
+            runtime: None,
             registry,
             metrics,
         });
@@ -142,6 +181,46 @@ impl Node {
             .spawn(move || driver_loop(&driver_shared))
             .expect("spawn node driver");
         Node { shared }
+    }
+
+    /// Builds a node multiplexed onto `runtime`, regardless of the
+    /// global switch: no driver thread, the runtime's shared pool, and
+    /// its reactor draining this endpoint on readiness notifications.
+    pub fn spawn_with_runtime(link: Arc<dyn TransportEndpoint>, runtime: &SharedRuntime) -> Node {
+        let addr = link.addr();
+        let registry = runtime.node_registry();
+        let metrics = NodeMetrics::preregister(&registry);
+        let shared = Arc::new(NodeShared {
+            addr,
+            link,
+            pending: Mutex::new(HashMap::new()),
+            next_request: AtomicU64::new(1),
+            handler: RwLock::new(None),
+            events: RwLock::new(None),
+            identity: RwLock::new((UserId::default(), Vec::new())),
+            pool: runtime.pool().clone(),
+            runtime: Some(runtime.clone()),
+            registry,
+            metrics,
+        });
+        // Register the drain callback first, then install the notifier:
+        // installation fires an immediate notification, so events that
+        // arrived before this point are drained right away.
+        let drain_shared = Arc::downgrade(&shared);
+        runtime.register_node(
+            addr,
+            Arc::new(move || match drain_shared.upgrade() {
+                Some(shared) => drain_events(&shared),
+                None => DrainOutcome::Closed,
+            }),
+        );
+        shared.link.set_ready_notifier(runtime.notifier());
+        Node { shared }
+    }
+
+    /// The shared runtime this node is multiplexed onto, if any.
+    pub fn runtime(&self) -> Option<&SharedRuntime> {
+        self.shared.runtime.as_ref()
     }
 
     /// This node's network address.
@@ -219,8 +298,17 @@ impl Node {
         let started = Instant::now();
         let mut attempts = 0;
         loop {
-            let pending = self.call_async(dst, service, method, args.clone())?;
-            match pending.wait(opts.timeout) {
+            let mut pending = self.call_async(dst, service, method, args.clone())?;
+            // Shared runtime: the deadline is a timer-wheel event that
+            // fails the pending entry at `opts.timeout`; the channel
+            // wait below is only a backstop (and cancels the timer via
+            // the call's cleanup hook when the response wins the race).
+            let wait_budget = if self.arm_deadline(&mut pending, opts.timeout) {
+                opts.timeout + DEADLINE_GRACE
+            } else {
+                opts.timeout
+            };
+            match pending.wait(wait_budget) {
                 Ok(value) => {
                     self.shared
                         .metrics
@@ -241,6 +329,36 @@ impl Node {
                 }
             }
         }
+    }
+
+    /// Arms a timer-wheel deadline for an in-flight call (shared
+    /// runtime only; the legacy path's deadline is the blocking channel
+    /// wait itself). If the wheel fires first, the pending entry is
+    /// failed with [`SydError::Timeout`]; if the response wins the
+    /// race, the call's cleanup hook cancels the wheel entry. Returns
+    /// whether a deadline was armed.
+    fn arm_deadline(&self, pending: &mut PendingCall, timeout: Duration) -> bool {
+        let Some(runtime) = &self.shared.runtime else {
+            return false;
+        };
+        let id = pending.id();
+        let weak = Arc::downgrade(&self.shared);
+        let timer_id = runtime.timer().schedule(timeout, move || {
+            let Some(shared) = weak.upgrade() else { return };
+            let tx = shared.pending.lock().remove(&id);
+            if let Some(tx) = tx {
+                let _ = tx.try_send(Err(SydError::Timeout(id)));
+            }
+        });
+        let timer = runtime.timer().clone();
+        let prev = pending.cleanup.take();
+        pending.cleanup = Some(Box::new(move || {
+            timer.cancel(timer_id);
+            if let Some(prev) = prev {
+                prev();
+            }
+        }));
+        true
     }
 
     /// Sends a request and returns immediately with a [`PendingCall`].
@@ -302,7 +420,19 @@ impl Node {
             self.shared.pending.lock().remove(&id);
             return Err(err);
         }
-        Ok(PendingCall { id, rx })
+        // Dropping the call (abandoned, timed out, or answered) removes
+        // its pending-table entry, so the table cannot accumulate slots
+        // for responses nobody is waiting on.
+        let weak = Arc::downgrade(&self.shared);
+        Ok(PendingCall {
+            id,
+            rx,
+            cleanup: Some(Box::new(move || {
+                if let Some(shared) = weak.upgrade() {
+                    shared.pending.lock().remove(&id);
+                }
+            })),
+        })
     }
 
     /// Publishes a fire-and-forget event to `dst`.
@@ -322,10 +452,18 @@ impl Node {
             .map(|_| ())
     }
 
-    /// Closes the transport endpoint and stops the driver and pool.
+    /// Closes the transport endpoint and stops this node's dispatch:
+    /// deregisters from the shared runtime in shared mode, or stops the
+    /// private driver thread and pool on the legacy path. A shared
+    /// runtime's own threads stop with its *last* node, not here.
     pub fn shutdown(&self) {
+        if let Some(runtime) = &self.shared.runtime {
+            runtime.deregister_node(self.shared.addr);
+        }
         self.shared.link.close();
-        self.shared.pool.shutdown();
+        if self.shared.runtime.is_none() {
+            self.shared.pool.shutdown();
+        }
         // Fail everything still pending.
         let mut pending = self.shared.pending.lock();
         for (_, tx) in pending.drain() {
@@ -334,74 +472,102 @@ impl Node {
     }
 }
 
+/// Legacy driver thread: blocks on the endpoint and feeds every event
+/// through the same [`dispatch_event`] the shared runtime uses.
 fn driver_loop(shared: &Arc<NodeShared>) {
     loop {
-        let envelope = match shared.link.recv_event() {
-            Ok(TransportEvent::Message(env)) => env,
-            // Connection lifecycle is the transport's business (requests
-            // that a lost connection strands come back as synthesized
-            // error responses) and corrupt frames are dropped where they
-            // are counted — nothing to do for either here.
-            Ok(
-                TransportEvent::Connected(_)
-                | TransportEvent::Accepted(_)
-                | TransportEvent::Disconnected(_),
-            )
-            | Err(SydError::Codec(_)) => continue,
+        match shared.link.recv_event() {
+            Ok(event) => dispatch_event(shared, event),
+            // Corrupt frames are dropped where they are counted.
+            Err(SydError::Codec(_)) => {}
             Err(_) => return, // endpoint closed
-        };
-        match envelope.payload {
-            Payload::Response(resp) => {
-                if let Some(tx) = shared.pending.lock().remove(&resp.id) {
-                    let _ = tx.send(resp.result);
-                }
-                // Late responses for timed-out calls are dropped silently.
+        }
+    }
+}
+
+/// Shared-runtime drain callback: pops up to [`DRAIN_BUDGET`] events
+/// without blocking, then yields so the reactor can serve peer nodes.
+fn drain_events(shared: &Arc<NodeShared>) -> DrainOutcome {
+    for _ in 0..DRAIN_BUDGET {
+        match shared.link.try_recv_event() {
+            None => return DrainOutcome::Idle,
+            Some(Ok(event)) => dispatch_event(shared, event),
+            // Corrupt frames are dropped where they are counted.
+            Some(Err(SydError::Codec(_))) => {}
+            Some(Err(_)) => return DrainOutcome::Closed,
+        }
+    }
+    DrainOutcome::More
+}
+
+/// One transport event through the node: responses complete pending
+/// calls inline, requests and application events become pool jobs.
+/// Shared by both execution models — and run on the reactor thread in
+/// shared mode, so it must never block.
+fn dispatch_event(shared: &Arc<NodeShared>, event: TransportEvent) {
+    let envelope = match event {
+        TransportEvent::Message(env) => env,
+        // Connection lifecycle is the transport's business (requests
+        // that a lost connection strands come back as synthesized
+        // error responses) — nothing to do here.
+        TransportEvent::Connected(_)
+        | TransportEvent::Accepted(_)
+        | TransportEvent::Disconnected(_) => return,
+    };
+    match envelope.payload {
+        Payload::Response(resp) => {
+            if let Some(tx) = shared.pending.lock().remove(&resp.id) {
+                // Whoever removes the table entry owns the rendezvous
+                // slot, so `try_send` on the capacity-1 channel cannot
+                // find it full — and never parks the reactor.
+                let _ = tx.try_send(resp.result);
             }
-            Payload::Request(req) => {
-                let handler = shared.handler.read().clone();
-                let from = envelope.src;
-                let reply_shared = Arc::clone(shared);
-                let job = move || {
-                    reply_shared.metrics.requests_served.inc();
-                    // Serve under the caller's trace context so nested
-                    // outbound calls made by the handler inherit it.
-                    let _span = req.trace.map(|tc| {
-                        trace::enter(SpanCtx {
-                            trace: tc.trace_id,
-                            span: tc.span_id,
-                            hop: tc.hop + 1,
-                        })
-                    });
-                    let result = match handler {
-                        Some(h) => h.handle(from, req.clone()),
-                        None => Err(SydError::NoSuchService(
-                            req.service.clone(),
-                            req.method.clone(),
-                        )),
-                    };
-                    let _ = reply_shared.link.send(syd_wire::Envelope::new(
-                        reply_shared.addr,
-                        from,
-                        Payload::Response(Response { id: req.id, result }),
-                    ));
+            // Late responses for timed-out calls are dropped silently.
+        }
+        Payload::Request(req) => {
+            let handler = shared.handler.read().clone();
+            let from = envelope.src;
+            let reply_shared = Arc::clone(shared);
+            let job = move || {
+                reply_shared.metrics.requests_served.inc();
+                // Serve under the caller's trace context so nested
+                // outbound calls made by the handler inherit it.
+                let _span = req.trace.map(|tc| {
+                    trace::enter(SpanCtx {
+                        trace: tc.trace_id,
+                        span: tc.span_id,
+                        hop: tc.hop + 1,
+                    })
+                });
+                let result = match handler {
+                    Some(h) => h.handle(from, req.clone()),
+                    None => Err(SydError::NoSuchService(
+                        req.service.clone(),
+                        req.method.clone(),
+                    )),
                 };
-                if !shared.pool.execute(job) {
-                    // Pool shut down: best effort error response inline.
-                    let _ = shared.link.send(syd_wire::Envelope::new(
-                        shared.addr,
-                        envelope.src,
-                        Payload::Response(Response {
-                            id: RequestId::new(0),
-                            result: Err(SydError::Shutdown),
-                        }),
-                    ));
-                }
+                let _ = reply_shared.link.send(syd_wire::Envelope::new(
+                    reply_shared.addr,
+                    from,
+                    Payload::Response(Response { id: req.id, result }),
+                ));
+            };
+            if !shared.pool.execute(job) {
+                // Pool shut down: best effort error response inline.
+                let _ = shared.link.send(syd_wire::Envelope::new(
+                    shared.addr,
+                    envelope.src,
+                    Payload::Response(Response {
+                        id: RequestId::new(0),
+                        result: Err(SydError::Shutdown),
+                    }),
+                ));
             }
-            Payload::Event(event) => {
-                if let Some(sink) = shared.events.read().clone() {
-                    let from = envelope.src;
-                    shared.pool.execute(move || sink.on_event(from, event));
-                }
+        }
+        Payload::Event(event) => {
+            if let Some(sink) = shared.events.read().clone() {
+                let from = envelope.src;
+                shared.pool.execute(move || sink.on_event(from, event));
             }
         }
     }
@@ -691,6 +857,82 @@ mod tests {
         client.shutdown();
         let err = call.wait(Duration::from_secs(1)).unwrap_err();
         assert_eq!(err, SydError::Shutdown);
+    }
+
+    #[test]
+    fn shared_runtime_round_trip_without_driver_threads() {
+        // Explicit constructors: immune to the global switch, so this
+        // exercises the shared path even under `SYD_RUNTIME=legacy`.
+        let net = Network::ideal();
+        let rt = crate::runtime::SharedRuntime::new("node-rt");
+        let server = Node::spawn_with_runtime(Arc::new(net.register()), &rt);
+        server.set_handler(echo_handler());
+        let client = Node::spawn_with_runtime(Arc::new(net.register()), &rt);
+        assert_eq!(rt.nodes(), 2);
+        assert!(client.runtime().is_some());
+        let result = client
+            .call(
+                server.addr(),
+                &ServiceName::new("echo"),
+                "m",
+                vec![Value::I64(7)],
+            )
+            .unwrap();
+        assert_eq!(result, Value::list([Value::I64(7)]));
+        server.shutdown();
+        assert_eq!(rt.nodes(), 1, "shutdown must deregister from the reactor");
+    }
+
+    #[test]
+    fn shared_runtime_deadlines_fire_from_the_wheel() {
+        let net = Network::ideal();
+        let rt = crate::runtime::SharedRuntime::new("node-rt");
+        let silent = net.register(); // receives, never replies
+        let client = Node::spawn_with_runtime(Arc::new(net.register()), &rt);
+        let opts = CallOptions::new()
+            .with_timeout(Duration::from_millis(40))
+            .with_retries(1);
+        let err = client
+            .call_with(silent.addr(), &ServiceName::new("svc"), "m", vec![], opts)
+            .unwrap_err();
+        assert!(matches!(err, SydError::Timeout(_)), "{err}");
+        // Same counter contract as the legacy path: both attempts time
+        // out, one retry happens — and the wheel is what fired them.
+        assert_eq!(client.rpc_timeouts(), 2);
+        assert_eq!(client.rpc_retries(), 1);
+        assert!(
+            rt.timer().fired() >= 2,
+            "deadlines did not run on the wheel"
+        );
+    }
+
+    #[test]
+    fn timed_out_calls_leave_no_pending_entries() {
+        // Both execution models: the cleanup hook must empty the table.
+        let net = Network::ideal();
+        let silent = net.register();
+        let rt = crate::runtime::SharedRuntime::new("node-rt");
+        let shared_client = Node::spawn_with_runtime(Arc::new(net.register()), &rt);
+        let legacy_client = Node::spawn_on_endpoint(Arc::new(net.register()));
+        assert!(legacy_client.runtime().is_none());
+        let opts = CallOptions::new().with_timeout(Duration::from_millis(30));
+        for client in [&shared_client, &legacy_client] {
+            let _ = client
+                .call_with(silent.addr(), &ServiceName::new("svc"), "m", vec![], opts)
+                .unwrap_err();
+            assert_eq!(
+                client.shared.pending.lock().len(),
+                0,
+                "pending entry leaked"
+            );
+        }
+        // Abandoned async calls clean up on drop, too.
+        drop(
+            shared_client
+                .call_async(silent.addr(), &ServiceName::new("svc"), "m", vec![])
+                .unwrap(),
+        );
+        assert_eq!(shared_client.shared.pending.lock().len(), 0);
     }
 
     #[test]

@@ -29,6 +29,9 @@ struct PoolInner {
     keepalive: Duration,
     name: String,
     shutdown: AtomicBool,
+    /// `executed` as of the previous [`WorkerPool::kick`]; a kick that
+    /// sees no progress and no idle worker grows the pool past the cap.
+    last_kick_executed: AtomicUsize,
 }
 
 /// A dynamically sized thread pool. Cloning shares the pool.
@@ -56,6 +59,7 @@ impl WorkerPool {
                 keepalive,
                 name: name.into(),
                 shutdown: AtomicBool::new(false),
+                last_kick_executed: AtomicUsize::new(0),
             }),
         }
     }
@@ -63,6 +67,14 @@ impl WorkerPool {
     /// Pool sized for a SyD device: enough headroom for deep cascades.
     pub fn for_device(name: impl Into<String>) -> Self {
         Self::new(name, 256, Duration::from_millis(500))
+    }
+
+    /// Pool sized for a shared fleet runtime: a small fixed budget that
+    /// many devices multiplex over. The cap is soft — see
+    /// [`WorkerPool::kick`] — so nested call cycles between devices on
+    /// the *same* pool cannot deadlock it.
+    pub fn for_runtime(name: impl Into<String>) -> Self {
+        Self::new(name, 48, Duration::from_millis(500))
     }
 
     /// Submits a job. Returns `false` if the pool is shut down.
@@ -104,9 +116,14 @@ impl WorkerPool {
                 Err(actual) => live = actual,
             }
         }
-        inner.peak_live.fetch_max(live + 1, Ordering::AcqRel);
+        self.spawn_worker(live + 1);
+    }
+
+    fn spawn_worker(&self, live_after: usize) {
+        let inner = &self.inner;
+        inner.peak_live.fetch_max(live_after, Ordering::AcqRel);
         let worker_inner = Arc::clone(inner);
-        let name = format!("{}-w{}", inner.name, live);
+        let name = format!("{}-w{}", inner.name, live_after - 1);
         // A pool that cannot grow a worker deadlocks its callers:
         // spawn failure is unrecoverable, panicking is the contract.
         #[allow(clippy::expect_used)]
@@ -114,6 +131,34 @@ impl WorkerPool {
             .name(name)
             .spawn(move || worker_loop(worker_inner))
             .expect("spawn pool worker");
+    }
+
+    /// Liveness watchdog hook for shared pools (called periodically by
+    /// the runtime's timer wheel). When jobs are queued, no worker is
+    /// idle, and *nothing has completed since the previous kick*, every
+    /// worker is blocked inside a job — for SyD that means nested RPCs
+    /// whose replies are themselves stuck in this queue. One extra
+    /// worker is spawned **past the cap** to restore progress; surplus
+    /// workers retire through the normal keep-alive path.
+    pub fn kick(&self) {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::Acquire) || inner.rx.is_empty() {
+            return;
+        }
+        if inner.idle.load(Ordering::Acquire) > 0 {
+            return;
+        }
+        let executed = inner.executed.load(Ordering::Acquire);
+        if inner.last_kick_executed.swap(executed, Ordering::AcqRel) != executed {
+            return; // progress since the last kick: not stalled
+        }
+        let live = inner.live.fetch_add(1, Ordering::AcqRel);
+        self.spawn_worker(live + 1);
+    }
+
+    /// Jobs accepted but not yet picked up by a worker.
+    pub fn queued_jobs(&self) -> usize {
+        self.inner.rx.len()
     }
 
     /// Number of threads currently alive.
@@ -240,6 +285,97 @@ mod tests {
         let pool = WorkerPool::new("t", 2, Duration::from_millis(50));
         pool.shutdown();
         assert!(!pool.execute(|| {}));
+    }
+
+    #[test]
+    fn shutdown_completes_accepted_jobs_and_rejects_later_ones() {
+        // The drain contract: every job accepted before shutdown runs to
+        // completion; every submission after returns `false`. Nothing is
+        // silently dropped in between.
+        let pool = WorkerPool::new("t", 2, Duration::from_millis(50));
+        let done = Arc::new(AtomicU32::new(0));
+        let mut accepted = 0u32;
+        for _ in 0..50 {
+            let d = Arc::clone(&done);
+            if pool.execute(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                d.fetch_add(1, Ordering::SeqCst);
+            }) {
+                accepted += 1;
+            }
+        }
+        pool.shutdown();
+        assert!(!pool.execute(|| {}), "job accepted after shutdown");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while done.load(Ordering::SeqCst) < accepted {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "accepted jobs dropped: {}/{accepted}",
+                done.load(Ordering::SeqCst)
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.jobs_executed(), accepted as usize);
+    }
+
+    #[test]
+    fn shutdown_lets_workers_exit() {
+        let pool = WorkerPool::new("t", 4, Duration::from_secs(60));
+        for _ in 0..4 {
+            pool.execute(|| {});
+        }
+        pool.shutdown();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.live_workers() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{} workers outlived shutdown",
+                pool.live_workers()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn kick_grows_past_the_cap_only_when_stalled() {
+        let pool = WorkerPool::new("t", 2, Duration::from_millis(100));
+        // Empty queue: kick must not spawn anything.
+        pool.kick();
+        assert_eq!(pool.live_workers(), 0);
+
+        // Wedge both workers and queue a third job.
+        let (release_tx, release_rx) = crossbeam_channel::bounded::<()>(0);
+        let started = Arc::new(AtomicU32::new(0));
+        for _ in 0..3 {
+            let rx = release_rx.clone();
+            let s = Arc::clone(&started);
+            pool.execute(move || {
+                s.fetch_add(1, Ordering::SeqCst);
+                let _ = rx.recv();
+            });
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while started.load(Ordering::SeqCst) < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "workers never started"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.live_workers(), 2, "cap respected before kick");
+        assert_eq!(pool.queued_jobs(), 1);
+        // Genuine stall (no progress, nobody idle, work queued): the
+        // watchdog's kick breaks it by spawning one worker past the cap.
+        pool.kick();
+        while started.load(Ordering::SeqCst) < 3 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "kick did not spawn an overflow worker"
+            );
+            std::thread::yield_now();
+        }
+        assert!(pool.peak_workers() >= 3, "overflow worker not counted");
+        drop(release_tx);
     }
 
     #[test]

@@ -49,10 +49,31 @@ impl Default for CallOptions {
 /// group invocation sends every request first, then collects, so a group
 /// call takes one round-trip latency rather than `n` (§3.1 "execute a
 /// service on a group of objects").
-#[derive(Debug)]
+///
+/// Dropping a `PendingCall` (after [`PendingCall::wait`], or without
+/// ever waiting) runs its cleanup hook, which removes the node's
+/// pending-table entry and cancels any armed deadline timer — an
+/// abandoned or timed-out call cannot leak table slots.
 pub struct PendingCall {
     pub(crate) id: RequestId,
     pub(crate) rx: Receiver<SydResult<Value>>,
+    /// Installed by the node: removes the pending-table entry (and any
+    /// timer-wheel deadline) when this call is dropped.
+    pub(crate) cleanup: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl std::fmt::Debug for PendingCall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingCall").field("id", &self.id).finish()
+    }
+}
+
+impl Drop for PendingCall {
+    fn drop(&mut self) {
+        if let Some(cleanup) = self.cleanup.take() {
+            cleanup();
+        }
+    }
 }
 
 impl PendingCall {
@@ -97,6 +118,7 @@ mod tests {
         let call = PendingCall {
             id: RequestId::new(9),
             rx,
+            cleanup: None,
         };
         assert_eq!(
             call.wait(Duration::from_millis(10)).unwrap_err(),
@@ -110,9 +132,28 @@ mod tests {
         let call = PendingCall {
             id: RequestId::new(1),
             rx,
+            cleanup: None,
         };
         assert!(call.poll().is_none());
         tx.send(Ok(Value::I64(5))).unwrap();
         assert_eq!(call.poll().unwrap().unwrap(), Value::I64(5));
+    }
+
+    #[test]
+    fn cleanup_runs_exactly_once_on_drop() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        let (_tx, rx) = crossbeam_channel::bounded(1);
+        let call = PendingCall {
+            id: RequestId::new(2),
+            rx,
+            cleanup: Some(Box::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            })),
+        };
+        let _ = call.wait(Duration::from_millis(5));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
     }
 }

@@ -1,0 +1,82 @@
+//! Property: the event-driven shared runtime and the legacy
+//! thread-per-device path are *observationally equivalent* at the RPC
+//! layer. Same seeded loss pattern, same calls → same outcomes and the
+//! same `rpc.timeouts` / `rpc.retries` counters, even though one mode
+//! parks caller threads on channel waits and the other fails pending
+//! calls from timer-wheel deadlines.
+//!
+//! The sim network draws loss decisions from a seeded RNG per send, and
+//! both modes send exactly the same message sequence, so any divergence
+//! here is a real behavioral difference between the two dispatchers —
+//! not noise.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use syd_net::{CallOptions, NetConfig, Network, Node, SharedRuntime};
+use syd_types::{NodeAddr, ServiceName, SydResult, Value};
+use syd_wire::Request;
+
+/// Runs `calls` echo calls on a fresh seeded network in one mode and
+/// returns `(per-call outcomes, rpc.timeouts, rpc.retries)`.
+fn run_scenario(
+    shared_mode: bool,
+    loss: f64,
+    seed: u64,
+    opts: CallOptions,
+    calls: i64,
+) -> (Vec<bool>, u64, u64) {
+    let net = Network::new(NetConfig::ideal().with_loss(loss).with_seed(seed));
+    // Explicit constructors: the scenario must not depend on (or race
+    // with) the global `set_shared_runtime` switch.
+    let runtime = shared_mode.then(|| SharedRuntime::new("equiv"));
+    let (server, client) = match &runtime {
+        Some(rt) => (
+            Node::spawn_with_runtime(Arc::new(net.register()), rt),
+            Node::spawn_with_runtime(Arc::new(net.register()), rt),
+        ),
+        None => (
+            Node::spawn_on_endpoint(Arc::new(net.register())),
+            Node::spawn_on_endpoint(Arc::new(net.register())),
+        ),
+    };
+    server.set_handler(Arc::new(
+        |_from: NodeAddr, req: Request| -> SydResult<Value> { Ok(Value::list(req.args.to_vec())) },
+    ));
+    let svc = ServiceName::new("echo");
+    let outcomes = (0..calls)
+        .map(|i| {
+            client
+                .call_with(server.addr(), &svc, "m", vec![Value::I64(i)], opts)
+                .is_ok()
+        })
+        .collect();
+    let counters = (client.rpc_timeouts(), client.rpc_retries());
+    server.shutdown();
+    client.shutdown();
+    (outcomes, counters.0, counters.1)
+}
+
+#[test]
+fn timeout_and_retry_counters_match_across_runtime_modes() {
+    // Latency is zero in these configs, so a timeout can only come from
+    // a lost request or response — which the seed fully determines.
+    for &loss in &[0.0, 0.5, 0.75] {
+        for seed in 1..=3u64 {
+            for &retries in &[0u32, 2] {
+                let opts = CallOptions::new()
+                    .with_timeout(Duration::from_millis(20))
+                    .with_retries(retries);
+                let legacy = run_scenario(false, loss, seed, opts, 3);
+                let shared = run_scenario(true, loss, seed, opts, 3);
+                assert_eq!(
+                    legacy, shared,
+                    "mode divergence at loss={loss} seed={seed} retries={retries} \
+                     (outcomes, rpc.timeouts, rpc.retries)"
+                );
+            }
+        }
+    }
+}

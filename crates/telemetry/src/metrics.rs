@@ -220,6 +220,9 @@ struct RegistryInner {
 #[derive(Default)]
 pub struct Registry {
     inner: Mutex<RegistryInner>,
+    /// When set, every operation delegates to the parent: this registry
+    /// is a near-zero-cost forwarder (see [`Registry::with_parent`]).
+    parent: Option<Arc<Registry>>,
 }
 
 impl Registry {
@@ -228,20 +231,50 @@ impl Registry {
         Self::default()
     }
 
+    /// Creates a *scoped* registry that delegates every operation to
+    /// `parent`.
+    ///
+    /// Fleet mode: a process hosting 10k devices cannot afford 10k
+    /// copies of the full metric families (each histogram alone is 64
+    /// buckets). A scoped registry owns no cells at all — handles it
+    /// returns are the parent's, so all devices sharing one parent
+    /// aggregate into one set of cells while keeping the per-device
+    /// `Arc<Registry>` plumbing unchanged.
+    pub fn with_parent(parent: Arc<Registry>) -> Self {
+        Registry {
+            inner: Mutex::new(RegistryInner::default()),
+            parent: Some(parent),
+        }
+    }
+
+    /// True when this registry delegates to a parent.
+    pub fn is_scoped(&self) -> bool {
+        self.parent.is_some()
+    }
+
     /// Gets or creates the counter called `name`.
     pub fn counter(&self, name: &str) -> Counter {
+        if let Some(parent) = &self.parent {
+            return parent.counter(name);
+        }
         let mut inner = self.inner.lock();
         inner.counters.entry(name.to_string()).or_default().clone()
     }
 
     /// Gets or creates the gauge called `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(parent) = &self.parent {
+            return parent.gauge(name);
+        }
         let mut inner = self.inner.lock();
         inner.gauges.entry(name.to_string()).or_default().clone()
     }
 
     /// Gets or creates the histogram called `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(parent) = &self.parent {
+            return parent.histogram(name);
+        }
         let mut inner = self.inner.lock();
         inner
             .histograms
@@ -252,21 +285,33 @@ impl Registry {
 
     /// The counter called `name`, if it has been registered.
     pub fn get_counter(&self, name: &str) -> Option<Counter> {
+        if let Some(parent) = &self.parent {
+            return parent.get_counter(name);
+        }
         self.inner.lock().counters.get(name).cloned()
     }
 
     /// The gauge called `name`, if it has been registered.
     pub fn get_gauge(&self, name: &str) -> Option<Gauge> {
+        if let Some(parent) = &self.parent {
+            return parent.get_gauge(name);
+        }
         self.inner.lock().gauges.get(name).cloned()
     }
 
     /// The histogram called `name`, if it has been registered.
     pub fn get_histogram(&self, name: &str) -> Option<Histogram> {
+        if let Some(parent) = &self.parent {
+            return parent.get_histogram(name);
+        }
         self.inner.lock().histograms.get(name).cloned()
     }
 
     /// Point-in-time copy of every metric, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        if let Some(parent) = &self.parent {
+            return parent.snapshot();
+        }
         let inner = self.inner.lock();
         MetricsSnapshot {
             counters: inner
@@ -321,6 +366,23 @@ mod tests {
         assert_eq!(reg.counter("x").get(), 3);
         assert_eq!(reg.get_counter("x").unwrap().get(), 3);
         assert!(reg.get_counter("y").is_none());
+    }
+
+    #[test]
+    fn scoped_registry_delegates_everything_to_parent() {
+        let parent = Arc::new(Registry::new());
+        let a = Registry::with_parent(Arc::clone(&parent));
+        let b = Registry::with_parent(Arc::clone(&parent));
+        assert!(a.is_scoped() && !parent.is_scoped());
+        a.counter("c").inc();
+        b.counter("c").add(2);
+        assert_eq!(parent.get_counter("c").unwrap().get(), 3);
+        a.gauge("g").set(4);
+        assert_eq!(b.get_gauge("g").unwrap().get(), 4);
+        a.histogram("h").record(9);
+        assert_eq!(parent.get_histogram("h").unwrap().count(), 1);
+        let snap = b.snapshot();
+        assert_eq!(snap.counters, vec![("c".to_string(), 3)]);
     }
 
     #[test]

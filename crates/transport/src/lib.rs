@@ -62,6 +62,23 @@ pub enum TransportEvent {
     Message(Envelope),
 }
 
+/// Readiness callback installed on an endpoint by an event-driven
+/// runtime (the `syd-net` reactor).
+///
+/// Backends call [`ReadyNotifier::notify`] after enqueueing an event on
+/// an endpoint that has a notifier installed; the reactor responds by
+/// scheduling a drain of that endpoint's event queue via
+/// [`TransportEndpoint::try_recv_event`]. Notifications are edge-ish
+/// hints, not a precise count: the reactor must drain until empty, and
+/// backends may coalesce or over-notify freely. Implementations must
+/// not block and must tolerate being called from backend-internal
+/// threads while backend locks are held.
+pub trait ReadyNotifier: Send + Sync + 'static {
+    /// The endpoint at `addr` (its [`TransportEndpoint::addr`]) has at
+    /// least one event queued, or has been closed.
+    fn notify(&self, addr: NodeAddr);
+}
+
 /// A transport backend: a factory for addressed endpoints.
 ///
 /// The two implementations are [`Network`] (simulated) and
@@ -111,6 +128,19 @@ pub trait TransportEndpoint: Send + Sync + 'static {
     /// Like [`TransportEndpoint::recv_event`] with a deadline; returns
     /// `Err(Timeout)` when nothing arrived in time.
     fn recv_event_timeout(&self, timeout: Duration) -> SydResult<TransportEvent>;
+
+    /// Non-blocking poll used by the event-driven runtime: returns the
+    /// next queued event, `Some(Err(Shutdown))` once the endpoint is
+    /// closed and drained, or `None` when the queue is currently empty.
+    /// Never blocks.
+    fn try_recv_event(&self) -> Option<SydResult<TransportEvent>>;
+
+    /// Installs a readiness notifier. After installation the backend
+    /// calls [`ReadyNotifier::notify`] with this endpoint's address
+    /// whenever an event is enqueued (and once immediately on install,
+    /// so events that raced installation are not stranded). Replaces
+    /// any previous notifier.
+    fn set_ready_notifier(&self, notifier: Arc<dyn ReadyNotifier>);
 
     /// Mobility fault hook: while disconnected the endpoint refuses new
     /// traffic (the paper's device going out of range). The TCP backend

@@ -30,7 +30,7 @@ use syd_wire::{decode_from_slice, encode_to_vec, Envelope, Payload, Response};
 
 use crate::config::NetConfig;
 use crate::stats::{NetStats, StatsSnapshot};
-use crate::{Transport, TransportEndpoint, TransportEvent, TransportMetrics};
+use crate::{ReadyNotifier, Transport, TransportEndpoint, TransportEvent, TransportMetrics};
 
 /// Backend-style alias: the simulated network *is* the sim transport.
 pub type SimTransport = Network;
@@ -74,6 +74,20 @@ struct EndpointSlot {
     connected: bool,
     /// Test instrumentation: mirror of every delivered frame body.
     tap: Option<Sender<Vec<u8>>>,
+    /// Reactor readiness hook: pinged after every enqueue on `tx`.
+    notifier: Option<Arc<dyn ReadyNotifier>>,
+}
+
+impl EndpointSlot {
+    /// Enqueues a message and pings the readiness notifier, if any.
+    /// Returns whether the endpoint still held its receiver.
+    fn push(&self, addr: NodeAddr, msg: SimMsg) -> bool {
+        let ok = self.tx.send(msg).is_ok();
+        if let Some(notifier) = &self.notifier {
+            notifier.notify(addr);
+        }
+        ok
+    }
 }
 
 struct RouterState {
@@ -195,6 +209,7 @@ impl Network {
                 tx,
                 connected: true,
                 tap: None,
+                notifier: None,
             },
         );
         drop(state);
@@ -207,8 +222,17 @@ impl Network {
 
     /// Removes an endpoint; all further traffic to it counts as unreachable.
     pub fn unregister(&self, addr: NodeAddr) {
-        let mut state = self.inner.state.lock();
-        state.endpoints.remove(&addr);
+        let removed = {
+            let mut state = self.inner.state.lock();
+            state.endpoints.remove(&addr)
+        };
+        // Dropping the slot disconnects the channel; ping the reactor so
+        // an event-driven endpoint observes the terminal `Shutdown`.
+        if let Some(slot) = removed {
+            if let Some(notifier) = &slot.notifier {
+                notifier.notify(addr);
+            }
+        }
     }
 
     /// Marks an endpoint (dis)connected — the paper's mobile device going
@@ -407,7 +431,7 @@ fn deliver(inner: &Inner, state: &mut RouterState, msg: Scheduled) {
             if let Some(tap) = &slot.tap {
                 let _ = tap.send(msg.bytes.clone());
             }
-            if slot.tx.send(SimMsg::Frame(msg.bytes)).is_ok() {
+            if slot.push(msg.dst, SimMsg::Frame(msg.bytes)) {
                 inner.stats.on_delivered();
             } else {
                 inner.stats.on_dropped_unreachable();
@@ -515,9 +539,7 @@ impl TransportEndpoint for Endpoint {
             return Err(SydError::Shutdown);
         };
         self.net.inner.tmetrics.conns.inc();
-        let _ = own
-            .tx
-            .send(SimMsg::Control(TransportEvent::Connected(peer)));
+        own.push(self.addr, SimMsg::Control(TransportEvent::Connected(peer)));
         Ok(())
     }
 
@@ -538,6 +560,25 @@ impl TransportEndpoint for Endpoint {
             }
             Err(crossbeam_channel::RecvTimeoutError::Disconnected) => Err(SydError::Shutdown),
         }
+    }
+
+    fn try_recv_event(&self) -> Option<SydResult<TransportEvent>> {
+        match self.rx.try_recv() {
+            Ok(msg) => Some(self.event_of(msg)),
+            Err(crossbeam_channel::TryRecvError::Empty) => None,
+            Err(crossbeam_channel::TryRecvError::Disconnected) => Some(Err(SydError::Shutdown)),
+        }
+    }
+
+    fn set_ready_notifier(&self, notifier: Arc<dyn ReadyNotifier>) {
+        {
+            let mut state = self.net.inner.state.lock();
+            if let Some(slot) = state.endpoints.get_mut(&self.addr) {
+                slot.notifier = Some(Arc::clone(&notifier));
+            }
+        }
+        // Cover events that were enqueued before installation.
+        notifier.notify(self.addr);
     }
 
     fn set_connected(&self, connected: bool) {

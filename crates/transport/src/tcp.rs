@@ -38,7 +38,7 @@ use syd_types::{NodeAddr, RequestId, SydError, SydResult};
 use syd_wire::{decode_from_slice, encode_to_vec, Envelope, Payload, Response};
 
 use crate::framing::{encode_frame, FrameDecoder};
-use crate::{Transport, TransportEndpoint, TransportEvent, TransportMetrics};
+use crate::{ReadyNotifier, Transport, TransportEndpoint, TransportEvent, TransportMetrics};
 
 /// How long the poll thread sleeps when idle.
 const POLL_TICK: Duration = Duration::from_micros(500);
@@ -184,11 +184,15 @@ struct Shared {
     events_tx: Sender<TransportEvent>,
     metrics: TransportMetrics,
     tap: Mutex<Option<Sender<Vec<u8>>>>,
+    notifier: Mutex<Option<Arc<dyn ReadyNotifier>>>,
 }
 
 impl Shared {
     fn emit(&self, ev: TransportEvent) {
         let _ = self.events_tx.send(ev);
+        if let Some(notifier) = self.notifier.lock().as_ref() {
+            notifier.notify(self.addr);
+        }
     }
 }
 
@@ -236,6 +240,7 @@ impl FramedTcpEndpoint {
             events_tx,
             metrics,
             tap: Mutex::new(None),
+            notifier: Mutex::new(None),
         });
         let poll_shared = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
@@ -262,6 +267,9 @@ impl TransportEndpoint for FramedTcpEndpoint {
     }
 
     fn connect(&self, peer: NodeAddr) -> SydResult<()> {
+        if peer == self.addr {
+            return Ok(()); // self-delivery is local, never a socket
+        }
         let mut state = self.shared.state.lock();
         if state.shutdown {
             return Err(SydError::Shutdown);
@@ -283,11 +291,6 @@ impl TransportEndpoint for FramedTcpEndpoint {
     fn send(&self, env: Envelope) -> SydResult<usize> {
         let body = encode_to_vec(&env);
         let size = body.len();
-        let frame = encode_frame(&body);
-        let request = match &env.payload {
-            Payload::Request(req) => Some(req.id),
-            _ => None,
-        };
         let dst = env.dst;
         let mut state = self.shared.state.lock();
         if state.shutdown {
@@ -298,6 +301,27 @@ impl TransportEndpoint for FramedTcpEndpoint {
         }
         self.shared.metrics.frames_out.inc();
         self.shared.metrics.bytes_out.add(size as u64);
+        if dst == self.addr {
+            // A device talking to itself (coordinators mark their own
+            // entities in every §4.3 round) stays off the wire: dialing
+            // our own listener would make one socket whose two ends
+            // fight the simultaneous-open tie-break — with equal
+            // addresses the displaced end severs the surviving one and
+            // the frame is lost until the caller's deadline retries.
+            drop(state);
+            self.shared.metrics.frames_in.inc();
+            self.shared.metrics.bytes_in.add(size as u64);
+            if let Some(tap) = self.shared.tap.lock().as_ref() {
+                let _ = tap.send(body.clone());
+            }
+            self.shared.emit(TransportEvent::Message(env));
+            return Ok(size);
+        }
+        let frame = encode_frame(&body);
+        let request = match &env.payload {
+            Payload::Request(req) => Some(req.id),
+            _ => None,
+        };
         let live = state.peers.get(&dst).and_then(|slot| slot.conn);
         if let Some(conn) = live.and_then(|id| state.conns.get_mut(&id)) {
             conn.outq.push_back(frame);
@@ -353,6 +377,26 @@ impl TransportEndpoint for FramedTcpEndpoint {
         }
     }
 
+    fn try_recv_event(&self) -> Option<SydResult<TransportEvent>> {
+        match self.events_rx.try_recv() {
+            Ok(ev) => Some(Ok(ev)),
+            Err(crossbeam_channel::TryRecvError::Empty) => {
+                if self.shared.state.lock().shutdown && self.events_rx.is_empty() {
+                    Some(Err(SydError::Shutdown))
+                } else {
+                    None
+                }
+            }
+            Err(crossbeam_channel::TryRecvError::Disconnected) => Some(Err(SydError::Shutdown)),
+        }
+    }
+
+    fn set_ready_notifier(&self, notifier: Arc<dyn ReadyNotifier>) {
+        *self.shared.notifier.lock() = Some(Arc::clone(&notifier));
+        // Cover events that were enqueued before installation.
+        notifier.notify(self.addr);
+    }
+
     fn set_connected(&self, connected: bool) {
         let mut state = self.shared.state.lock();
         if state.connected == connected {
@@ -402,6 +446,12 @@ impl TransportEndpoint for FramedTcpEndpoint {
         };
         for handle in dials {
             let _ = handle.join();
+        }
+        // Ping the reactor so an event-driven node drains any buffered
+        // events and observes the terminal `Shutdown`.
+        let notifier = self.shared.notifier.lock().clone();
+        if let Some(notifier) = notifier {
+            notifier.notify(self.addr);
         }
     }
 }
