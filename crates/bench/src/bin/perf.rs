@@ -17,7 +17,14 @@
 //! cargo run --release -p syd-bench --bin perf -- --transport both # sim vs loopback TCP
 //! cargo run --release -p syd-bench --bin perf -- --check BENCH_results.json
 //! cargo run --release -p syd-bench --bin perf -- --fleet 1000 # smoke gate: audit + thread budget
+//! cargo run --release -p syd-bench --bin perf -- --profile    # + phase_attribution rows
 //! ```
+//!
+//! `--profile` adds one `phase_attribution` row per (transport, size,
+//! loss) cell: it reruns the schedule flow with span collection on,
+//! assembles the cross-device trees (`syd-trace`), runs the critical-
+//! path analyzer over each, and reports the per-phase wall-time table
+//! (milliseconds per operation) plus the worst exemplar.
 //!
 //! `--transport tcp` reruns the matrix on the framed loopback-TCP
 //! backend (real sockets, kernel scheduling); loss cells are sim-only
@@ -65,6 +72,9 @@ struct Config {
     /// `--fleet N`: run ONLY a fleet-scale row at `N` devices and gate on
     /// it (clean audit, thread budget) — the CI smoke mode.
     fleet: Option<usize>,
+    /// `--profile`: collect span trees during the schedule flow and emit
+    /// `phase_attribution` rows with the critical-path phase table.
+    profile: bool,
 }
 
 fn main() {
@@ -75,6 +85,7 @@ fn main() {
         out: None,
         transports: vec!["sim"],
         fleet: None,
+        profile: false,
     };
     let mut check: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -100,6 +111,7 @@ fn main() {
                 Some(n) => cfg.fleet = Some(n),
                 None => die("--fleet needs a device count"),
             },
+            "--profile" => cfg.profile = true,
             "--out" => cfg.out = args.next().or_else(|| die("--out needs a path")),
             "--check" => check = args.next().or_else(|| die("--check needs a path")),
             other => die(&format!("unknown flag {other}")),
@@ -178,6 +190,9 @@ fn run(cfg: &Config) {
                     let r = bench(cfg, backend, n, loss);
                     print_result(&r);
                     results.push(r.into_json());
+                }
+                if cfg.profile {
+                    results.push(bench_phase_attribution(cfg, backend, n, loss));
                 }
             }
         }
@@ -627,6 +642,146 @@ fn bench_fleet_scale(cfg: &Config, fleet: usize) -> Json {
     row
 }
 
+/// `--profile` row: rerun the §5 schedule flow with span collection on
+/// and attribute each negotiation's wall time to protocol phases.
+///
+/// Every iteration drains the global span-ring registry into a lossy
+/// [`Collector`](syd_trace::Collector); at the end the assembled trees
+/// whose root is a `calendar.schedule_op` span go through the critical-
+/// path analyzer and the per-phase sums become the row's `phases`
+/// table (ms per operation). `complete_rate` is the fraction of trees
+/// where every client RPC span found its server-side view — under
+/// loss, dropped request frames leave holes and the rate sinks below 1.
+fn bench_phase_attribution(cfg: &Config, backend: &'static str, n: usize, loss: f64) -> Json {
+    use syd_trace::{attribute, AssemblyMode, Collector, ExemplarStore};
+    const WINDOW_DAYS: u32 = 28;
+    let env = make_env(backend);
+    let apps = calendar_rig(&env, n);
+    let users = users_of(&apps);
+    for app in &apps {
+        apply_mode(cfg, app.device().engine());
+    }
+    if loss > 0.0 {
+        for app in &apps {
+            app.device().engine().set_options(lossy_opts());
+        }
+        env.network().reconfigure(
+            NetConfig::ideal()
+                .with_loss(loss)
+                .with_seed(cell_seed(cfg, n, loss, 4)),
+        );
+    }
+    let iters = if cfg.quick {
+        3
+    } else if loss > 0.0 {
+        6
+    } else {
+        8
+    };
+    let dir0 = dir_round_trips(&env);
+    let bytes0 = wire_bytes_now(&env, backend);
+    // Earlier cells may have left spans buffered in rings that are still
+    // alive; drain them into a throwaway collector so this cell only
+    // sees its own traces.
+    Collector::new(AssemblyMode::Lossy).drain_global();
+    let mut collector = Collector::new(AssemblyMode::Lossy);
+    let mut ok = 0usize;
+    for iter in 0..iters {
+        let base = 1 + iter as u32 * (WINDOW_DAYS + 1);
+        let range = SlotRange::days(base, base + WINDOW_DAYS);
+        apps[0].device().engine().flush_cache();
+        if schedule_once(cfg, &apps[0], &users, range, iter).is_ok() {
+            ok += 1;
+        }
+        collector.drain_global();
+    }
+    let dir_total = (dir_round_trips(&env) - dir0) as f64;
+    let bytes_total = (wire_bytes_now(&env, backend) - bytes0) as f64;
+
+    let (trees, _holes) = collector.assemble_all();
+    let mut exemplars = ExemplarStore::new(3);
+    let mut totals_ms: Vec<f64> = Vec::new();
+    let mut phase_us: Vec<(&'static str, u64)> =
+        syd_trace::PHASES.iter().map(|p| (*p, 0u64)).collect();
+    let mut complete = 0usize;
+    for tree in trees {
+        if tree.op() != names::SPAN_SCHEDULE {
+            continue;
+        }
+        let att = attribute(&tree);
+        totals_ms.push(att.total_us as f64 / 1000.0);
+        for (phase, sum) in &mut phase_us {
+            *sum += att.phase_us(phase);
+        }
+        if att.complete {
+            complete += 1;
+        }
+        exemplars.offer(tree);
+    }
+    totals_ms.sort_by(f64::total_cmp);
+    let traces = totals_ms.len();
+    let per_op = |us: u64| round3(us as f64 / 1000.0 / traces.max(1) as f64);
+    let phases_json: Vec<(String, Json)> = phase_us
+        .iter()
+        .map(|&(phase, us)| (phase.to_owned(), Json::Num(per_op(us))))
+        .collect();
+
+    println!(
+        "{:>22} [{:^3}] n={:<3} loss={:>3.0}%  traces={traces}  complete={complete}/{traces}  median={:>8.3}ms",
+        "phase_attribution",
+        backend,
+        n,
+        loss * 100.0,
+        percentile(&totals_ms, 50.0),
+    );
+    for &(phase, us) in &phase_us {
+        println!("{:>30}: {:>8.3} ms/op", phase, per_op(us));
+    }
+    if let Some(worst) = exemplars.worst(names::SPAN_SCHEDULE).first() {
+        println!(
+            "{:>30}: {:.3} ms ({} spans)",
+            "worst exemplar",
+            worst.duration_us() as f64 / 1000.0,
+            worst.nodes.len(),
+        );
+    }
+
+    Json::Obj(vec![
+        ("bench".into(), Json::Str("phase_attribution".into())),
+        ("transport".into(), Json::Str(backend.into())),
+        ("group_size".into(), Json::Num(n as f64)),
+        ("loss_pct".into(), Json::Num(loss * 100.0)),
+        ("iters".into(), Json::Num(iters as f64)),
+        ("ok_rate".into(), Json::Num(ok as f64 / iters.max(1) as f64)),
+        (
+            "median_ms".into(),
+            Json::Num(round3(percentile(&totals_ms, 50.0))),
+        ),
+        (
+            "p90_ms".into(),
+            Json::Num(round3(percentile(&totals_ms, 90.0))),
+        ),
+        (
+            "dir_round_trips_per_op".into(),
+            Json::Num(round3(dir_total / iters.max(1) as f64)),
+        ),
+        (
+            "wire_bytes_per_op".into(),
+            Json::Num(round3(bytes_total / iters.max(1) as f64)),
+        ),
+        (
+            "frame_errors".into(),
+            Json::Num(frame_errors_now(&env) as f64),
+        ),
+        ("traces".into(), Json::Num(traces as f64)),
+        (
+            "complete_rate".into(),
+            Json::Num(round3(complete as f64 / traces.max(1) as f64)),
+        ),
+        ("phases".into(), Json::Obj(phases_json)),
+    ])
+}
+
 fn schedule_once(
     cfg: &Config,
     initiator: &CalendarApp,
@@ -675,7 +830,8 @@ fn validate_file(path: &str) -> Result<usize, String> {
         return Err("results array is empty".into());
     }
     for (i, row) in results.iter().enumerate() {
-        row.get("bench")
+        let bench = row
+            .get("bench")
             .and_then(Json::as_str)
             .ok_or(format!("results[{i}]: missing bench"))?;
         for key in [
@@ -715,6 +871,25 @@ fn validate_file(path: &str) -> Result<usize, String> {
         if let Some(a) = row.get("audit_clean") {
             if !matches!(a, Json::Bool(_)) {
                 return Err(format!("results[{i}]: audit_clean not boolean"));
+            }
+        }
+        // `phase_attribution` rows (from `--profile`) additionally carry
+        // the critical-path phase table: every analyzer phase must be
+        // present and numeric, and the tree census must be well-typed.
+        if bench == "phase_attribution" {
+            for key in ["traces", "complete_rate"] {
+                row.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("results[{i}]: missing numeric {key}"))?;
+            }
+            let phases = row
+                .get("phases")
+                .ok_or(format!("results[{i}]: missing phases table"))?;
+            for phase in syd_trace::PHASES {
+                phases
+                    .get(phase)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("results[{i}]: phases missing numeric {phase}"))?;
             }
         }
     }

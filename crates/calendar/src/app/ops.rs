@@ -16,7 +16,7 @@
 use syd_core::links::{Constraint, LinkKind, LinkRef, LinkSpec};
 use syd_core::negotiate::Participant;
 use syd_store::Predicate;
-use syd_telemetry::{trace, EventKind};
+use syd_telemetry::EventKind;
 use syd_types::{MeetingId, SlotBitmap, SlotRange, SydError, SydResult, TimeSlot, UserId, Value};
 
 use crate::app::{calendar_service, CalendarApp, T_BACKLINKS};
@@ -149,13 +149,17 @@ impl CalendarApp {
     pub fn schedule(&self, spec: MeetingSpec) -> SydResult<ScheduleOutcome> {
         // One meeting setup = one trace: every RPC this call fans out
         // (status queries, negotiation marks/commits, link installs)
-        // carries the same trace id across all participants' journals.
-        let _span = match trace::current() {
-            None => Some(trace::enter(trace::root_span())),
-            Some(_) => None,
-        };
+        // carries the same trace id across all participants' journals —
+        // and the root `calendar.schedule_op` span anchors the tree the
+        // critical-path analyzer attributes.
+        let mut op_span = self
+            .device
+            .node()
+            .tracer()
+            .span(syd_telemetry::names::SPAN_SCHEDULE);
         let started = std::time::Instant::now();
         let id = self.alloc_meeting();
+        op_span.attr("meeting", id.raw());
         self.device.journal().record(
             EventKind::SpanBegin,
             format!(
@@ -233,6 +237,12 @@ impl CalendarApp {
 
     /// One reservation/repair round (see module docs). Initiator only.
     pub fn reconcile(&self, id: MeetingId) -> SydResult<MeetingStatus> {
+        let mut op_span = self
+            .device
+            .node()
+            .tracer()
+            .span(syd_telemetry::names::SPAN_RECONCILE);
+        op_span.attr("meeting", id.raw());
         let started = std::time::Instant::now();
         let result = self.reconcile_inner(id);
         self.metrics.reconcile.record_duration(started.elapsed());

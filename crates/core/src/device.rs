@@ -22,7 +22,7 @@ use parking_lot::{Mutex, RwLock};
 use syd_crypto::Authenticator;
 use syd_net::{Node, Transport};
 use syd_store::{LockKey, Store};
-use syd_telemetry::{EventKind, Journal, Registry};
+use syd_telemetry::{names, EventKind, Journal, Registry};
 use syd_types::{Clock, NodeAddr, ServiceName, SydError, SydResult, UserId, Value};
 
 use crate::directory::DirectoryClient;
@@ -360,7 +360,11 @@ impl DeviceRuntime {
                 let change = args_get(args, 2)?;
                 let key = entity_lock_key(entity);
                 if !inner.store.locks().try_acquire(session, &key) {
-                    // Bounded wait, then give up and vote no.
+                    // Bounded wait, then give up and vote no. The wait is
+                    // contention with another in-flight negotiation —
+                    // worth its own span on the serving device.
+                    let mut wait_span = inner.node.tracer().span(names::SPAN_LOCK_WAIT);
+                    wait_span.attr("session", session);
                     if inner
                         .store
                         .locks()

@@ -223,6 +223,10 @@ impl SydEngine {
     /// engine falls back to the legacy overlapped per-user path, which
     /// degrades gracefully one member at a time.
     pub fn resolve_many(&self, users: &[UserId]) -> Vec<(UserId, SydResult<NodeAddr>)> {
+        // Directory resolution is one of the phases the critical-path
+        // analyzer attributes; the lookup RPCs below nest under this span.
+        let mut span = self.node.tracer().span(names::SPAN_DIR_RESOLVE);
+        span.attr("users", users.len() as u64);
         if self.batched_resolve() {
             self.resolve_many_batched(users)
         } else {

@@ -126,13 +126,22 @@ impl EventHandler {
     }
 
     /// Registers (or replaces) a periodic task.
+    ///
+    /// The registrar's trace context (if any) is captured and restored
+    /// around every firing, in both scheduler-thread and shared-wheel
+    /// modes, so periodic work stays attributed to the trace that set
+    /// it up.
     pub fn register_periodic(
         &self,
         name: &str,
         interval: Duration,
         action: impl Fn() + Send + Sync + 'static,
     ) {
-        let action: Arc<dyn Fn() + Send + Sync> = Arc::new(action);
+        let ctx = syd_telemetry::trace::current();
+        let action: Arc<dyn Fn() + Send + Sync> = Arc::new(move || {
+            let _span = ctx.map(syd_telemetry::trace::enter);
+            action();
+        });
         let mut state = self.inner.scheduler.lock();
         state.tasks.retain(|t| t.name != name);
         state.tasks.push(PeriodicTask {
@@ -351,6 +360,49 @@ mod tests {
         // Allow one in-flight run that raced the cancel.
         assert!(runs.load(Ordering::SeqCst) <= after_cancel + 1);
         events.shutdown();
+    }
+
+    #[test]
+    fn periodic_tasks_inherit_the_registrars_trace_context() {
+        use syd_telemetry::trace;
+        // Thread mode: the scheduler thread must restore the ctx.
+        let events = EventHandler::new();
+        let ctx = trace::root_span();
+        let seen = Arc::new(Mutex::new(None));
+        {
+            let _g = trace::enter(ctx);
+            let sc = Arc::clone(&seen);
+            events.register_periodic("probe", Duration::from_millis(10), move || {
+                *sc.lock() = Some(trace::current());
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(3);
+        while seen.lock().is_none() {
+            assert!(Instant::now() < deadline, "periodic task did not run");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(*seen.lock(), Some(Some(ctx)), "legacy mode lost the ctx");
+        events.shutdown();
+
+        // Wheel mode: the shared timer thread must restore it too.
+        let wheel = TimerWheel::new("events-trace-test");
+        let events = EventHandler::with_timer(wheel.clone());
+        let seen = Arc::new(Mutex::new(None));
+        {
+            let _g = trace::enter(ctx);
+            let sc = Arc::clone(&seen);
+            events.register_periodic("probe", Duration::from_millis(10), move || {
+                *sc.lock() = Some(trace::current());
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(3);
+        while seen.lock().is_none() {
+            assert!(Instant::now() < deadline, "wheel task did not run");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(*seen.lock(), Some(Some(ctx)), "wheel mode lost the ctx");
+        events.shutdown();
+        wheel.shutdown();
     }
 
     #[test]

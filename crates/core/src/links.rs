@@ -841,6 +841,11 @@ impl LinksModule {
         mut visited: Vec<u64>,
         seed_refs: &[LinkRef],
     ) -> SydResult<Vec<UserId>> {
+        let mut cascade_span = self
+            .engine
+            .node()
+            .tracer()
+            .span(syd_telemetry::names::SPAN_CASCADE);
         let mut all_refs: Vec<UserId> = seed_refs.iter().map(|r| r.user).collect();
         for link in self.by_corr(corr)? {
             all_refs.extend(link.refs.iter().map(|r| r.user));
@@ -865,6 +870,7 @@ impl LinksModule {
             // eventually collect them (the paper's mobile devices tolerate
             // exactly this kind of stale state).
         }
+        cascade_span.attr("reached", reached.len() as u64);
         Ok(reached)
     }
 

@@ -211,7 +211,11 @@ impl Negotiator {
                 )
             })
             .collect();
-        let votes = self.engine.invoke_group_varied(&mark_calls, &svc, "mark");
+        let votes = {
+            let mut span = self.engine.node().tracer().span(names::SPAN_MARK_ROUND);
+            span.attr("participants", participants.len() as u64);
+            self.engine.invoke_group_varied(&mark_calls, &svc, "mark")
+        };
 
         let mut yes = Vec::new();
         let mut declined = Vec::new();
@@ -284,6 +288,11 @@ impl Negotiator {
             })
             .collect();
 
+        // Phase 2 span covers the commit batch (with its one retry) and
+        // every abort — the whole unlock half of §4.3.
+        let mut commit_span = self.engine.node().tracer().span(names::SPAN_COMMIT_ROUND);
+        commit_span.attr("to_commit", to_commit.len() as u64);
+        commit_span.attr("to_abort", to_abort.len() as u64);
         let mut committed = Vec::new();
         let mut aborted = Vec::new();
         if !commit_calls.is_empty() {
@@ -368,6 +377,7 @@ impl Negotiator {
                 .engine
                 .invoke_group_varied(&decline_aborts, &svc, "abort");
         }
+        drop(commit_span);
 
         // Re-evaluate the constraint over the *committed* set: a commit
         // RPC that failed (and exhausted its retry) moved a yes-voter into

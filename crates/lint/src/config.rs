@@ -53,6 +53,9 @@ pub struct Config {
     pub registry_path: String,
     /// Registry accessor methods whose first argument is a metric name.
     pub metric_methods: Vec<String>,
+    /// Tracer methods whose first argument is a span kind — span kinds
+    /// share the metric-name registry (`syd_telemetry::names`).
+    pub span_methods: Vec<String>,
     /// Path prefixes exempt from the counter-registry rule.
     pub registry_exempt: Vec<String>,
     /// §4.3 protocol method-name literals (`"mark"`, …).
@@ -159,6 +162,7 @@ impl Default for Config {
                 "get_gauge",
                 "get_histogram",
             ]),
+            span_methods: s(&["span", "span_root", "record_span", "finish_handle"]),
             registry_exempt: s(&["crates/telemetry/"]),
             protocol_methods: s(&["mark", "commit", "abort"]),
             lock_manager_methods: s(&["acquire", "try_acquire", "release", "release_all"]),
@@ -214,6 +218,7 @@ impl Config {
                 &mut cfg.poll_forbidden,
             ),
             ("rules.counter_registry.methods", &mut cfg.metric_methods),
+            ("rules.counter_registry.span_methods", &mut cfg.span_methods),
             ("rules.counter_registry.exempt", &mut cfg.registry_exempt),
             (
                 "rules.coordination_boundary.protocol_methods",

@@ -274,8 +274,10 @@ fn no_blocking_in_poll_loop(events: &Events, config: &Config, report: &mut Repor
     }
 }
 
-/// counter-registry: metric names must be `syd_telemetry::names`
-/// constants; constants without call sites are orphaned.
+/// counter-registry: metric names *and span kinds* must be
+/// `syd_telemetry::names` constants; constants without call sites are
+/// orphaned. Span kinds (`Tracer::span` & friends) share the registry
+/// so trace assembly and the exporters see one stable vocabulary.
 fn counter_registry(
     files: &[SourceFile],
     config: &Config,
@@ -314,7 +316,9 @@ fn counter_registry(
         let t = &f.tokens;
         for i in 0..t.len() {
             let Tok::Ident(m) = &t[i].kind else { continue };
-            if !config.metric_methods.iter().any(|mm| mm == m)
+            let is_metric = config.metric_methods.iter().any(|mm| mm == m);
+            let is_span = config.span_methods.iter().any(|sm| sm == m);
+            if (!is_metric && !is_span)
                 || !matches!(t.get(i.wrapping_sub(1)).map(|x| &x.kind), Some(Tok::Dot))
                 || !matches!(t.get(i + 1).map(|x| &x.kind), Some(Tok::LParen))
             {
@@ -335,12 +339,17 @@ fn counter_registry(
                 },
                 |(name, _, _)| format!("use syd_telemetry::names::{name}"),
             );
+            let what = if is_metric {
+                "metric name"
+            } else {
+                "span kind"
+            };
             report.diagnostics.push(Diagnostic {
                 rule: Rule::CounterRegistry,
                 file: f.path.clone(),
                 line: t[i].line,
                 function: enclosing_fn(f, i),
-                message: format!("inline metric name \"{lit}\" in `{m}()`; {hint}"),
+                message: format!("inline {what} \"{lit}\" in `{m}()`; {hint}"),
             });
         }
     }

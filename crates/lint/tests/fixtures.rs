@@ -67,6 +67,24 @@ fn counter_registry_fixture_fires_once() {
 }
 
 #[test]
+fn span_registry_fixture_fires_once() {
+    let report = run_fixture("span_registry.rs");
+    assert_eq!(
+        report.diagnostics.len(),
+        1,
+        "span_registry.rs must produce exactly one diagnostic, got:\n{}",
+        report.render_text()
+    );
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule.name(), "counter-registry");
+    assert!(
+        d.message.contains("span kind"),
+        "span call sites get the span wording: {}",
+        d.message
+    );
+}
+
+#[test]
 fn boundary_fixture_fires_once() {
     assert_fires_once("boundary.rs", "coordination-boundary");
 }
@@ -143,6 +161,7 @@ fn fixtures_are_rule_pure() {
         ("timer_block.rs", "no-blocking-in-poll-loop"),
         ("guard_across_dispatch.rs", "guard-across-rpc"),
         ("counter_registry.rs", "counter-registry"),
+        ("span_registry.rs", "counter-registry"),
         ("boundary.rs", "coordination-boundary"),
     ] {
         let report = run_fixture(name);

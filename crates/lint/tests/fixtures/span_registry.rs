@@ -1,0 +1,6 @@
+//! Seeded violation: inline span-kind literal at a tracer call site.
+//! Expected: exactly one `counter-registry` diagnostic.
+
+fn trace_op(tracer: &Tracer) {
+    let _span = tracer.span("fixture.unregistered_kind"); // <- fires here
+}

@@ -35,6 +35,7 @@ use crate::pool::WorkerPool;
 use crate::rpc::{CallOptions, PendingCall};
 use crate::runtime::{runtime_for, shared_runtime_enabled, DrainOutcome, SharedRuntime};
 use syd_telemetry::names;
+use syd_trace::Tracer;
 
 /// Events drained per reactor wake-up before the node yields to its
 /// peers (round-robin fairness under load).
@@ -118,6 +119,9 @@ struct NodeShared {
     runtime: Option<SharedRuntime>,
     registry: Arc<Registry>,
     metrics: NodeMetrics,
+    /// Per-node span ring: `rpc.client` / `rpc.server` spans land here,
+    /// and higher layers (kernel, calendar) record through it too.
+    tracer: Tracer,
 }
 
 /// A live node on a transport. Cloning shares the node.
@@ -171,6 +175,7 @@ impl Node {
             runtime: None,
             registry,
             metrics,
+            tracer: Tracer::new(format!("node{}", addr.raw()), addr.raw()),
         });
         let driver_shared = Arc::clone(&shared);
         // A node without its driver thread never receives: construction
@@ -202,6 +207,7 @@ impl Node {
             runtime: Some(runtime.clone()),
             registry,
             metrics,
+            tracer: Tracer::new(format!("node{}", addr.raw()), addr.raw()),
         });
         // Register the drain callback first, then install the notifier:
         // installation fires an immediate notification, so events that
@@ -237,6 +243,12 @@ impl Node {
     /// The worker pool dispatching this node's inbound requests.
     pub fn pool(&self) -> &WorkerPool {
         &self.shared.pool
+    }
+
+    /// This node's span tracer. Its ring is registered globally, so a
+    /// [`syd_trace::Collector`] can drain it (or all rings) after a run.
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
     }
 
     /// This node's metrics registry (`rpc.call`, `rpc.retries`,
@@ -393,10 +405,16 @@ impl Node {
         let (caller, credentials) = self.shared.identity.read().clone();
         // Continue the thread's current trace (nested invocation) or
         // mint a fresh root — either way every request carries context.
-        let span = match trace::current() {
-            Some(ctx) => ctx.child(),
-            None => trace::root_span(),
+        let (span, parent) = match trace::current() {
+            Some(ctx) => (ctx.child(), ctx.span),
+            None => (trace::root_span(), 0),
         };
+        // The client span covers send → response under the same span id
+        // the server records, so the assembler can merge both views.
+        let client_span = self
+            .shared
+            .tracer
+            .finish_handle(names::SPAN_RPC_CLIENT, span, parent);
         let request = Request {
             id,
             caller,
@@ -432,6 +450,7 @@ impl Node {
                     shared.pending.lock().remove(&id);
                 }
             })),
+            span: Some(client_span),
         })
     }
 
@@ -539,6 +558,7 @@ fn dispatch_event(shared: &Arc<NodeShared>, event: TransportEvent) {
                         hop: tc.hop + 1,
                     })
                 });
+                let served_start = syd_trace::now_us();
                 let result = match handler {
                     Some(h) => h.handle(from, req.clone()),
                     None => Err(SydError::NoSuchService(
@@ -546,6 +566,20 @@ fn dispatch_event(shared: &Arc<NodeShared>, event: TransportEvent) {
                         req.method.clone(),
                     )),
                 };
+                // Server view of the RPC: same span id as the client's
+                // `rpc.client`, parent 0 (the assembler merges the two
+                // views; parentage comes from the client record).
+                if let Some(tc) = req.trace {
+                    reply_shared.tracer.record_span(
+                        names::SPAN_RPC_SERVER,
+                        tc.trace_id,
+                        tc.span_id,
+                        0,
+                        served_start,
+                        syd_trace::now_us(),
+                        &[("hop", u64::from(tc.hop))],
+                    );
+                }
                 let _ = reply_shared.link.send(syd_wire::Envelope::new(
                     reply_shared.addr,
                     from,

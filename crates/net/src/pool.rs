@@ -15,6 +15,7 @@ use std::time::Duration;
 
 use crossbeam_channel::{Receiver, Sender};
 use parking_lot::Mutex;
+use syd_telemetry::trace;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -78,11 +79,20 @@ impl WorkerPool {
     }
 
     /// Submits a job. Returns `false` if the pool is shut down.
+    ///
+    /// The submitter's trace context (if any) is captured here and
+    /// re-entered around the job on the worker thread, so work handed
+    /// across the pool boundary stays attributed to its trace.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
         let inner = &self.inner;
         if inner.shutdown.load(Ordering::Acquire) {
             return false;
         }
+        let ctx = trace::current();
+        let job = move || {
+            let _span = ctx.map(trace::enter);
+            job();
+        };
         {
             let guard = inner.tx.lock();
             let Some(tx) = guard.as_ref() else {
@@ -240,6 +250,29 @@ mod tests {
             std::thread::yield_now();
         }
         assert_eq!(pool.jobs_executed(), 20);
+    }
+
+    #[test]
+    fn jobs_inherit_the_submitters_trace_context() {
+        let pool = WorkerPool::new("t", 2, Duration::from_millis(100));
+        let ctx = trace::root_span();
+        let _g = trace::enter(ctx);
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        pool.execute(move || {
+            let _ = tx.send(trace::current());
+        });
+        let observed = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(observed, Some(ctx), "trace ctx lost across pool dispatch");
+    }
+
+    #[test]
+    fn untraced_jobs_stay_untraced() {
+        let pool = WorkerPool::new("t", 2, Duration::from_millis(100));
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        pool.execute(move || {
+            let _ = tx.send(trace::current());
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), None);
     }
 
     #[test]

@@ -60,6 +60,9 @@ pub struct PendingCall {
     /// Installed by the node: removes the pending-table entry (and any
     /// timer-wheel deadline) when this call is dropped.
     pub(crate) cleanup: Option<Box<dyn FnOnce() + Send>>,
+    /// Open `rpc.client` span covering the call from send to response
+    /// (or abandonment — the handle records on drop either way).
+    pub(crate) span: Option<syd_trace::FinishSpan>,
 }
 
 impl std::fmt::Debug for PendingCall {
@@ -83,12 +86,17 @@ impl PendingCall {
     }
 
     /// Waits up to `timeout` for the response.
-    pub fn wait(self, timeout: Duration) -> SydResult<Value> {
-        match self.rx.recv_timeout(timeout) {
+    pub fn wait(mut self, timeout: Duration) -> SydResult<Value> {
+        let result = match self.rx.recv_timeout(timeout) {
             Ok(result) => result,
             Err(crossbeam_channel::RecvTimeoutError::Timeout) => Err(SydError::Timeout(self.id)),
             Err(crossbeam_channel::RecvTimeoutError::Disconnected) => Err(SydError::Shutdown),
+        };
+        if let Some(mut span) = self.span.take() {
+            span.attr("ok", u64::from(result.is_ok()));
+            span.finish();
         }
+        result
     }
 
     /// Returns the response if it has already arrived.
@@ -119,6 +127,7 @@ mod tests {
             id: RequestId::new(9),
             rx,
             cleanup: None,
+            span: None,
         };
         assert_eq!(
             call.wait(Duration::from_millis(10)).unwrap_err(),
@@ -133,6 +142,7 @@ mod tests {
             id: RequestId::new(1),
             rx,
             cleanup: None,
+            span: None,
         };
         assert!(call.poll().is_none());
         tx.send(Ok(Value::I64(5))).unwrap();
@@ -152,6 +162,7 @@ mod tests {
             cleanup: Some(Box::new(move || {
                 h.fetch_add(1, Ordering::SeqCst);
             })),
+            span: None,
         };
         let _ = call.wait(Duration::from_millis(5));
         assert_eq!(hits.load(Ordering::SeqCst), 1);

@@ -24,6 +24,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use syd_telemetry::trace;
 
 /// Handle to a scheduled entry; used to cancel it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -122,23 +123,41 @@ impl TimerWheel {
     /// Schedules `action` to run once at `due`. A deadline already in
     /// the past (clock skew, slow caller) fires on the next wake-up
     /// rather than being dropped.
+    ///
+    /// The scheduler's trace context is captured here and re-entered
+    /// around the action on the timer thread, so deadline work (RPC
+    /// timeouts and their retries) stays attributed to its trace.
     pub fn schedule_at(&self, due: Instant, action: impl FnOnce() + Send + 'static) -> TimerId {
-        self.insert(due, Task::OneShot(Box::new(action)))
+        let ctx = trace::current();
+        self.insert(
+            due,
+            Task::OneShot(Box::new(move || {
+                let _span = ctx.map(trace::enter);
+                action();
+            })),
+        )
     }
 
     /// Schedules `action` to run every `interval`, first firing one
     /// `interval` from now. Re-armed from completion time, so a slow
     /// action delays its next firing instead of bursting to catch up.
+    ///
+    /// Like [`TimerWheel::schedule_at`], the scheduling thread's trace
+    /// context is restored around every firing.
     pub fn schedule_periodic(
         &self,
         interval: Duration,
         action: impl Fn() + Send + Sync + 'static,
     ) -> TimerId {
+        let ctx = trace::current();
         self.insert(
             Instant::now() + interval,
             Task::Periodic {
                 interval,
-                action: Arc::new(action),
+                action: Arc::new(move || {
+                    let _span = ctx.map(trace::enter);
+                    action();
+                }),
             },
         )
     }
@@ -277,6 +296,29 @@ mod tests {
         std::thread::sleep(ms(100));
         assert_eq!(hits.load(Ordering::SeqCst), 1);
         assert_eq!(wheel.pending(), 0);
+        wheel.shutdown();
+    }
+
+    #[test]
+    fn timer_actions_inherit_the_schedulers_trace_context() {
+        let wheel = TimerWheel::new("t");
+        let ctx = trace::root_span();
+        let observed = Arc::new(Mutex::new((None, None)));
+        {
+            let _g = trace::enter(ctx);
+            let o = Arc::clone(&observed);
+            wheel.schedule(ms(10), move || {
+                o.lock().0 = Some(trace::current());
+            });
+            let o = Arc::clone(&observed);
+            wheel.schedule_periodic(ms(10), move || {
+                o.lock().1 = Some(trace::current());
+            });
+        }
+        std::thread::sleep(ms(100));
+        let seen = *observed.lock();
+        assert_eq!(seen.0, Some(Some(ctx)), "one-shot lost the trace ctx");
+        assert_eq!(seen.1, Some(Some(ctx)), "periodic lost the trace ctx");
         wheel.shutdown();
     }
 

@@ -59,6 +59,124 @@ fn run_scenario(
     (outcomes, counters.0, counters.1)
 }
 
+/// Three-node relay on a fresh ideal network: `client → middle →
+/// backend`, where middle's handler issues a nested RPC from inside
+/// the dispatched request (so the nested `rpc.client` span must pick
+/// up the server-side trace context). Returns the assembled span-tree
+/// shapes, sorted, plus the collector for further inspection.
+///
+/// Only the three node rings are drained — never the global registry —
+/// so this stays correct when other tests in this binary run
+/// concurrently.
+type TreeShape = Vec<(String, Vec<&'static str>)>;
+
+fn run_traced_relay(
+    shared_mode: bool,
+    calls: i64,
+    drain_middle: bool,
+) -> (Vec<TreeShape>, Vec<syd_trace::SpanTree>) {
+    use syd_trace::{AssemblyMode, Collector};
+    let net = Network::new(NetConfig::ideal());
+    let runtime = shared_mode.then(|| SharedRuntime::new("equiv-trace"));
+    let spawn = |rt: &Option<SharedRuntime>| match rt {
+        Some(rt) => Node::spawn_with_runtime(Arc::new(net.register()), rt),
+        None => Node::spawn_on_endpoint(Arc::new(net.register())),
+    };
+    let (client, middle, backend) = (spawn(&runtime), spawn(&runtime), spawn(&runtime));
+    backend.set_handler(Arc::new(
+        |_from: NodeAddr, req: Request| -> SydResult<Value> { Ok(Value::list(req.args.to_vec())) },
+    ));
+    let (mid_caller, backend_addr) = (middle.clone(), backend.addr());
+    middle.set_handler(Arc::new(
+        move |_from: NodeAddr, req: Request| -> SydResult<Value> {
+            // Nested call from inside the dispatched handler: its span
+            // must become a child of this request's server-side context.
+            mid_caller.call_with(
+                backend_addr,
+                &ServiceName::new("echo"),
+                "m",
+                req.args.to_vec(),
+                CallOptions::new().with_timeout(Duration::from_millis(200)),
+            )
+        },
+    ));
+    let svc = ServiceName::new("echo");
+    for i in 0..calls {
+        client
+            .call_with(
+                middle.addr(),
+                &svc,
+                "m",
+                vec![Value::I64(i)],
+                CallOptions::new().with_timeout(Duration::from_millis(500)),
+            )
+            .expect("relay call");
+    }
+    let mut collector = Collector::new(AssemblyMode::Lossy);
+    collector.drain(client.tracer().ring());
+    if drain_middle {
+        collector.drain(middle.tracer().ring());
+    }
+    collector.drain(backend.tracer().ring());
+    for n in [&client, &middle, &backend] {
+        n.shutdown();
+    }
+    let (trees, errors) = collector.assemble_all();
+    assert!(errors.is_empty(), "lossy assembly never errors: {errors:?}");
+    let mut shapes: Vec<_> = trees.iter().map(syd_trace::SpanTree::shape).collect();
+    shapes.sort();
+    (shapes, trees)
+}
+
+#[test]
+fn span_trees_structurally_equal_across_runtime_modes() {
+    let (legacy, legacy_trees) = run_traced_relay(false, 3, true);
+    let (shared, shared_trees) = run_traced_relay(true, 3, true);
+    assert_eq!(
+        legacy, shared,
+        "legacy and shared runtimes must assemble identical span-tree shapes"
+    );
+    // Every tree is the full relay: an outer rpc.client whose only
+    // child is the nested rpc.client — same phases, same parentage —
+    // and both hops carry their server-side view (complete merge).
+    assert_eq!(legacy_trees.len(), 3);
+    for trees in [&legacy_trees, &shared_trees] {
+        for tree in trees {
+            assert!(tree.complete, "anomalies: {:?}", tree.anomalies);
+            let expected = vec![
+                ("rpc.client".to_string(), vec![]),
+                ("rpc.client".to_string(), vec!["rpc.client"]),
+            ];
+            assert_eq!(tree.shape(), expected);
+            for idx in tree.find_kind("rpc.client") {
+                assert!(
+                    tree.nodes[idx].server.is_some(),
+                    "every client span keeps its merged server view"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dropped_span_degrades_to_flagged_incomplete_tree() {
+    // The middle node's ring is never drained — its spans (the outer
+    // call's server view and the nested rpc.client) are lost, as if the
+    // ring evicted them under pressure. Lossy assembly must still build
+    // a tree, flagged incomplete, instead of erroring out.
+    let (_, trees) = run_traced_relay(true, 1, false);
+    assert_eq!(trees.len(), 1);
+    let tree = &trees[0];
+    assert!(
+        !tree.complete,
+        "a dropped span must flag the tree incomplete"
+    );
+    assert!(!tree.anomalies.is_empty());
+    // The backend's orphaned server view survives as a synthesized node
+    // instead of vanishing.
+    assert!(!tree.find_kind("rpc.server").is_empty());
+}
+
 #[test]
 fn timeout_and_retry_counters_match_across_runtime_modes() {
     // Latency is zero in these configs, so a timeout can only come from

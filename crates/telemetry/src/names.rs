@@ -86,6 +86,33 @@ pub const CALENDAR_RECONCILE: &str = "calendar.reconcile";
 /// Counter: meetings cancelled (including cascade deletions).
 pub const CALENDAR_CANCELS: &str = "calendar.cancels";
 
+// --- span kinds (syd-trace timed spans) -------------------------------------
+//
+// Span kind strings share this registry so `syd-lint`'s registry rule can
+// cross-check span call sites exactly like metric call sites: a typo'd
+// kind would otherwise split one protocol phase across two tree labels.
+
+/// Span: client side of one outbound RPC (send → response completion).
+pub const SPAN_RPC_CLIENT: &str = "rpc.client";
+/// Span: server side of one RPC (handler entry → response sent).
+pub const SPAN_RPC_SERVER: &str = "rpc.server";
+/// Span: directory resolution for a group invocation (cache + lookups).
+pub const SPAN_DIR_RESOLVE: &str = "dir.resolve";
+/// Span: the §4.3 negotiation mark/lock round, coordinator side.
+pub const SPAN_MARK_ROUND: &str = "negotiate.mark_round";
+/// Span: the §4.3 negotiation commit/abort round, coordinator side.
+pub const SPAN_COMMIT_ROUND: &str = "negotiate.commit_round";
+/// Span: cascade traversal over coordination links (delete/bump fan-out).
+pub const SPAN_CASCADE: &str = "links.cascade";
+/// Span: transport-level queueing of one frame (enqueue → flush/deliver).
+pub const SPAN_TRANSPORT_QUEUE: &str = "transport.queue";
+/// Span: bounded entity-lock acquisition inside a kernel mark handler.
+pub const SPAN_LOCK_WAIT: &str = "device.lock_wait";
+/// Span: one end-to-end `schedule_meeting` negotiation (root span).
+pub const SPAN_SCHEDULE: &str = "calendar.schedule_op";
+/// Span: one reconcile pass over the local store (root span).
+pub const SPAN_RECONCILE: &str = "calendar.reconcile_op";
+
 // --- model (syd-model state-space explorer) --------------------------------
 
 /// Counter: distinct states visited by the DFS explorer.
@@ -121,6 +148,16 @@ pub const ALL: &[&str] = &[
     CALENDAR_SCHEDULE,
     CALENDAR_RECONCILE,
     CALENDAR_CANCELS,
+    SPAN_RPC_CLIENT,
+    SPAN_RPC_SERVER,
+    SPAN_DIR_RESOLVE,
+    SPAN_MARK_ROUND,
+    SPAN_COMMIT_ROUND,
+    SPAN_CASCADE,
+    SPAN_TRANSPORT_QUEUE,
+    SPAN_LOCK_WAIT,
+    SPAN_SCHEDULE,
+    SPAN_RECONCILE,
     MODEL_STATES_EXPLORED,
     MODEL_VIOLATIONS,
 ];

@@ -36,12 +36,59 @@ use std::time::Duration;
 use syd_telemetry::names;
 use syd_telemetry::{Counter, Registry};
 use syd_types::{NodeAddr, SydResult};
-use syd_wire::Envelope;
+use syd_wire::{Envelope, Payload};
 
 pub use config::{LatencyModel, NetConfig};
 pub use sim::{Endpoint, Network, SimTransport};
 pub use stats::{NetStats, StatsSnapshot};
 pub use tcp::{node_addr_of, socket_addr_of, FramedTcpEndpoint, FramedTcpTransport};
+
+/// Synthetic trace device id for the sim backend's queueing spans —
+/// high enough to never collide with a node address.
+pub const TRACE_DEVICE_SIM: u64 = u64::MAX;
+
+/// Synthetic trace device id for the TCP backend's queueing spans.
+pub const TRACE_DEVICE_TCP: u64 = u64::MAX - 1;
+
+/// Bookkeeping for one pending `transport.queue` span: opened when a
+/// traced request is accepted for transmission, recorded — as a child
+/// of the request's RPC span — when the backend hands the frame onward
+/// (router delivery on the sim, socket flush on TCP). A frame the
+/// backend drops (loss, failed dial) simply never records its span;
+/// the assembler's lossy mode tolerates the hole.
+pub(crate) struct QueueSpan {
+    trace: u64,
+    /// The request's RPC span id — the queue span's parent.
+    rpc_span: u64,
+    queued_us: u64,
+}
+
+impl QueueSpan {
+    /// Opens bookkeeping for a traced request payload, `None` otherwise.
+    pub(crate) fn of(payload: &Payload) -> Option<QueueSpan> {
+        let Payload::Request(req) = payload else {
+            return None;
+        };
+        req.trace.map(|tc| QueueSpan {
+            trace: tc.trace_id,
+            rpc_span: tc.span_id,
+            queued_us: syd_trace::now_us(),
+        })
+    }
+
+    /// Records the finished span, ending now.
+    pub(crate) fn record(self, tracer: &syd_trace::Tracer) {
+        tracer.record_span(
+            names::SPAN_TRANSPORT_QUEUE,
+            self.trace,
+            syd_telemetry::trace::fresh_id(),
+            self.rpc_span,
+            self.queued_us,
+            syd_trace::now_us(),
+            &[],
+        );
+    }
+}
 
 /// Something a transport endpoint can observe.
 ///

@@ -30,7 +30,9 @@ use syd_wire::{decode_from_slice, encode_to_vec, Envelope, Payload, Response};
 
 use crate::config::NetConfig;
 use crate::stats::{NetStats, StatsSnapshot};
-use crate::{ReadyNotifier, Transport, TransportEndpoint, TransportEvent, TransportMetrics};
+use crate::{
+    QueueSpan, ReadyNotifier, Transport, TransportEndpoint, TransportEvent, TransportMetrics,
+};
 
 /// Backend-style alias: the simulated network *is* the sim transport.
 pub type SimTransport = Network;
@@ -49,6 +51,8 @@ struct Scheduled {
     src: NodeAddr,
     dst: NodeAddr,
     bytes: Vec<u8>,
+    /// Queueing-span bookkeeping when the message is a traced request.
+    queue_span: Option<QueueSpan>,
 }
 
 impl PartialEq for Scheduled {
@@ -106,6 +110,8 @@ struct Inner {
     stats: NetStats,
     registry: Arc<Registry>,
     tmetrics: TransportMetrics,
+    /// Records `transport.queue` spans for traced requests.
+    tracer: syd_trace::Tracer,
     next_addr: AtomicU64,
     next_seq: AtomicU64,
 }
@@ -158,6 +164,7 @@ impl Network {
             stats: NetStats::default(),
             registry,
             tmetrics,
+            tracer: syd_trace::Tracer::new("transport-sim", crate::TRACE_DEVICE_SIM),
             next_addr: AtomicU64::new(1),
             next_seq: AtomicU64::new(0),
         });
@@ -332,6 +339,7 @@ impl Network {
                     src: env.dst,
                     dst: env.src,
                     bytes: reply_bytes,
+                    queue_span: None,
                 }));
                 drop(state);
                 self.inner.cv.notify_all();
@@ -354,6 +362,7 @@ impl Network {
             src: env.src,
             dst: env.dst,
             bytes,
+            queue_span: QueueSpan::of(&env.payload),
         }));
         drop(state);
         self.inner.cv.notify_all();
@@ -431,8 +440,15 @@ fn deliver(inner: &Inner, state: &mut RouterState, msg: Scheduled) {
             if let Some(tap) = &slot.tap {
                 let _ = tap.send(msg.bytes.clone());
             }
+            let queue_span = msg.queue_span;
             if slot.push(msg.dst, SimMsg::Frame(msg.bytes)) {
                 inner.stats.on_delivered();
+                // Enqueue → delivery is the sim's queueing time; the
+                // span hangs off the request's RPC span so the
+                // critical-path analyzer can subtract it.
+                if let Some(qs) = queue_span {
+                    qs.record(&inner.tracer);
+                }
             } else {
                 inner.stats.on_dropped_unreachable();
             }

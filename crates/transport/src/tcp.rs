@@ -38,7 +38,9 @@ use syd_types::{NodeAddr, RequestId, SydError, SydResult};
 use syd_wire::{decode_from_slice, encode_to_vec, Envelope, Payload, Response};
 
 use crate::framing::{encode_frame, FrameDecoder};
-use crate::{ReadyNotifier, Transport, TransportEndpoint, TransportEvent, TransportMetrics};
+use crate::{
+    QueueSpan, ReadyNotifier, Transport, TransportEndpoint, TransportEvent, TransportMetrics,
+};
 
 /// How long the poll thread sleeps when idle.
 const POLL_TICK: Duration = Duration::from_micros(500);
@@ -119,11 +121,28 @@ struct Conn {
     inbound: bool,
     decoder: FrameDecoder,
     /// Encoded frames (length prefix included) awaiting the socket.
-    outq: VecDeque<Vec<u8>>,
+    outq: VecDeque<OutFrame>,
     /// Write offset into the front frame.
     out_pos: usize,
     /// True while the hello frame is still at the front of `outq`.
     hello_queued: bool,
+}
+
+/// One encoded frame awaiting a connection's socket, plus the
+/// `transport.queue` span it records once fully flushed (traced
+/// requests only).
+struct OutFrame {
+    bytes: Vec<u8>,
+    queue_span: Option<QueueSpan>,
+}
+
+impl OutFrame {
+    fn untraced(bytes: Vec<u8>) -> OutFrame {
+        OutFrame {
+            bytes,
+            queue_span: None,
+        }
+    }
 }
 
 impl Conn {
@@ -134,7 +153,7 @@ impl Conn {
 
 /// A frame waiting for its peer's connection to come up.
 struct Pending {
-    frame: Vec<u8>,
+    frame: OutFrame,
     /// Set for request frames so a failed dial can synthesize the
     /// fail-fast `Disconnected` error response.
     request: Option<RequestId>,
@@ -183,6 +202,8 @@ struct Shared {
     cv: Condvar,
     events_tx: Sender<TransportEvent>,
     metrics: TransportMetrics,
+    /// Records `transport.queue` spans for traced requests.
+    tracer: syd_trace::Tracer,
     tap: Mutex<Option<Sender<Vec<u8>>>>,
     notifier: Mutex<Option<Arc<dyn ReadyNotifier>>>,
 }
@@ -239,6 +260,10 @@ impl FramedTcpEndpoint {
             cv: Condvar::new(),
             events_tx,
             metrics,
+            tracer: syd_trace::Tracer::new(
+                format!("transport-tcp-{}", local.port()),
+                crate::TRACE_DEVICE_TCP,
+            ),
             tap: Mutex::new(None),
             notifier: Mutex::new(None),
         });
@@ -317,7 +342,10 @@ impl TransportEndpoint for FramedTcpEndpoint {
             self.shared.emit(TransportEvent::Message(env));
             return Ok(size);
         }
-        let frame = encode_frame(&body);
+        let frame = OutFrame {
+            bytes: encode_frame(&body),
+            queue_span: QueueSpan::of(&env.payload),
+        };
         let request = match &env.payload {
             Payload::Request(req) => Some(req.id),
             _ => None,
@@ -666,15 +694,21 @@ fn service_conn(
         let Some(front) = conn.outq.front() else {
             break;
         };
-        match conn.stream.write(&front[conn.out_pos..]) {
+        match conn.stream.write(&front.bytes[conn.out_pos..]) {
             Ok(0) => {
                 alive = false;
             }
             Ok(n) => {
                 *progressed = true;
                 conn.out_pos += n;
-                if conn.out_pos == front.len() {
-                    conn.outq.pop_front();
+                if conn.out_pos == front.bytes.len() {
+                    if let Some(frame) = conn.outq.pop_front() {
+                        // Enqueue → full flush is the TCP backend's
+                        // queueing time (dial wait + write-queue wait).
+                        if let Some(qs) = frame.queue_span {
+                            qs.record(&shared.tracer);
+                        }
+                    }
                     conn.out_pos = 0;
                     conn.hello_queued = false;
                 }
@@ -794,7 +828,7 @@ fn finish_dial(shared: &Arc<Shared>, peer: NodeAddr, result: io::Result<TcpStrea
     let id = state.next_conn_id;
     state.next_conn_id += 1;
     let mut outq = VecDeque::new();
-    outq.push_back(hello_frame(shared.addr));
+    outq.push_back(OutFrame::untraced(hello_frame(shared.addr)));
     let slot = state.peers.entry(peer).or_insert_with(PeerSlot::new);
     for pending in slot.queue.drain(..) {
         outq.push_back(pending.frame);
@@ -858,15 +892,19 @@ fn flush_on_close(shared: &Shared, state: &mut MutexGuard<'_, State>) {
         let mut pending = false;
         for conn in state.conns.values_mut() {
             while let Some(front) = conn.outq.front() {
-                match conn.stream.write(&front[conn.out_pos..]) {
+                match conn.stream.write(&front.bytes[conn.out_pos..]) {
                     Ok(0) => {
                         conn.outq.clear();
                         break;
                     }
                     Ok(n) => {
                         conn.out_pos += n;
-                        if conn.out_pos == front.len() {
-                            conn.outq.pop_front();
+                        if conn.out_pos == front.bytes.len() {
+                            if let Some(frame) = conn.outq.pop_front() {
+                                if let Some(qs) = frame.queue_span {
+                                    qs.record(&shared.tracer);
+                                }
+                            }
                             conn.out_pos = 0;
                         }
                     }

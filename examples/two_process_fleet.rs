@@ -92,6 +92,21 @@ fn main() {
     assert_eq!(outcome.status, MeetingStatus::Confirmed, "{outcome:?}");
     println!("meeting {:?} confirmed at day 2, slot 10", outcome.meeting);
 
+    // Tracing quickstart: with SYD_TRACE_OUT set, dump this process's
+    // span trees as a chrome trace_event file (open it in Perfetto or
+    // chrome://tracing). Andy's and the directory's halves of each RPC
+    // live inside the sydd process, so assembly runs in lossy mode and
+    // flags those trees incomplete — the client spans and transport
+    // queueing gaps are still all visible.
+    if let Ok(path) = std::env::var("SYD_TRACE_OUT") {
+        let mut collector = syd::trace::Collector::new(syd::trace::AssemblyMode::Lossy);
+        collector.drain_global();
+        let (trees, _) = collector.assemble_all();
+        let doc = syd::trace::chrome_trace(&trees, collector.labels());
+        std::fs::write(&path, doc).expect("write trace file");
+        println!("phil: wrote {} span trees to {path}", trees.len());
+    }
+
     // Audit this process's device…
     let deadline = Instant::now() + Duration::from_secs(2);
     while phil_device.store().locks().held_count() > 0 && Instant::now() < deadline {

@@ -13,6 +13,10 @@
 //! closes it), runs the protocol invariant audit over its device, prints
 //! `AUDIT_OK` (or `AUDIT_FAIL <reason>`) and exits. Exit status 0 means
 //! the audit was clean.
+//!
+//! With `--stats`, the shutdown sequence additionally dumps a one-shot
+//! [`syd::obs::snapshot`] of every live span ring (prefixed `STATS `
+//! per line, so peers parsing stdout can skip it).
 
 // Demo daemon: a host that cannot boot must abort loudly at startup.
 #![allow(clippy::expect_used)]
@@ -27,6 +31,16 @@ use syd::net::Transport;
 use syd::transport::FramedTcpTransport;
 
 fn main() {
+    let mut stats = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--stats" => stats = true,
+            other => {
+                eprintln!("sydd: unknown flag {other} (supported: --stats)");
+                std::process::exit(2);
+            }
+        }
+    }
     let transport: Arc<dyn Transport> = Arc::new(FramedTcpTransport::loopback());
     let env = match SydEnv::new_on(Arc::clone(&transport), None) {
         Ok(env) => env,
@@ -55,6 +69,11 @@ fn main() {
         std::thread::sleep(Duration::from_millis(10));
     }
     host.sweep_stale_sessions(Duration::ZERO);
+    if stats {
+        for line in syd::obs::snapshot().to_string().lines() {
+            println!("STATS {line}");
+        }
+    }
     let report = syd::check::audit([&host]);
     if report.ok() {
         println!("AUDIT_OK");

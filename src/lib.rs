@@ -18,6 +18,8 @@
 //! | [`kernel`] | `syd-core` | SyD kernel: directory, listener, engine, events, links, negotiation, proxies |
 //! | [`check`] | `syd-check` | protocol invariant checker: journal replay, lock-leak and double-book oracles |
 //! | [`calendar`] | `syd-calendar` | the calendar-of-meetings application + baseline |
+//! | [`trace`] | `syd-trace` | timed span trees, cross-device assembly, critical-path attribution |
+//! | [`obs`] | (this crate) | one-shot span-ring snapshot (`sydtop`-style) |
 //! | [`fleet`] | `syd-fleet` | vehicle fleet application |
 //! | [`bidding`] | `syd-bidding` | price-is-right application |
 //!
@@ -43,6 +45,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod obs;
+
 pub use syd_bidding as bidding;
 pub use syd_calendar as calendar;
 pub use syd_check as check;
@@ -51,6 +55,7 @@ pub use syd_crypto as crypto;
 pub use syd_fleet as fleet;
 pub use syd_net as net;
 pub use syd_store as store;
+pub use syd_trace as trace;
 pub use syd_transport as transport;
 pub use syd_types as types;
 pub use syd_wire as wire;

@@ -1,0 +1,125 @@
+//! One-shot observability snapshot — a `sydtop`-style view of every
+//! live span ring in the process.
+//!
+//! Each SyD node (and each transport backend) registers a
+//! [`syd_trace::SpanRing`] when it boots; [`snapshot`] walks that
+//! registry and returns per-ring counters plus process totals. The
+//! [`Snapshot`] renders as an aligned text table, which is what
+//! `sydd --stats` prints at shutdown:
+//!
+//! ```text
+//! RING                  DEVICE  RECORDED  DROPPED  BUFFERED
+//! node1                      1        42        0        42
+//! transport-tcp-40533      max        17        0        17
+//! TOTAL                               59        0        59
+//! ```
+//!
+//! The snapshot is read-only: it does not drain the rings, so a
+//! [`syd_trace::Collector`] can still assemble the buffered spans
+//! afterwards.
+
+use std::fmt;
+
+use syd_trace::RingStats;
+
+/// Point-in-time view of all live span rings in this process.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Per-ring counters, in registration order.
+    pub rings: Vec<RingStats>,
+}
+
+impl Snapshot {
+    /// Total spans ever recorded across all rings.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.rings.iter().map(|r| r.recorded).sum()
+    }
+
+    /// Total spans evicted before a drain (lossy-journal pressure).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.rings.iter().map(|r| r.dropped).sum()
+    }
+
+    /// Total spans currently buffered and awaiting a collector drain.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.rings.iter().map(|r| r.buffered).sum()
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label_w = self
+            .rings
+            .iter()
+            .map(|r| r.label.len())
+            .chain([5])
+            .max()
+            .unwrap_or(5);
+        writeln!(
+            f,
+            "{:<label_w$}  {:>6}  {:>8}  {:>7}  {:>8}",
+            "RING", "DEVICE", "RECORDED", "DROPPED", "BUFFERED"
+        )?;
+        for r in &self.rings {
+            // Transport rings use sentinel device ids near u64::MAX;
+            // render those as "max"/"max-1" style markers instead of
+            // twenty-digit numbers.
+            let device = if r.device >= u64::MAX - 8 {
+                let back = u64::MAX - r.device;
+                if back == 0 {
+                    "max".to_owned()
+                } else {
+                    format!("max-{back}")
+                }
+            } else {
+                r.device.to_string()
+            };
+            writeln!(
+                f,
+                "{:<label_w$}  {:>6}  {:>8}  {:>7}  {:>8}",
+                r.label, device, r.recorded, r.dropped, r.buffered
+            )?;
+        }
+        write!(
+            f,
+            "{:<label_w$}  {:>6}  {:>8}  {:>7}  {:>8}",
+            "TOTAL",
+            "",
+            self.recorded(),
+            self.dropped(),
+            self.buffered()
+        )
+    }
+}
+
+/// Capture a one-shot snapshot of every live span ring.
+///
+/// Rings whose owners have been dropped are pruned from the registry
+/// lazily, so a long-lived process only ever sees its live nodes here.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        rings: syd_trace::registry_stats(),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_renders_table_with_totals() {
+        let tracer = syd_trace::Tracer::new("obs-test-ring", 7);
+        drop(tracer.span(syd_telemetry::names::SPAN_SCHEDULE));
+        let snap = snapshot();
+        assert!(snap.recorded() >= 1);
+        let text = snap.to_string();
+        assert!(text.starts_with("RING"));
+        assert!(text.contains("obs-test-ring"));
+        assert!(text.trim_end().lines().last().unwrap().starts_with("TOTAL"));
+    }
+}

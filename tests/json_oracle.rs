@@ -1,0 +1,117 @@
+//! Proptest oracle: every JSON artifact the observability plane emits
+//! must parse under the strict `syd_bench::json` parser and round-trip
+//! its strings byte-for-byte — arbitrary quotes, backslashes, control
+//! characters, and non-ASCII included.
+//!
+//! The parser is deliberately the *other* implementation (schema
+//! validation, no serde), so an escaping bug on either side shows up
+//! as a parse failure or a mismatched round-trip here.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use syd::trace::{chrome_trace, AssemblyMode, Collector, SpanRecord};
+use syd_bench::json::Json;
+use syd_telemetry::{names, EventKind, Journal};
+
+proptest! {
+    /// `Journal::to_jsonl` emits one strict-JSON object per line, and
+    /// the `detail` string survives the escape/parse round trip.
+    #[test]
+    fn journal_jsonl_round_trips_arbitrary_details(
+        details in proptest::collection::vec(".*", 1..8),
+    ) {
+        let journal = Journal::new(64);
+        for detail in &details {
+            journal.record(EventKind::Info, detail.clone());
+        }
+        let jsonl = journal.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        prop_assert_eq!(lines.len(), details.len(), "one line per event");
+        for (line, want) in lines.iter().zip(&details) {
+            let parsed = Json::parse(line);
+            prop_assert!(parsed.is_ok(), "parse failed: {:?}\nline: {line}", parsed.err());
+            let doc = parsed.unwrap();
+            prop_assert_eq!(
+                doc.get("detail").and_then(Json::as_str),
+                Some(want.as_str()),
+                "detail must round-trip"
+            );
+            prop_assert!(doc.get("seq").and_then(Json::as_f64).is_some());
+            prop_assert!(doc.get("kind").and_then(Json::as_str).is_some());
+        }
+    }
+
+    /// The chrome `trace_event` exporter produces one strict-JSON
+    /// document; device labels (the only free-form strings in it)
+    /// round-trip through the process_name metadata events.
+    #[test]
+    fn chrome_trace_round_trips_arbitrary_device_labels(
+        label in ".*",
+        fanout in 1usize..4,
+    ) {
+        let mut collector = Collector::new(AssemblyMode::Lossy);
+        collector.ingest(SpanRecord {
+            trace: 7,
+            span: 1,
+            parent: 0,
+            kind: names::SPAN_SCHEDULE,
+            device: 1,
+            start_us: 0,
+            end_us: 1000,
+            attrs: vec![("participants", fanout as u64)],
+        });
+        for i in 0..fanout {
+            let span = 2 + i as u64;
+            collector.ingest(SpanRecord {
+                trace: 7,
+                span,
+                parent: 1,
+                kind: names::SPAN_RPC_CLIENT,
+                device: 1,
+                start_us: 10,
+                end_us: 900,
+                attrs: Vec::new(),
+            });
+            collector.ingest(SpanRecord {
+                trace: 7,
+                span,
+                parent: 0,
+                kind: names::SPAN_RPC_SERVER,
+                device: 2,
+                start_us: 100,
+                end_us: 800,
+                attrs: Vec::new(),
+            });
+        }
+        let tree = collector.assemble(7).expect("assembles");
+        let labels = HashMap::from([(1u64, label.clone())]);
+        let doc = chrome_trace(&[tree], &labels);
+        let result = Json::parse(&doc);
+        prop_assert!(result.is_ok(), "parse failed: {:?}\ndoc: {doc}", result.err());
+        let parsed = result.unwrap();
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        // 1 root + fanout clients + fanout server views, plus one
+        // process_name metadata event per device.
+        let x_events = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .count();
+        prop_assert_eq!(x_events, 1 + 2 * fanout);
+        let meta_name = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("M")
+                    && e.get("pid").and_then(Json::as_f64) == Some(1.0)
+            })
+            .and_then(|e| e.get("args"))
+            .and_then(|a| a.get("name"))
+            .and_then(Json::as_str);
+        prop_assert_eq!(meta_name, Some(label.as_str()), "label must round-trip");
+    }
+}
