@@ -1,0 +1,365 @@
+//! Workspace-wide call graph, built from the walker's [`CallEvent`]s.
+//!
+//! Resolution is deliberately conservative — an edge is only added when
+//! the token-level evidence pins the callee to exactly one workspace
+//! function:
+//!
+//! * **free / path calls** (`helper(…)`, `module::helper(…)`,
+//!   `Self::helper(…)`): same-file definition first (so a file-local
+//!   `helper` shadows a same-named fn elsewhere); a `module::` qualifier
+//!   resolves against the file stem `module`; otherwise a *globally
+//!   unique* function name resolves, and anything ambiguous gets no
+//!   edge.
+//! * **inherent methods** (`recv.method(…)`): `self.method(…)` resolves
+//!   in the defining file; otherwise the receiver segment is matched
+//!   against file stems (`self.node.dispatch(…)` → `node.rs`), the idiom
+//!   this workspace uses for its layer structs. Foreign receivers
+//!   (`vec.push`, `map.get`) resolve nowhere and stay leaves.
+//! * **trait dispatch**: dynamic calls (`handler.handle(…)`) are opaque
+//!   to a token scan, so `lint.toml [[trait_target]]` entries name the
+//!   implementations a trait method can reach; each configured target
+//!   gets an edge.
+//!
+//! Calls marked [`CallEvent::in_spawn`] (inside a `spawn` / registration
+//! closure argument) get no edge at all: the callee runs on another
+//! thread, so the caller must not inherit its effects.
+//!
+//! The net effect is an *under*-approximation of the real call graph:
+//! effect propagation (see [`crate::effects`]) misses paths through
+//! unresolved calls (documented in DESIGN.md §15), but never invents
+//! one, which keeps interprocedural diagnostics actionable.
+
+use crate::config::Config;
+use crate::source::SourceFile;
+use crate::walker::CallEvent;
+use std::collections::BTreeMap;
+
+/// One function node in the workspace call graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index of the declaring file in the analyzed file set.
+    pub file_idx: usize,
+    /// Workspace-relative path of the declaring file.
+    pub path: String,
+    /// Function name.
+    pub name: String,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the function is test code.
+    pub is_test: bool,
+}
+
+/// A resolved call edge.
+#[derive(Debug, Clone)]
+pub struct ResolvedCall {
+    /// Caller node id.
+    pub caller: usize,
+    /// Callee node id.
+    pub callee: usize,
+    /// File of the call site.
+    pub file: String,
+    /// Line of the call site.
+    pub line: u32,
+    /// Guards live at the call site: (lock id, acquisition line).
+    pub held: Vec<(String, u32)>,
+    /// Whether the call site is a configured RPC method (the direct
+    /// guard-across-rpc rule already covers it).
+    pub is_rpc: bool,
+    /// Whether the call site is inside test code.
+    pub is_test: bool,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Function nodes, in (file, source) order.
+    pub nodes: Vec<FnNode>,
+    /// Resolved call edges.
+    pub edges: Vec<ResolvedCall>,
+    /// (file index, fn `body_start`) → node id.
+    by_start: BTreeMap<(usize, usize), usize>,
+}
+
+impl CallGraph {
+    /// Builds the graph from the parsed files and walker call events.
+    pub fn build(files: &[SourceFile], calls: &[CallEvent], config: &Config) -> CallGraph {
+        let mut graph = CallGraph::default();
+
+        // Node table plus the resolution indices.
+        let mut path_to_file: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut stem_files: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        // (file idx, fn name) → node ids (a name may repeat across impls).
+        let mut in_file: BTreeMap<(usize, &str), Vec<usize>> = BTreeMap::new();
+        let mut global: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+
+        for (fi, f) in files.iter().enumerate() {
+            path_to_file.insert(f.path.as_str(), fi);
+            stem_files.entry(f.stem.as_str()).or_default().push(fi);
+            for func in &f.fns {
+                let id = graph.nodes.len();
+                graph.nodes.push(FnNode {
+                    file_idx: fi,
+                    path: f.path.clone(),
+                    name: func.name.clone(),
+                    line: func.line,
+                    is_test: func.is_test,
+                });
+                graph.by_start.insert((fi, func.body_start), id);
+                in_file
+                    .entry((fi, func.name.as_str()))
+                    .or_default()
+                    .push(id);
+                global.entry(func.name.as_str()).or_default().push(id);
+            }
+        }
+
+        let unique = |v: Option<&Vec<usize>>| match v {
+            Some(ids) if ids.len() == 1 => Some(ids[0]),
+            _ => None,
+        };
+        // A fn `name` defined in exactly one file of stem `stem`, unique
+        // within that file.
+        let by_stem = |stem: &str, name: &str| -> Option<usize> {
+            let files_with = stem_files.get(stem)?;
+            let mut hit = None;
+            for &fi in files_with {
+                if let Some(id) = unique(in_file.get(&(fi, name))) {
+                    if hit.is_some() {
+                        return None; // ambiguous across same-stem files
+                    }
+                    hit = Some(id);
+                }
+            }
+            hit
+        };
+
+        for call in calls {
+            if call.in_spawn {
+                continue;
+            }
+            let Some(&file_idx) = path_to_file.get(call.file.as_str()) else {
+                continue;
+            };
+            let Some(&caller) = graph.by_start.get(&(file_idx, call.caller_start)) else {
+                continue;
+            };
+            let same_file = unique(in_file.get(&(file_idx, call.name.as_str())));
+
+            let mut callees: Vec<usize> = Vec::new();
+            if let Some(q) = call.qualifier.as_deref() {
+                if q == "Self" || q == "self" || q == "crate" {
+                    callees.extend(same_file);
+                } else if let Some(id) = by_stem(q, &call.name) {
+                    callees.push(id);
+                }
+            } else if call.is_method {
+                match call.receiver.as_deref() {
+                    Some("self") => callees.extend(same_file),
+                    Some(recv) => {
+                        if let Some(id) = by_stem(recv, &call.name) {
+                            callees.push(id);
+                        }
+                    }
+                    None => {}
+                }
+                // Trait dispatch: configured targets for this method name
+                // (in addition to any concrete resolution).
+                for tt in &config.trait_targets {
+                    if tt.method != call.name {
+                        continue;
+                    }
+                    for target in &tt.targets {
+                        if let Some((stem, fn_name)) = target.split_once('.') {
+                            if let Some(id) = by_stem(stem, fn_name) {
+                                if !callees.contains(&id) {
+                                    callees.push(id);
+                                }
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Plain free call: same file shadows the workspace;
+                // otherwise a globally unique name resolves.
+                match same_file {
+                    Some(id) => callees.push(id),
+                    None => callees.extend(unique(global.get(call.name.as_str()))),
+                }
+            }
+
+            for callee in callees {
+                graph.edges.push(ResolvedCall {
+                    caller,
+                    callee,
+                    file: call.file.clone(),
+                    line: call.line,
+                    held: call.held.clone(),
+                    is_rpc: call.is_rpc,
+                    is_test: call.is_test,
+                });
+            }
+        }
+        graph
+    }
+
+    /// Node id for the function starting at `body_start` in file
+    /// `file_idx`, if any.
+    pub fn node_at(&self, file_idx: usize, body_start: usize) -> Option<usize> {
+        self.by_start.get(&(file_idx, body_start)).copied()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code
+mod tests {
+    use super::*;
+    use crate::walker::{self, Events, LockTable, WalkRules};
+
+    fn build(files: &[(&str, &str)]) -> (Vec<SourceFile>, CallGraph) {
+        build_with(files, &Config::default())
+    }
+
+    fn build_with(files: &[(&str, &str)], config: &Config) -> (Vec<SourceFile>, CallGraph) {
+        let parsed: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+        let table = LockTable::build(&parsed);
+        let detached = crate::rules::detached_callees(config);
+        let rules = WalkRules {
+            rpc_methods: &config.rpc_methods,
+            rpc_qualified: &config.rpc_qualified,
+            forbidden: &config.poll_forbidden,
+            detached: &detached,
+        };
+        let mut events = Events::default();
+        for f in &parsed {
+            walker::walk_file(f, &table, &rules, &mut events);
+        }
+        let graph = CallGraph::build(&parsed, &events.calls, config);
+        (parsed, graph)
+    }
+
+    fn edge_names(graph: &CallGraph) -> Vec<(String, String)> {
+        graph
+            .edges
+            .iter()
+            .map(|e| {
+                (
+                    graph.nodes[e.caller].name.clone(),
+                    graph.nodes[e.callee].name.clone(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_file_shadows_other_files() {
+        let (_, graph) = build(&[
+            (
+                "crates/a/src/alpha.rs",
+                "fn helper() {} fn caller() { helper(); }",
+            ),
+            ("crates/b/src/beta.rs", "fn helper() {}"),
+        ]);
+        let edges = edge_names(&graph);
+        assert_eq!(edges, vec![("caller".to_string(), "helper".to_string())]);
+        let callee = &graph.nodes[graph.edges[0].callee];
+        assert_eq!(callee.path, "crates/a/src/alpha.rs");
+    }
+
+    #[test]
+    fn globally_unique_free_fn_resolves_cross_file() {
+        let (_, graph) = build(&[
+            ("crates/a/src/alpha.rs", "fn caller() { unique_helper(); }"),
+            ("crates/b/src/beta.rs", "pub fn unique_helper() {}"),
+        ]);
+        assert_eq!(
+            edge_names(&graph),
+            vec![("caller".to_string(), "unique_helper".to_string())]
+        );
+    }
+
+    #[test]
+    fn ambiguous_free_fn_gets_no_edge() {
+        let (_, graph) = build(&[
+            ("crates/a/src/alpha.rs", "fn caller() { helper(); }"),
+            ("crates/b/src/beta.rs", "fn helper() {}"),
+            ("crates/c/src/gamma.rs", "fn helper() {}"),
+        ]);
+        assert!(graph.edges.is_empty(), "{:?}", edge_names(&graph));
+    }
+
+    #[test]
+    fn method_resolves_by_receiver_file_stem_not_free_fn() {
+        let (_, graph) = build(&[
+            (
+                "crates/a/src/engine.rs",
+                "fn caller(&self) { self.node.dispatch(1); other.dispatch(1); }",
+            ),
+            ("crates/net/src/node.rs", "pub fn dispatch(x: u8) {}"),
+        ]);
+        // `self.node.dispatch` resolves via the `node` stem; the foreign
+        // receiver `other` must not fall back to the global name.
+        assert_eq!(
+            edge_names(&graph),
+            vec![("caller".to_string(), "dispatch".to_string())]
+        );
+    }
+
+    #[test]
+    fn self_method_resolves_same_file() {
+        let (_, graph) = build(&[(
+            "crates/a/src/engine.rs",
+            "impl E { fn helper(&self) {} fn caller(&self) { self.helper(); } }",
+        )]);
+        assert_eq!(
+            edge_names(&graph),
+            vec![("caller".to_string(), "helper".to_string())]
+        );
+    }
+
+    #[test]
+    fn trait_dispatch_uses_configured_targets() {
+        let mut config = Config::default();
+        config.trait_targets.push(crate::config::TraitTarget {
+            method: "handle".into(),
+            targets: vec!["listener.handle".into(), "acceptor.handle".into()],
+        });
+        let (_, graph) = build_with(
+            &[
+                (
+                    "crates/a/src/node.rs",
+                    "fn serve(&self) { self.handler.handle(1); }",
+                ),
+                ("crates/b/src/listener.rs", "pub fn handle(x: u8) {}"),
+                ("crates/c/src/acceptor.rs", "pub fn handle(x: u8) {}"),
+            ],
+            &config,
+        );
+        let mut edges = edge_names(&graph);
+        edges.sort();
+        assert_eq!(edges.len(), 2, "{edges:?}");
+        let paths: Vec<&str> = graph
+            .edges
+            .iter()
+            .map(|e| graph.nodes[e.callee].path.as_str())
+            .collect();
+        assert!(paths.contains(&"crates/b/src/listener.rs"));
+        assert!(paths.contains(&"crates/c/src/acceptor.rs"));
+    }
+
+    #[test]
+    fn recursion_builds_cyclic_edges_without_diverging() {
+        let (_, graph) = build(&[(
+            "crates/a/src/rec.rs",
+            "fn ping() { pong(); } fn pong() { ping(); }",
+        )]);
+        let mut edges = edge_names(&graph);
+        edges.sort();
+        assert_eq!(
+            edges,
+            vec![
+                ("ping".to_string(), "pong".to_string()),
+                ("pong".to_string(), "ping".to_string())
+            ]
+        );
+    }
+}

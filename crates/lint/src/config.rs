@@ -33,6 +33,21 @@ pub struct Allow {
     pub contains: Option<String>,
     /// Mandatory human justification (empty reasons are rejected).
     pub reason: String,
+    /// Optional expiry (`YYYY-MM-DD`); after this date the allow stops
+    /// suppressing and `stale-suppression` flags it.
+    pub expires: Option<String>,
+    /// Line of the `[[allow]]` header in lint.toml (0 for built-ins).
+    pub line: usize,
+}
+
+/// One trait-dispatch fan-out entry: calls of `method` through a trait
+/// object may reach any of `targets` (`file-stem.fn_name`).
+#[derive(Debug, Clone)]
+pub struct TraitTarget {
+    /// Trait method name as it appears at call sites.
+    pub method: String,
+    /// `stem.fn` implementation targets.
+    pub targets: Vec<String>,
 }
 
 /// Full analyzer configuration.
@@ -64,8 +79,27 @@ pub struct Config {
     pub lock_manager_methods: Vec<String>,
     /// Path suffixes allowed to touch the coordination boundary.
     pub boundary_allowed: Vec<String>,
+    /// Trait-dispatch fan-out for the call graph.
+    pub trait_targets: Vec<TraitTarget>,
+    /// Fully qualified blocking callees (`thread::sleep`) for the
+    /// transitive effect analysis.
+    pub blocking_qualified: Vec<String>,
+    /// Method names that only block when called with no arguments
+    /// (`.recv()`, `.join()` — excludes `path.join("x")`).
+    pub blocking_zero_arg: Vec<String>,
+    /// Method names that block regardless of arguments.
+    pub blocking_any_arg: Vec<String>,
+    /// Methods that register closures on shared infrastructure
+    /// (timer wheel, worker pool) for `strong-capture-cycle`.
+    pub registration_methods: Vec<String>,
+    /// Types whose strong `Arc` must not be captured at a registration
+    /// point (they transitively own the runtime).
+    pub runtime_owning: Vec<String>,
     /// Justified suppressions.
     pub allows: Vec<Allow>,
+    /// Today's date (`YYYY-MM-DD`) for `expires` checks; injected by the
+    /// CLI so tests and library callers stay deterministic.
+    pub today: Option<String>,
 }
 
 impl Default for Config {
@@ -171,7 +205,26 @@ impl Default for Config {
                 "crates/core/src/device.rs",
                 "crates/store/src/lock.rs",
             ]),
+            trait_targets: vec![TraitTarget {
+                // `node.set_handler(Arc<dyn RequestHandler>)` dispatches
+                // through `handle`; the workspace's only impl forwards to
+                // the listener.
+                method: "handle".into(),
+                targets: s(&["listener.handle"]),
+            }],
+            blocking_qualified: s(&["thread::sleep", "TcpStream::connect"]),
+            blocking_zero_arg: s(&["recv", "join"]),
+            blocking_any_arg: s(&["recv_timeout", "recv_deadline", "connect_timeout"]),
+            registration_methods: s(&[
+                "register_periodic",
+                "schedule",
+                "schedule_at",
+                "schedule_periodic",
+                "execute",
+            ]),
+            runtime_owning: s(&["DeviceInner", "RuntimeInner", "NodeShared"]),
             allows: Vec::new(),
+            today: None,
         }
     }
 }
@@ -232,6 +285,26 @@ impl Config {
                 "rules.coordination_boundary.allowed",
                 &mut cfg.boundary_allowed,
             ),
+            (
+                "rules.transitive_blocking.qualified",
+                &mut cfg.blocking_qualified,
+            ),
+            (
+                "rules.transitive_blocking.zero_arg",
+                &mut cfg.blocking_zero_arg,
+            ),
+            (
+                "rules.transitive_blocking.any_arg",
+                &mut cfg.blocking_any_arg,
+            ),
+            (
+                "rules.strong_capture.registration_methods",
+                &mut cfg.registration_methods,
+            ),
+            (
+                "rules.strong_capture.runtime_owning",
+                &mut cfg.runtime_owning,
+            ),
         ];
         for (key, slot) in scalars.iter_mut() {
             if let Some(Value::Array(xs)) = doc.keys.get(*key) {
@@ -241,6 +314,17 @@ impl Config {
         if let Some(Value::Str(p)) = doc.keys.get("rules.counter_registry.registry") {
             cfg.registry_path.clone_from(p);
         }
+        if let Some(targets) = doc.tables.get("trait_target") {
+            cfg.trait_targets = targets
+                .iter()
+                .map(|t| {
+                    Ok(TraitTarget {
+                        method: t.need_str("method")?,
+                        targets: t.strs("targets"),
+                    })
+                })
+                .collect::<Result<_, ConfigError>>()?;
+        }
         if let Some(allows) = doc.tables.get("allow") {
             for t in allows {
                 let allow = Allow {
@@ -249,6 +333,8 @@ impl Config {
                     function: t.get_str("function"),
                     contains: t.get_str("contains"),
                     reason: t.need_str("reason")?,
+                    expires: t.get_str("expires"),
+                    line: t.line,
                 };
                 if allow.reason.trim().is_empty() {
                     return Err(ConfigError::new(
@@ -256,11 +342,51 @@ impl Config {
                         "allow entry requires a non-empty `reason` justification",
                     ));
                 }
+                if let Some(exp) = &allow.expires {
+                    if !is_iso_date(exp) {
+                        return Err(ConfigError::new(
+                            t.line,
+                            format!("allow `expires` must be YYYY-MM-DD, got `{exp}`"),
+                        ));
+                    }
+                }
                 cfg.allows.push(allow);
             }
         }
         Ok(cfg)
     }
+}
+
+/// `YYYY-MM-DD` shape check (enough for lexicographic comparison).
+fn is_iso_date(s: &str) -> bool {
+    let b = s.as_bytes();
+    b.len() == 10
+        && b[4] == b'-'
+        && b[7] == b'-'
+        && b.iter()
+            .enumerate()
+            .all(|(i, c)| i == 4 || i == 7 || c.is_ascii_digit())
+}
+
+/// Today's civil date as `YYYY-MM-DD`, derived from the system clock
+/// (days since the Unix epoch → proleptic Gregorian; no external crate).
+pub fn civil_today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days algorithm.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
 }
 
 /// A config parse/validation error with its line.
@@ -509,5 +635,49 @@ mod tests {
     fn bad_syntax_is_an_error_not_a_silent_skip() {
         assert!(Config::from_toml("key = what").is_err());
         assert!(Config::from_toml("just a line").is_err());
+    }
+
+    #[test]
+    fn trait_targets_parse_and_replace_defaults() {
+        let toml = r#"
+            [[trait_target]]
+            method = "handle"
+            targets = ["listener.handle", "acceptor.handle"]
+        "#;
+        let cfg = Config::from_toml(toml).unwrap();
+        assert_eq!(cfg.trait_targets.len(), 1);
+        assert_eq!(cfg.trait_targets[0].method, "handle");
+        assert_eq!(cfg.trait_targets[0].targets.len(), 2);
+    }
+
+    #[test]
+    fn allow_expires_is_validated() {
+        let good = r#"
+            [[allow]]
+            rule = "lock-order"
+            file = "x.rs"
+            reason = "temporary"
+            expires = "2026-12-31"
+        "#;
+        let cfg = Config::from_toml(good).unwrap();
+        assert_eq!(cfg.allows[0].expires.as_deref(), Some("2026-12-31"));
+        assert!(cfg.allows[0].line > 0);
+
+        let bad = r#"
+            [[allow]]
+            rule = "lock-order"
+            file = "x.rs"
+            reason = "temporary"
+            expires = "soonish"
+        "#;
+        let err = Config::from_toml(bad).unwrap_err();
+        assert!(err.msg.contains("YYYY-MM-DD"), "{err}");
+    }
+
+    #[test]
+    fn civil_today_is_iso_shaped() {
+        let today = civil_today();
+        assert!(is_iso_date(&today), "{today}");
+        assert!(today.as_str() >= "2024-01-01", "{today}");
     }
 }

@@ -138,6 +138,20 @@ pub fn lex(src: &str) -> Vec<Token> {
                     line: start_line,
                 });
             }
+            // Raw identifier `r#match`: lex as a plain identifier so the
+            // `#` does not desync attribute scanning downstream.
+            'r' if i + 2 < n && bytes[i + 1] == '#' && is_ident_start(bytes[i + 2]) => {
+                let start = i + 2;
+                i = start;
+                while i < n && is_ident(bytes[i]) {
+                    i += 1;
+                }
+                let ident: String = bytes[start..i].iter().collect();
+                out.push(Token {
+                    kind: Tok::Ident(ident),
+                    line,
+                });
+            }
             '\'' => {
                 // Lifetime ('a, 'static) vs char literal ('x', '\n', '\'').
                 let is_lifetime = i + 1 < n
@@ -334,6 +348,26 @@ mod tests {
         assert_eq!(toks[3].line, 1);
         let b = toks.iter().find(|t| t.kind == Tok::Ident("b".into()));
         assert_eq!(b.map(|t| t.line), Some(2));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = lex("fn r#match(r#type: u8) { r#type + 1; } let s = r#\"raw\"#;");
+        let ids = idents("fn r#match(r#type: u8) { r#type + 1; }");
+        assert!(ids.contains(&"match".to_string()), "{ids:?}");
+        assert!(ids.contains(&"type".to_string()), "{ids:?}");
+        // The raw string after it still lexes as a string, not idents.
+        assert!(toks.iter().any(|t| t.kind == Tok::Str("raw".into())));
+    }
+
+    #[test]
+    fn nested_generics_and_turbofish_keep_brace_balance() {
+        let src =
+            "fn f() { let m: HashMap<String, Vec<HashMap<u8, u8>>> = x.get::<Vec<u8>, _>(); }";
+        let toks = lex(src);
+        let open = toks.iter().filter(|t| t.kind == Tok::LBrace).count();
+        let close = toks.iter().filter(|t| t.kind == Tok::RBrace).count();
+        assert_eq!(open, close);
     }
 
     #[test]

@@ -18,13 +18,26 @@
 //! * **coordination-boundary** — §4.3 mark/lock/negotiation entry points
 //!   are only reachable from the negotiation core.
 //!
+//! On top of the per-file walk sits an *interprocedural* layer (DESIGN.md
+//! §15): a workspace call graph ([`callgraph`]) plus per-function effect
+//! summaries ([`effects`]) propagated to fixpoint, powering:
+//!
+//! * **transitive-blocking** — a poll loop blocks through helpers.
+//! * interprocedural **guard-across-rpc** / **lock-order** — guards held
+//!   across helpers that transitively RPC or acquire locks.
+//! * **strong-capture-cycle** — closures registered on the shared timer
+//!   wheel / worker pool capturing strong `Arc`s of runtime-owning types.
+//! * **stale-suppression** — expired or no-longer-matching `[[allow]]`s.
+//!
 //! The analyzer is deliberately dependency-free: a hand-rolled lexer and
 //! a brace-structure scope walker over the token stream, not a full
 //! parser. That keeps it honest (fast, no build-graph coupling) at the
 //! cost of a documented, config-suppressesable false-positive surface —
-//! see `lint.toml` and DESIGN.md §12.
+//! see `lint.toml` and DESIGN.md §12 / §15.
 
+pub mod callgraph;
 pub mod config;
+pub mod effects;
 pub mod lexer;
 pub mod report;
 pub mod rules;

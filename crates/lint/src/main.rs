@@ -1,7 +1,7 @@
 //! syd-lint CLI.
 //!
 //! ```text
-//! syd-lint --workspace [--config lint.toml] [--json] [--deny-warnings]
+//! syd-lint --workspace [--config lint.toml] [--json | --github] [--deny-warnings]
 //! syd-lint [--config lint.toml] path/to/file.rs ...
 //! ```
 //!
@@ -16,6 +16,7 @@ use syd_lint::{analyze, find_workspace_root, workspace_files};
 struct Cli {
     workspace: bool,
     json: bool,
+    github: bool,
     deny_warnings: bool,
     config: Option<PathBuf>,
     paths: Vec<PathBuf>,
@@ -25,6 +26,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         workspace: false,
         json: false,
+        github: false,
         deny_warnings: false,
         config: None,
         paths: Vec::new(),
@@ -34,6 +36,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         match a.as_str() {
             "--workspace" => cli.workspace = true,
             "--json" => cli.json = true,
+            "--github" => cli.github = true,
             "--deny-warnings" => cli.deny_warnings = true,
             "--config" => {
                 let v = it.next().ok_or("--config requires a path")?;
@@ -53,7 +56,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
 }
 
 const USAGE: &str = "usage: syd-lint (--workspace | FILES...) \
-[--config lint.toml] [--json] [--deny-warnings]";
+[--config lint.toml] [--json | --github] [--deny-warnings]";
 
 fn load_config(cli: &Cli, root: Option<&Path>) -> Result<Config, String> {
     let path = match (&cli.config, root) {
@@ -78,7 +81,7 @@ fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_args(&args)?;
 
-    let (files, config) = if cli.workspace {
+    let (files, mut config) = if cli.workspace {
         let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
         let root = find_workspace_root(&cwd)
             .ok_or("no workspace root (Cargo.toml with [workspace]) above the current directory")?;
@@ -97,9 +100,15 @@ fn run() -> Result<bool, String> {
         (files, config)
     };
 
+    // The CLI injects the real clock; library callers / tests set
+    // `config.today` explicitly to stay deterministic.
+    config.today = Some(syd_lint::config::civil_today());
+
     let report = analyze(&files, &config, cli.workspace);
     if cli.json {
         print!("{}", report.render_json());
+    } else if cli.github {
+        print!("{}", report.render_github());
     } else {
         print!("{}", report.render_text());
     }

@@ -4,16 +4,28 @@ use crate::config::Config;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// The five rules syd-lint enforces.
+/// The rules syd-lint enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Nested lock acquisitions must respect the declared hierarchy and
-    /// the global acquisition graph must stay acyclic.
+    /// the global acquisition graph must stay acyclic (including edges
+    /// discovered through call chains).
     LockOrder,
-    /// No lock guard may be live across an RPC / transport send.
+    /// No lock guard may be live across an RPC / transport send —
+    /// directly or through a helper that transitively performs one.
     GuardAcrossRpc,
     /// No blocking call inside a poll-loop / router-tick function.
     NoBlockingInPollLoop,
+    /// A poll-loop function transitively reaches a blocking call through
+    /// its helpers (the interprocedural companion of
+    /// [`Rule::NoBlockingInPollLoop`]).
+    TransitiveBlocking,
+    /// A closure registered on shared infrastructure (timer wheel,
+    /// worker pool) captures a strong `Arc` of a runtime-owning type,
+    /// pinning the runtime after the last external handle drops.
+    StrongCaptureCycle,
+    /// An `[[allow]]` entry is expired or no longer matches anything.
+    StaleSuppression,
     /// Metric names must come from the central `names` registry.
     CounterRegistry,
     /// §4.3 mark/lock entry points only from the negotiation core.
@@ -27,6 +39,9 @@ impl Rule {
             Rule::LockOrder => "lock-order",
             Rule::GuardAcrossRpc => "guard-across-rpc",
             Rule::NoBlockingInPollLoop => "no-blocking-in-poll-loop",
+            Rule::TransitiveBlocking => "transitive-blocking",
+            Rule::StrongCaptureCycle => "strong-capture-cycle",
+            Rule::StaleSuppression => "stale-suppression",
             Rule::CounterRegistry => "counter-registry",
             Rule::CoordinationBoundary => "coordination-boundary",
         }
@@ -68,6 +83,9 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Diagnostics suppressed by `[[allow]]` entries, with the reason.
     pub suppressed: Vec<(Diagnostic, String)>,
+    /// Indices into `config.allows` that suppressed at least one
+    /// diagnostic (input to `stale-suppression`).
+    pub allow_hits: std::collections::BTreeSet<usize>,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
@@ -79,11 +97,20 @@ impl Report {
     }
 
     /// Applies the config's allowlist, moving matches to `suppressed`.
+    /// An entry whose `expires` date is on or before `config.today` has
+    /// lapsed: it stops suppressing (and `stale-suppression` flags it).
     pub fn apply_allowlist(&mut self, config: &Config) {
+        let expired = |idx: usize| -> bool {
+            match (&config.allows[idx].expires, &config.today) {
+                (Some(exp), Some(today)) => exp.as_str() <= today.as_str(),
+                _ => false,
+            }
+        };
         let mut kept = Vec::new();
         for d in self.diagnostics.drain(..) {
-            let hit = config.allows.iter().find(|a| {
-                a.rule == d.rule.name()
+            let hit = config.allows.iter().enumerate().find(|(i, a)| {
+                !expired(*i)
+                    && a.rule == d.rule.name()
                     && d.file.ends_with(&a.file)
                     && a.function
                         .as_ref()
@@ -91,7 +118,10 @@ impl Report {
                     && a.contains.as_ref().is_none_or(|c| d.message.contains(c))
             });
             match hit {
-                Some(a) => self.suppressed.push((d, a.reason.clone())),
+                Some((i, a)) => {
+                    self.allow_hits.insert(i);
+                    self.suppressed.push((d, a.reason.clone()));
+                }
                 None => kept.push(d),
             }
         }
@@ -167,6 +197,41 @@ impl Report {
         out.push('\n');
         out
     }
+
+    /// GitHub Actions workflow-command rendering: one
+    /// `::error file=…,line=…::…` annotation per diagnostic (shown
+    /// inline on the PR diff), followed by the plain summary line.
+    pub fn render_github(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "::error file={},line={},title={}::{}\n",
+                esc_gh_prop(&d.file),
+                d.line,
+                esc_gh_prop(d.rule.name()),
+                esc_gh_msg(&d.message)
+            ));
+        }
+        out.push_str(&format!(
+            "syd-lint: {} file(s), {} violation(s), {} suppressed\n",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.suppressed.len()
+        ));
+        out
+    }
+}
+
+/// Escapes a workflow-command message (`%`, CR, LF).
+fn esc_gh_msg(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes a workflow-command property (message escapes plus `,` / `:`).
+fn esc_gh_prop(s: &str) -> String {
+    esc_gh_msg(s).replace(',', "%2C").replace(':', "%3A")
 }
 
 fn esc(s: &str) -> String {
@@ -209,6 +274,8 @@ mod tests {
             function: Some("deliver".into()),
             contains: None,
             reason: "channel send cannot block".into(),
+            expires: None,
+            line: 10,
         });
         let mut report = Report {
             diagnostics: vec![
@@ -232,11 +299,70 @@ mod tests {
                 ),
             ],
             suppressed: vec![],
+            allow_hits: Default::default(),
             files_scanned: 1,
         };
         report.apply_allowlist(&cfg);
         assert_eq!(report.suppressed.len(), 1);
         assert_eq!(report.diagnostics.len(), 2);
+        assert!(report.allow_hits.contains(&0));
+    }
+
+    #[test]
+    fn expired_allow_stops_suppressing() {
+        let mut cfg = Config {
+            today: Some("2026-08-08".into()),
+            ..Default::default()
+        };
+        cfg.allows.push(Allow {
+            rule: "lock-order".into(),
+            file: "sim.rs".into(),
+            function: None,
+            contains: None,
+            reason: "pending refactor".into(),
+            expires: Some("2026-01-01".into()),
+            line: 3,
+        });
+        let mut report = Report {
+            diagnostics: vec![diag(Rule::LockOrder, "crates/t/src/sim.rs", "f", "m")],
+            ..Report::default()
+        };
+        report.apply_allowlist(&cfg);
+        assert_eq!(report.diagnostics.len(), 1, "expired allow must not fire");
+        assert!(report.allow_hits.is_empty());
+
+        // Same entry with a future expiry still suppresses.
+        cfg.allows[0].expires = Some("2027-01-01".into());
+        let mut report = Report {
+            diagnostics: vec![diag(Rule::LockOrder, "crates/t/src/sim.rs", "f", "m")],
+            ..Report::default()
+        };
+        report.apply_allowlist(&cfg);
+        assert!(report.diagnostics.is_empty());
+        assert!(report.allow_hits.contains(&0));
+    }
+
+    #[test]
+    fn github_annotations_escape_workflow_metacharacters() {
+        let report = Report {
+            diagnostics: vec![diag(
+                Rule::LockOrder,
+                "crates/a,b/src/x.rs",
+                "f",
+                "cycle: a -> b\n100% held",
+            )],
+            suppressed: vec![],
+            allow_hits: Default::default(),
+            files_scanned: 1,
+        };
+        let gh = report.render_github();
+        assert!(
+            gh.contains("::error file=crates/a%2Cb/src/x.rs,line=1,title=lock-order::"),
+            "{gh}"
+        );
+        assert!(gh.contains("100%25 held"), "{gh}");
+        assert!(gh.contains("a -> b%0A"), "{gh}");
+        assert!(gh.contains("1 violation(s)"), "{gh}");
     }
 
     #[test]
@@ -244,6 +370,7 @@ mod tests {
         let report = Report {
             diagnostics: vec![diag(Rule::CounterRegistry, "a\"b.rs", "f", "use \"names\"")],
             suppressed: vec![],
+            allow_hits: Default::default(),
             files_scanned: 3,
         };
         let json = report.render_json();

@@ -1,6 +1,9 @@
-//! The five syd-lint rules, built on the walker events and token scans.
+//! The syd-lint rules, built on the walker events, the workspace call
+//! graph and the interprocedural effect summaries.
 
+use crate::callgraph::CallGraph;
 use crate::config::Config;
+use crate::effects::{Atom, Effects, Origin};
 use crate::lexer::Tok;
 use crate::report::{Diagnostic, Report, Rule};
 use crate::source::SourceFile;
@@ -10,7 +13,8 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Runs every rule over the parsed file set.
 ///
 /// `workspace_mode` enables whole-workspace checks (orphaned metric
-/// constants) that are meaningless on a partial file list.
+/// constants, unused suppressions) that are meaningless on a partial
+/// file list.
 pub fn run_all(files: &[SourceFile], config: &Config, workspace_mode: bool) -> Report {
     let mut report = Report {
         files_scanned: files.len(),
@@ -18,29 +22,98 @@ pub fn run_all(files: &[SourceFile], config: &Config, workspace_mode: bool) -> R
     };
 
     let table = LockTable::build(files);
+    let detached = detached_callees(config);
     let rules = WalkRules {
         rpc_methods: &config.rpc_methods,
         rpc_qualified: &config.rpc_qualified,
         forbidden: &config.poll_forbidden,
+        detached: &detached,
     };
     let mut events = Events::default();
     for f in files {
         walker::walk_file(f, &table, &rules, &mut events);
     }
+    let graph = CallGraph::build(files, &events.calls, config);
+    let effects = Effects::compute(files, &events, &graph, config);
 
-    lock_order(&events, config, &mut report);
-    guard_across_rpc(&events, &mut report);
+    lock_order(&events, &graph, &effects, config, &mut report);
+    guard_across_rpc(&events, &graph, &effects, &mut report);
     no_blocking_in_poll_loop(&events, config, &mut report);
+    transitive_blocking(&graph, &effects, config, &mut report);
+    strong_capture_cycle(&effects, &mut report);
     counter_registry(files, config, workspace_mode, &mut report);
     coordination_boundary(files, config, &mut report);
 
     report.apply_allowlist(config);
+    stale_suppressions(config, workspace_mode, &mut report);
     report
 }
 
+/// Callees whose closure arguments execute on another thread: `spawn`
+/// plus every configured registration method. Calls inside their
+/// argument lists are excluded from effect propagation.
+pub fn detached_callees(config: &Config) -> Vec<String> {
+    let mut v = config.registration_methods.clone();
+    v.push("spawn".into());
+    v
+}
+
+/// An acquired-while-holding edge discovered through a call chain: the
+/// caller holds `from` at a call site whose callee transitively
+/// acquires `to`.
+struct ChainEdge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    function: String,
+    chain: String,
+}
+
+/// Collects interprocedural acquisition edges from the effect summaries.
+fn chain_edges(graph: &CallGraph, effects: &Effects) -> Vec<ChainEdge> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(String, String, String, u32)> = BTreeSet::new();
+    for e in &graph.edges {
+        if e.is_test || e.held.is_empty() {
+            continue;
+        }
+        for atom in effects.summaries[e.callee].keys() {
+            let Atom::Acquires(to) = atom else { continue };
+            for (from, _) in &e.held {
+                if !seen.insert((from.clone(), to.clone(), e.file.clone(), e.line)) {
+                    continue;
+                }
+                out.push(ChainEdge {
+                    from: from.clone(),
+                    to: to.clone(),
+                    file: e.file.clone(),
+                    line: e.line,
+                    function: graph.nodes[e.caller].name.clone(),
+                    chain: format!(
+                        "{} ({}:{}) -> {}",
+                        graph.nodes[e.callee].name,
+                        e.file,
+                        e.line,
+                        effects.chain(graph, e.callee, atom)
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// lock-order: reentrancy, hierarchy-rank inversions, and cycles in the
-/// global acquisition graph.
-fn lock_order(events: &Events, config: &Config, report: &mut Report) {
+/// global acquisition graph — including edges that only exist through
+/// call chains (caller holds A, callee transitively acquires B).
+fn lock_order(
+    events: &Events,
+    graph: &CallGraph,
+    effects: &Effects,
+    config: &Config,
+    report: &mut Report,
+) {
     let edges: Vec<_> = events.edges.iter().filter(|e| !e.is_test).collect();
 
     for e in &edges {
@@ -75,10 +148,53 @@ fn lock_order(events: &Events, config: &Config, report: &mut Report) {
         }
     }
 
-    // Cycle detection over distinct (from, to) pairs.
+    // Interprocedural edges: the same three checks, with the call chain
+    // in the message so the hop sequence is actionable.
+    let inter = chain_edges(graph, effects);
+    for e in &inter {
+        if e.from == e.to {
+            report.diagnostics.push(Diagnostic {
+                rule: Rule::LockOrder,
+                file: e.file.clone(),
+                line: e.line,
+                function: Some(e.function.clone()),
+                message: format!(
+                    "lock `{}` is held here and acquired again through the call chain {} — parking_lot locks are not reentrant, this self-deadlocks",
+                    e.to, e.chain
+                ),
+            });
+        } else if let (Some((fr, fname)), Some((tr, tname))) =
+            (config.rank_of(&e.from), config.rank_of(&e.to))
+        {
+            if fr > tr {
+                report.diagnostics.push(Diagnostic {
+                    rule: Rule::LockOrder,
+                    file: e.file.clone(),
+                    line: e.line,
+                    function: Some(e.function.clone()),
+                    message: format!(
+                        "`{}` (level {tname}, rank {tr}) acquired while holding `{}` (level {fname}, rank {fr}) through the call chain {}; declared hierarchy is {}",
+                        e.to,
+                        e.from,
+                        e.chain,
+                        hierarchy_str(config)
+                    ),
+                });
+            }
+        }
+    }
+
+    // Cycle detection over distinct (from, to) pairs, direct and
+    // interprocedural alike.
     let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
     let mut locate: BTreeMap<(&str, &str), (&str, u32)> = BTreeMap::new();
     for e in &edges {
+        if e.from != e.to {
+            adj.entry(&e.from).or_default().insert(&e.to);
+            locate.entry((&e.from, &e.to)).or_insert((&e.file, e.line));
+        }
+    }
+    for e in &inter {
         if e.from != e.to {
             adj.entry(&e.from).or_default().insert(&e.to);
             locate.entry((&e.from, &e.to)).or_insert((&e.file, e.line));
@@ -233,8 +349,10 @@ fn find_cycles(adj: &BTreeMap<&str, BTreeSet<&str>>) -> Vec<Vec<String>> {
     out
 }
 
-/// guard-across-rpc: any lock guard live across an RPC / transport send.
-fn guard_across_rpc(events: &Events, report: &mut Report) {
+/// guard-across-rpc: any lock guard live across an RPC / transport send
+/// — at the call site itself, or through a helper that transitively
+/// performs one.
+fn guard_across_rpc(events: &Events, graph: &CallGraph, effects: &Effects, report: &mut Report) {
     for r in events.rpcs.iter().filter(|r| !r.is_test) {
         let held: Vec<String> = r
             .held
@@ -250,6 +368,35 @@ fn guard_across_rpc(events: &Events, report: &mut Report) {
                 "remote call `{}` made while holding {} — a slow or dead peer extends the critical section into a distributed deadlock",
                 r.method,
                 held.join(", ")
+            ),
+        });
+    }
+
+    // Interprocedural: a guard is live at a call whose callee reaches an
+    // RPC. Direct RPC call sites (`is_rpc`) are already covered above.
+    let mut seen: BTreeSet<(String, u32, usize)> = BTreeSet::new();
+    for e in &graph.edges {
+        if e.is_test || e.is_rpc || e.held.is_empty() || !effects.has(e.callee, &Atom::Rpc) {
+            continue;
+        }
+        if !seen.insert((e.file.clone(), e.line, e.callee)) {
+            continue;
+        }
+        let held: Vec<String> = e
+            .held
+            .iter()
+            .map(|(id, line)| format!("`{id}` (acquired line {line})"))
+            .collect();
+        report.diagnostics.push(Diagnostic {
+            rule: Rule::GuardAcrossRpc,
+            file: e.file.clone(),
+            line: e.line,
+            function: Some(graph.nodes[e.caller].name.clone()),
+            message: format!(
+                "`{}` is called while holding {} and transitively performs a remote call: {} — a slow or dead peer extends the critical section into a distributed deadlock",
+                graph.nodes[e.callee].name,
+                held.join(", "),
+                effects.chain(graph, e.callee, &Atom::Rpc)
             ),
         });
     }
@@ -272,6 +419,95 @@ fn no_blocking_in_poll_loop(events: &Events, config: &Config, report: &mut Repor
             ),
         });
     }
+}
+
+/// transitive-blocking: a poll-loop function reaches a blocking call
+/// through one or more helpers. Direct blocking calls inside the poll fn
+/// itself are left to `no-blocking-in-poll-loop`.
+fn transitive_blocking(graph: &CallGraph, effects: &Effects, config: &Config, report: &mut Report) {
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if node.is_test || !config.poll_fns.iter().any(|f| f == &node.name) {
+            continue;
+        }
+        let Some(origin) = effects.summaries[id].get(&Atom::Blocks) else {
+            continue;
+        };
+        // Intrinsic origin means the blocking call is in this body — the
+        // direct rule owns that diagnostic.
+        let Origin::Call { file, line, .. } = origin else {
+            continue;
+        };
+        report.diagnostics.push(Diagnostic {
+            rule: Rule::TransitiveBlocking,
+            file: file.clone(),
+            line: *line,
+            function: Some(node.name.clone()),
+            message: format!(
+                "poll-loop function `{}` transitively blocks: {} — every connection sharing the loop stalls for the full chain",
+                node.name,
+                effects.chain(graph, id, &Atom::Blocks)
+            ),
+        });
+    }
+}
+
+/// strong-capture-cycle: a closure registered on shared infrastructure
+/// (timer wheel, worker pool) captures a strong `Arc` of a
+/// runtime-owning type, so the registration keeps the runtime alive
+/// after the last external handle drops — the leak class fixed in
+/// `DeviceRuntime::register_periodic_tasks` by downgrading to `Weak`.
+fn strong_capture_cycle(effects: &Effects, report: &mut Report) {
+    for cap in effects.captures.iter().filter(|c| !c.is_test) {
+        report.diagnostics.push(Diagnostic {
+            rule: Rule::StrongCaptureCycle,
+            file: cap.file.clone(),
+            line: cap.line,
+            function: Some(cap.function.clone()),
+            message: format!(
+                "closure registered via `{}` captures strong `Arc<{}>` (binding `{}`) — the shared wheel/pool pins the runtime after the last external handle drops; capture `Arc::downgrade(..)` and upgrade inside the closure",
+                cap.reg_method, cap.ty, cap.binding
+            ),
+        });
+    }
+}
+
+/// stale-suppression: `[[allow]]` entries that have expired, or (in
+/// workspace mode, where every diagnostic the entry could match is in
+/// view) no longer suppress anything. Runs after the allowlist is
+/// applied — a suppression cannot allowlist its own staleness.
+fn stale_suppressions(config: &Config, workspace_mode: bool, report: &mut Report) {
+    for (i, a) in config.allows.iter().enumerate() {
+        let expired = match (&a.expires, &config.today) {
+            (Some(exp), Some(today)) => exp.as_str() <= today.as_str(),
+            _ => false,
+        };
+        if expired {
+            report.diagnostics.push(Diagnostic {
+                rule: Rule::StaleSuppression,
+                file: "lint.toml".into(),
+                line: a.line as u32,
+                function: None,
+                message: format!(
+                    "[[allow]] for `{}` on `{}` expired {}; remove it or renew the expiry after re-review",
+                    a.rule,
+                    a.file,
+                    a.expires.as_deref().unwrap_or("?")
+                ),
+            });
+        } else if workspace_mode && !report.allow_hits.contains(&i) {
+            report.diagnostics.push(Diagnostic {
+                rule: Rule::StaleSuppression,
+                file: "lint.toml".into(),
+                line: a.line as u32,
+                function: None,
+                message: format!(
+                    "[[allow]] for `{}` on `{}` no longer matches any diagnostic — the underlying issue is gone; remove the entry",
+                    a.rule, a.file
+                ),
+            });
+        }
+    }
+    report.sort();
 }
 
 /// counter-registry: metric names *and span kinds* must be

@@ -41,6 +41,22 @@ pub struct FnInfo {
     pub is_test: bool,
 }
 
+/// A field (or typed binding) declared as `Arc<T>` or `Weak<T>` — the
+/// anchor for strong-capture analysis: `Arc::clone(&self.field)` bound
+/// into a shared-runtime closure pins `T`.
+#[derive(Debug, Clone)]
+pub struct RefField {
+    /// Field name.
+    pub name: String,
+    /// The first type segment inside the angle brackets (`DeviceInner`
+    /// for `Arc<DeviceInner>`).
+    pub ty: String,
+    /// True for `Arc<T>`, false for `Weak<T>`.
+    pub strong: bool,
+    /// 1-indexed declaration line.
+    pub line: u32,
+}
+
 /// A lexed file plus extracted structure.
 #[derive(Debug)]
 pub struct SourceFile {
@@ -55,6 +71,8 @@ pub struct SourceFile {
     pub fns: Vec<FnInfo>,
     /// Lock declarations found in this file.
     pub locks: Vec<LockDecl>,
+    /// `Arc<T>` / `Weak<T>` field declarations found in this file.
+    pub ref_fields: Vec<RefField>,
     /// True when the whole file is test/bench/example code.
     pub is_test_path: bool,
 }
@@ -66,6 +84,7 @@ impl SourceFile {
         let is_test_path = path_is_test(path);
         let fns = extract_fns(&tokens, is_test_path);
         let locks = extract_locks(&tokens);
+        let ref_fields = extract_ref_fields(&tokens);
         let stem = path
             .rsplit('/')
             .next()
@@ -78,6 +97,7 @@ impl SourceFile {
             tokens,
             fns,
             locks,
+            ref_fields,
             is_test_path,
         }
     }
@@ -282,6 +302,57 @@ fn extract_locks(tokens: &[Token]) -> Vec<LockDecl> {
     out
 }
 
+/// Finds `name: Arc<T>` / `name: Weak<T>` field declarations. The type
+/// argument is the first identifier inside the angle brackets (skipping
+/// a leading path qualifier such as `crate::`).
+fn extract_ref_fields(tokens: &[Token]) -> Vec<RefField> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let strong = match &t.kind {
+            Tok::Ident(s) if s == "Arc" => true,
+            Tok::Ident(s) if s == "Weak" => false,
+            _ => continue,
+        };
+        // `name : Arc <` — field or typed binding position.
+        if !matches!(tokens.get(i + 1).map(|t| &t.kind), Some(Tok::Punct('<')))
+            || !matches!(
+                tokens.get(i.wrapping_sub(1)).map(|t| &t.kind),
+                Some(Tok::Punct(':'))
+            )
+        {
+            continue;
+        }
+        let Some(name) = ident(tokens, i.wrapping_sub(2)) else {
+            continue;
+        };
+        // Type argument: first ident chain after `<`, last path segment.
+        let mut j = i + 2;
+        let mut ty: Option<&str> = None;
+        while let Some(tok) = tokens.get(j) {
+            match &tok.kind {
+                Tok::Ident(s) => {
+                    ty = Some(s);
+                    if !matches!(tokens.get(j + 1).map(|t| &t.kind), Some(Tok::PathSep)) {
+                        break;
+                    }
+                    j += 2;
+                }
+                Tok::PathSep => j += 1,
+                _ => break,
+            }
+        }
+        if let Some(ty) = ty {
+            out.push(RefField {
+                name: name.to_string(),
+                ty: ty.to_string(),
+                strong,
+                line: tokens[i].line,
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)] // test code
 mod tests {
@@ -337,6 +408,24 @@ mod tests {
         // not the Mutex, so it must not be recorded for the inner lock.
         assert!(!names.contains(&"by_meeting"), "{names:?}");
         assert_eq!(f.lock_id("state"), "node.state");
+    }
+
+    #[test]
+    fn finds_arc_and_weak_fields() {
+        let src = r#"
+            struct DeviceRuntime {
+                inner: Arc<DeviceInner>,
+                backref: Weak<RuntimeInner>,
+                qualified: Arc<crate::runtime::RuntimeInner>,
+                plain: u32,
+            }
+        "#;
+        let f = SourceFile::parse("crates/x/src/device.rs", src);
+        let find = |n: &str| f.ref_fields.iter().find(|r| r.name == n);
+        assert!(matches!(find("inner"), Some(r) if r.strong && r.ty == "DeviceInner"));
+        assert!(matches!(find("backref"), Some(r) if !r.strong && r.ty == "RuntimeInner"));
+        assert!(matches!(find("qualified"), Some(r) if r.strong && r.ty == "RuntimeInner"));
+        assert!(find("plain").is_none());
     }
 
     #[test]

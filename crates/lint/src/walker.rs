@@ -68,6 +68,61 @@ pub struct BlockingCall {
     pub is_test: bool,
 }
 
+/// Any call site: `name(…)`, `recv.name(…)` or `qual::name(…)`. The
+/// call-graph builder resolves these to workspace functions; the guard
+/// snapshot powers the interprocedural lock/RPC rules.
+#[derive(Debug, Clone)]
+pub struct CallEvent {
+    /// Callee name (last segment).
+    pub name: String,
+    /// Ident immediately before `.name(` (`node` in `self.node.f()`),
+    /// when it is a plain ident.
+    pub receiver: Option<String>,
+    /// Ident immediately before `::name(`.
+    pub qualifier: Option<String>,
+    /// True for `recv.name(…)` calls, even when the receiver is not a
+    /// plain ident (chained calls).
+    pub is_method: bool,
+    /// True when the argument list is empty (`()`).
+    pub empty_args: bool,
+    /// True when the callee is a configured RPC method (already covered
+    /// by the direct guard-across-rpc rule when guards are held).
+    pub is_rpc: bool,
+    /// True when the call site sits inside the argument list of a
+    /// thread-detaching call (`spawn`, `execute`, `schedule*`, …): the
+    /// callee runs on another thread, so the caller does not inherit its
+    /// blocking/RPC/lock effects.
+    pub in_spawn: bool,
+    /// Guards live at the call: (lock id, acquisition line).
+    pub held: Vec<(String, u32)>,
+    /// File of the call.
+    pub file: String,
+    /// Line of the call.
+    pub line: u32,
+    /// `body_start` token index of the enclosing function (unique per
+    /// file — the call-graph key).
+    pub caller_start: usize,
+    /// Enclosing function name.
+    pub function: String,
+    /// Whether the enclosing function is test code.
+    pub is_test: bool,
+}
+
+/// Every lock acquisition, independent of what else was held.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// Qualified lock id.
+    pub id: String,
+    /// File of the acquisition.
+    pub file: String,
+    /// Line of the acquisition.
+    pub line: u32,
+    /// `body_start` token index of the enclosing function.
+    pub caller_start: usize,
+    /// Whether the enclosing function is test code.
+    pub is_test: bool,
+}
+
 /// Walker output for a whole file set.
 #[derive(Debug, Default)]
 pub struct Events {
@@ -77,6 +132,10 @@ pub struct Events {
     pub rpcs: Vec<RpcWhileHeld>,
     /// Blocking calls (everywhere; rules filter by function).
     pub blocking: Vec<BlockingCall>,
+    /// Every call site, with the live-guard snapshot.
+    pub calls: Vec<CallEvent>,
+    /// Every lock acquisition.
+    pub acquisitions: Vec<Acquisition>,
 }
 
 /// Resolves `receiver.lock()`-style acquisitions to qualified lock ids.
@@ -125,6 +184,10 @@ pub struct WalkRules<'a> {
     pub rpc_qualified: &'a [String],
     /// Forbidden (blocking) callee names.
     pub forbidden: &'a [String],
+    /// Callees whose closure arguments run on another thread (`spawn`
+    /// plus the configured registration methods); calls inside their
+    /// argument lists get [`CallEvent::in_spawn`].
+    pub detached: &'a [String],
 }
 
 #[derive(Debug, Clone)]
@@ -140,6 +203,9 @@ struct Walker<'a> {
     table: &'a LockTable,
     rules: &'a WalkRules<'a>,
     held: Vec<Held>,
+    /// Token ranges (exclusive of the callee ident) of thread-detaching
+    /// argument lists within this function body.
+    detached: Vec<(usize, usize)>,
     out: &'a mut Events,
 }
 
@@ -148,16 +214,56 @@ pub fn walk_file(file: &SourceFile, table: &LockTable, rules: &WalkRules<'_>, ou
     for func in &file.fns {
         // Nested fns are walked on their own; skip the outer copy of an
         // inner fn's body by walking only tokens outside child fns.
+        let detached =
+            detached_ranges(&file.tokens, func.body_start, func.body_end, rules.detached);
         let mut w = Walker {
             file,
             func,
             table,
             rules,
             held: Vec::new(),
+            detached,
             out,
         };
         w.walk_block(func.body_start + 1, func.body_end);
     }
+}
+
+/// Argument-list token ranges of calls to thread-detaching methods.
+fn detached_ranges(
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    names: &[String],
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in start..end.min(tokens.len()) {
+        let Tok::Ident(s) = &tokens[i].kind else {
+            continue;
+        };
+        if !names.iter().any(|n| n == s)
+            || !matches!(tokens.get(i + 1).map(|t| &t.kind), Some(Tok::LParen))
+        {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < end.min(tokens.len()) {
+            match tokens[j].kind {
+                Tok::LParen => depth += 1,
+                Tok::RParen => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push((i + 1, j));
+    }
+    out
 }
 
 fn match_brace(tokens: &[Token], open: usize) -> usize {
@@ -199,6 +305,7 @@ impl Walker<'_> {
         let mut stmt_temps: Vec<Held> = Vec::new();
         let mut stmt_start = start;
         let mut depth = 0usize; // parens + brackets
+        let mut angle = 0usize; // turbofish `::<…>` generic-args depth
         let mut i = start;
 
         while i < end {
@@ -209,6 +316,23 @@ impl Walker<'_> {
                 }
                 Tok::RParen | Tok::RBracket => {
                     depth = depth.saturating_sub(1);
+                    i += 1;
+                }
+                // Turbofish: commas inside `get::<A, B>(…)` are argument
+                // separators of the *type* list, not statement boundaries.
+                Tok::PathSep if matches!(self.kind(i + 1), Some(Tok::Punct('<'))) => {
+                    angle += 1;
+                    i += 2;
+                }
+                Tok::Punct('<') if angle > 0 => {
+                    angle += 1;
+                    i += 1;
+                }
+                Tok::Punct('>') if angle > 0 => {
+                    // `->` inside a turbofished `fn` type is not a closer.
+                    if !matches!(self.kind(i.wrapping_sub(1)), Some(Tok::Punct('-'))) {
+                        angle -= 1;
+                    }
                     i += 1;
                 }
                 Tok::LBrace => {
@@ -239,7 +363,15 @@ impl Walker<'_> {
                     // Unbalanced only if ranges are wrong; stop cleanly.
                     i += 1;
                 }
-                Tok::Semi | Tok::Comma if depth == 0 => {
+                Tok::Semi if depth == 0 => {
+                    // A `;` at paren depth 0 cannot be inside generic
+                    // args — also resets a desynced angle count.
+                    angle = 0;
+                    stmt_temps.clear();
+                    stmt_start = i + 1;
+                    i += 1;
+                }
+                Tok::Comma if depth == 0 && angle == 0 => {
                     stmt_temps.clear();
                     stmt_start = i + 1;
                     i += 1;
@@ -247,8 +379,7 @@ impl Walker<'_> {
                 Tok::Ident(name) => {
                     if self.try_drop(i, &mut stmt_temps)
                         || self.try_lock_acq(i, stmt_start, &mut stmt_temps)
-                        || self.try_rpc(i, name, &stmt_temps)
-                        || self.try_blocking(i, name)
+                        || self.try_call(i, name, &stmt_temps)
                     {
                         // handled; all matchers advance by one token
                     }
@@ -308,6 +439,13 @@ impl Walker<'_> {
             return false;
         };
         let line = self.file.tokens[i].line;
+        self.out.acquisitions.push(Acquisition {
+            id: id.clone(),
+            file: self.file.path.clone(),
+            line,
+            caller_start: self.func.body_start,
+            is_test: self.func.is_test,
+        });
         for h in self.held.iter().chain(stmt_temps.iter()) {
             self.out.edges.push(Edge {
                 from: h.id.clone(),
@@ -343,68 +481,99 @@ impl Walker<'_> {
         true
     }
 
-    /// RPC-family method call while a guard is live.
-    fn try_rpc(&mut self, i: usize, name: &str, stmt_temps: &[Held]) -> bool {
-        if !matches!(self.kind(i.wrapping_sub(1)), Some(Tok::Dot))
-            || !matches!(self.kind(i + 1), Some(Tok::LParen))
-        {
+    /// Any call site: records a [`CallEvent`] for the call-graph, plus
+    /// the direct RPC-under-guard and blocking events the intraprocedural
+    /// rules consume.
+    fn try_call(&mut self, i: usize, name: &str, stmt_temps: &[Held]) -> bool {
+        if !matches!(self.kind(i + 1), Some(Tok::LParen)) {
             return false;
         }
-        let plain = self.rules.rpc_methods.iter().any(|m| m == name);
-        let qualified = self.ident(i.wrapping_sub(2)).is_some_and(|recv| {
+        let (receiver, qualifier, is_method) = match self.kind(i.wrapping_sub(1)) {
+            Some(Tok::Dot) => (
+                self.ident(i.wrapping_sub(2)).map(str::to_string),
+                None,
+                true,
+            ),
+            Some(Tok::PathSep) => (
+                None,
+                self.ident(i.wrapping_sub(2)).map(str::to_string),
+                false,
+            ),
+            // `fn name(` is a nested item signature, not a call; control
+            // keywords take parenthesized expressions, not arguments.
+            Some(Tok::Ident(kw)) if kw == "fn" => return false,
+            _ if CALL_KEYWORDS.contains(&name) => return false,
+            _ => (None, None, false),
+        };
+
+        let plain_rpc = self.rules.rpc_methods.iter().any(|m| m == name);
+        let qualified_rpc = receiver.as_deref().is_some_and(|recv| {
             self.rules
                 .rpc_qualified
                 .iter()
                 .any(|q| q.as_str() == format!("{recv}.{name}"))
         });
-        if !plain && !qualified {
-            return false;
-        }
+        let is_rpc = (is_method && plain_rpc) || qualified_rpc;
+
         let held: Vec<(String, u32)> = self
             .held
             .iter()
             .chain(stmt_temps.iter())
             .map(|h| (h.id.clone(), h.line))
             .collect();
-        if held.is_empty() {
-            return true;
+
+        if is_rpc && !held.is_empty() {
+            self.out.rpcs.push(RpcWhileHeld {
+                method: name.to_string(),
+                held: held.clone(),
+                file: self.file.path.clone(),
+                line: self.file.tokens[i].line,
+                function: self.func.name.clone(),
+                is_test: self.func.is_test,
+            });
         }
-        self.out.rpcs.push(RpcWhileHeld {
-            method: name.to_string(),
+
+        if self.rules.forbidden.iter().any(|m| m == name) {
+            let callee = if is_method {
+                Some(format!(".{name}"))
+            } else {
+                qualifier.as_deref().map(|q| format!("{q}::{name}"))
+            };
+            if let Some(callee) = callee {
+                self.out.blocking.push(BlockingCall {
+                    callee,
+                    file: self.file.path.clone(),
+                    line: self.file.tokens[i].line,
+                    function: self.func.name.clone(),
+                    is_test: self.func.is_test,
+                });
+            }
+        }
+
+        self.out.calls.push(CallEvent {
+            name: name.to_string(),
+            receiver,
+            qualifier,
+            is_method,
+            empty_args: matches!(self.kind(i + 2), Some(Tok::RParen)),
+            is_rpc,
+            in_spawn: self.detached.iter().any(|&(s, e)| s < i && i < e),
             held,
             file: self.file.path.clone(),
             line: self.file.tokens[i].line,
-            function: self.func.name.clone(),
-            is_test: self.func.is_test,
-        });
-        true
-    }
-
-    /// Potentially blocking call (filtered to poll loops by the rule).
-    fn try_blocking(&mut self, i: usize, name: &str) -> bool {
-        if !self.rules.forbidden.iter().any(|m| m == name)
-            || !matches!(self.kind(i + 1), Some(Tok::LParen))
-        {
-            return false;
-        }
-        let callee = match self.kind(i.wrapping_sub(1)) {
-            Some(Tok::Dot) => format!(".{name}"),
-            Some(Tok::PathSep) => {
-                let prefix = self.ident(i.wrapping_sub(2)).unwrap_or("");
-                format!("{prefix}::{name}")
-            }
-            _ => return false,
-        };
-        self.out.blocking.push(BlockingCall {
-            callee,
-            file: self.file.path.clone(),
-            line: self.file.tokens[i].line,
+            caller_start: self.func.body_start,
             function: self.func.name.clone(),
             is_test: self.func.is_test,
         });
         true
     }
 }
+
+/// Keywords that look like calls when followed by `(`.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "let", "else", "in", "move", "break",
+    "continue", "as", "await", "yield",
+];
 
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)] // test code
@@ -417,10 +586,12 @@ mod tests {
         let rpc: Vec<String> = vec!["invoke".into(), "call".into()];
         let qual: Vec<String> = vec!["net.send".into()];
         let forbidden: Vec<String> = vec!["sleep".into(), "recv".into()];
+        let detached: Vec<String> = vec!["spawn".into(), "execute".into()];
         let rules = WalkRules {
             rpc_methods: &rpc,
             rpc_qualified: &qual,
             forbidden: &forbidden,
+            detached: &detached,
         };
         let mut out = Events::default();
         walk_file(&file, &table, &rules, &mut out);
@@ -510,6 +681,20 @@ mod tests {
     }
 
     #[test]
+    fn calls_inside_spawn_closures_are_marked_detached() {
+        let ev = walk(
+            "fn f(&self) { thread::spawn(move || worker_loop(inner)); helper(); \
+             self.pool.execute(move || job.run()); }",
+        );
+        let flag = |name: &str| ev.calls.iter().find(|c| c.name == name).map(|c| c.in_spawn);
+        assert_eq!(flag("worker_loop"), Some(true));
+        assert_eq!(flag("run"), Some(true));
+        assert_eq!(flag("helper"), Some(false));
+        assert_eq!(flag("spawn"), Some(false));
+        assert_eq!(flag("execute"), Some(false));
+    }
+
+    #[test]
     fn test_fns_are_marked() {
         let file = SourceFile::parse(
             "crates/x/src/node.rs",
@@ -521,6 +706,7 @@ mod tests {
             rpc_methods: &[],
             rpc_qualified: &[],
             forbidden: &[],
+            detached: &[],
         };
         let mut out = Events::default();
         walk_file(&file, &table, &rules, &mut out);

@@ -90,6 +90,66 @@ fn boundary_fixture_fires_once() {
 }
 
 #[test]
+fn transitive_block_fixture_fires_once_with_full_chain() {
+    let report = run_fixture("transitive_block.rs");
+    assert_eq!(report.diagnostics.len(), 1, "{}", report.render_text());
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule.name(), "transitive-blocking");
+    // The message carries every hop with file:line, down to the
+    // blocking site itself.
+    for hop in ["drain_backlog", "wait_for_event", "`.recv`"] {
+        assert!(d.message.contains(hop), "missing hop {hop}: {}", d.message);
+    }
+    assert!(
+        d.message
+            .contains("crates/fixture/src/transitive_block.rs:"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn guard_transitive_rpc_fixture_fires_once() {
+    let report = run_fixture("guard_transitive_rpc.rs");
+    assert_eq!(report.diagnostics.len(), 1, "{}", report.render_text());
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule.name(), "guard-across-rpc");
+    assert!(
+        d.message.contains("transitively") && d.message.contains("`.invoke`"),
+        "{}",
+        d.message
+    );
+    assert_eq!(d.function.as_deref(), Some("notify"));
+}
+
+#[test]
+fn lock_chain_fixture_fires_once() {
+    let report = run_fixture("lock_chain.rs");
+    assert_eq!(report.diagnostics.len(), 1, "{}", report.render_text());
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule.name(), "lock-order");
+    assert!(
+        d.message.contains("call chain") && d.message.contains("count"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn strong_capture_fixture_fires_once() {
+    let report = run_fixture("strong_capture.rs");
+    assert_eq!(report.diagnostics.len(), 1, "{}", report.render_text());
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule.name(), "strong-capture-cycle");
+    assert!(
+        d.message.contains("Arc<DeviceInner>") && d.message.contains("register_periodic"),
+        "{}",
+        d.message
+    );
+    assert_eq!(d.function.as_deref(), Some("register_periodic_tasks"));
+}
+
+#[test]
 fn hierarchy_inversion_across_files_fires() {
     // Not a corpus file: the hierarchy check needs two declaring files
     // (lock ids are `file-stem.field`), so the pair is built inline.
@@ -151,6 +211,42 @@ fn runtime_rank_sits_above_node_locks() {
 }
 
 #[test]
+fn rank_inversion_through_call_chain_fires() {
+    // Interprocedural hierarchy inversion: `engine.cache` (rank 2) held
+    // while a cross-file helper acquires `lock.state` (rank 1). No single
+    // function shows both acquisitions.
+    let files = vec![
+        (
+            "crates/store/src/lock.rs".to_string(),
+            "pub struct LockManager { state: Mutex<Tables> } \
+             pub fn checkout(mgr: &LockManager) { let s = mgr.state.lock(); let _ = s; }"
+                .to_string(),
+        ),
+        (
+            "crates/core/src/engine.rs".to_string(),
+            "struct SydEngine { cache: Mutex<u8> } \
+             impl SydEngine { fn bad(&self, mgr: &LockManager) { \
+                 let c = self.cache.lock(); \
+                 lock::checkout(mgr); \
+                 drop(c); } }"
+                .to_string(),
+        ),
+    ];
+    let report = analyze(&files, &Config::default(), false);
+    assert_eq!(report.diagnostics.len(), 1, "{}", report.render_text());
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule.name(), "lock-order");
+    assert!(
+        d.message.contains("lock.state")
+            && d.message.contains("engine.cache")
+            && d.message.contains("call chain")
+            && d.message.contains("checkout"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
 fn fixtures_are_rule_pure() {
     // No fixture may trip any *other* rule — one seeded defect per file.
     for (name, rule) in [
@@ -163,6 +259,10 @@ fn fixtures_are_rule_pure() {
         ("counter_registry.rs", "counter-registry"),
         ("span_registry.rs", "counter-registry"),
         ("boundary.rs", "coordination-boundary"),
+        ("transitive_block.rs", "transitive-blocking"),
+        ("guard_transitive_rpc.rs", "guard-across-rpc"),
+        ("lock_chain.rs", "lock-order"),
+        ("strong_capture.rs", "strong-capture-cycle"),
     ] {
         let report = run_fixture(name);
         for d in &report.diagnostics {

@@ -1,0 +1,19 @@
+//! Seeded violation: a lock guard held across a helper that performs the
+//! remote call one hop down — the guarded body has no `invoke` of its
+//! own. Expected: exactly one `guard-across-rpc` diagnostic.
+
+struct Relay {
+    pending: Mutex<u8>,
+}
+
+impl Relay {
+    fn notify(&self, peer: &Peer) {
+        let guard = self.pending.lock();
+        self.forward(peer); // <- fires here: forward() invokes remotely
+        drop(guard);
+    }
+
+    fn forward(&self, peer: &Peer) {
+        peer.invoke("ping");
+    }
+}

@@ -1,0 +1,21 @@
+//! Seeded violation: reentrant acquisition that only exists through a
+//! call chain — the helper re-locks a mutex its caller already holds.
+//! Expected: exactly one `lock-order` diagnostic.
+
+struct Registry {
+    entries: Mutex<u8>,
+}
+
+impl Registry {
+    fn insert(&self) {
+        let guard = self.entries.lock();
+        self.count(); // <- fires here: count() re-locks `entries`
+        drop(guard);
+    }
+
+    fn count(&self) -> usize {
+        let g = self.entries.lock();
+        let _ = g;
+        0
+    }
+}

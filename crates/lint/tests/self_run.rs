@@ -14,7 +14,10 @@ fn workspace_is_clean_under_checked_in_config() {
 
     let config_text =
         std::fs::read_to_string(root.join("lint.toml")).expect("checked-in lint.toml");
-    let config = Config::from_toml(&config_text).expect("lint.toml parses");
+    let mut config = Config::from_toml(&config_text).expect("lint.toml parses");
+    // CI runs with the real date; pin expiry evaluation on here too so an
+    // allow rotting past its `expires` fails `cargo test`, not just CI.
+    config.today = Some(syd_lint::config::civil_today());
 
     let files = workspace_files(&root).expect("walk workspace");
     assert!(
@@ -23,14 +26,30 @@ fn workspace_is_clean_under_checked_in_config() {
         files.len()
     );
 
+    let started = std::time::Instant::now();
     let report = analyze(&files, &config, true);
+    let elapsed = started.elapsed();
     assert!(
         report.clean(),
-        "workspace must lint clean:\n{}",
+        "workspace must lint clean (stale-suppression included):\n{}",
         report.render_text()
     );
-    // Suppressions must carry their justification through.
+    // Allowlist audit: every surviving suppression is justified and was
+    // actually exercised this run (stale-suppression enforces the latter,
+    // but assert the hit bookkeeping directly as well).
     for (d, reason) in &report.suppressed {
         assert!(!reason.trim().is_empty(), "unjustified suppression: {d}");
     }
+    assert_eq!(
+        report.allow_hits.len(),
+        config.allows.len(),
+        "every [[allow]] in lint.toml must still match a diagnostic"
+    );
+
+    // CI budget: the lint job runs under `timeout 60`; the analysis pass
+    // itself (debug build, full workspace) must stay far inside that.
+    assert!(
+        elapsed < std::time::Duration::from_secs(60),
+        "workspace self-run took {elapsed:?}, breaking the 60s CI budget"
+    );
 }
